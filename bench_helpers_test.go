@@ -1,0 +1,39 @@
+package canary
+
+import (
+	"fmt"
+
+	"canary/internal/guard"
+)
+
+// hardQuery builds an unsatisfiable pigeonhole instance PHP(n+1, n) mixed
+// with an order-atom chain, approximating a hard aggregated path
+// constraint. Used by the solver and cube-and-conquer benchmarks.
+func hardQuery(holes int) (*guard.Pool, []*guard.Formula) {
+	pool := guard.NewPool()
+	pigeons := holes + 1
+	at := func(p, h int) *guard.Formula {
+		return guard.Var(pool.Bool(fmt.Sprintf("p%dh%d", p, h)))
+	}
+	var formulas []*guard.Formula
+	for p := 0; p < pigeons; p++ {
+		var d []*guard.Formula
+		for h := 0; h < holes; h++ {
+			d = append(d, at(p, h))
+		}
+		formulas = append(formulas, guard.Or(d...))
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				formulas = append(formulas, guard.Or(guard.Not(at(p1, h)), guard.Not(at(p2, h))))
+			}
+		}
+	}
+	// A satisfiable order chain on the side (the solver must still refute
+	// the boolean part).
+	for i := 0; i < holes; i++ {
+		formulas = append(formulas, guard.Var(pool.Order(i, i+1)))
+	}
+	return pool, formulas
+}

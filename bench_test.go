@@ -1,0 +1,339 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure),
+// plus ablations for the design decisions called out in DESIGN.md.
+//
+// The `go test -bench` entry points use scaled-down subjects so the whole
+// suite finishes quickly; `cmd/canary-bench` runs the full catalogue with
+// configurable scale and timeout and prints the paper-style tables.
+package canary
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"canary/internal/baseline"
+	"canary/internal/core"
+	"canary/internal/ir"
+	"canary/internal/lang"
+	"canary/internal/smt"
+	"canary/internal/workload"
+)
+
+// benchSubjects returns the first n catalogue subjects at bench scale.
+func benchSubjects(n int, lines int) []workload.Project {
+	ps := workload.Projects(0.004)
+	if n < len(ps) {
+		ps = ps[:n]
+	}
+	for i := range ps {
+		if ps[i].Lines > lines {
+			ps[i].Lines = lines
+		}
+	}
+	return ps
+}
+
+func lowerSpec(b *testing.B, spec workload.Spec) *ir.Program {
+	b.Helper()
+	src := workload.Generate(spec)
+	ast, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(ast, ir.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkFig7aVFGTime regenerates Fig. 7a: VFG-construction time for
+// Saber, Fsam, and Canary on catalogue subjects ordered by size.
+func BenchmarkFig7aVFGTime(b *testing.B) {
+	for _, p := range benchSubjects(4, 1500) {
+		b.Run(fmt.Sprintf("%s/saber", p.Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, p.Spec)
+				b.StartTimer()
+				if _, err := (baseline.Saber{}).BuildVFG(context.Background(), prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/fsam", p.Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, p.Spec)
+				b.StartTimer()
+				if _, err := (baseline.Fsam{}).BuildVFG(context.Background(), prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/canary", p.Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, p.Spec)
+				b.StartTimer()
+				core.Build(prog, core.DefaultBuild())
+			}
+		})
+	}
+}
+
+// BenchmarkFig7bVFGMemory regenerates Fig. 7b: allocation volume of VFG
+// construction per tool (run with -benchmem; B/op is the series).
+func BenchmarkFig7bVFGMemory(b *testing.B) {
+	p := benchSubjects(4, 1500)[3] // darknet-shaped subject
+	b.Run("saber", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prog := lowerSpec(b, p.Spec)
+			b.StartTimer()
+			if _, err := (baseline.Saber{}).BuildVFG(context.Background(), prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fsam", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prog := lowerSpec(b, p.Spec)
+			b.StartTimer()
+			if _, err := (baseline.Fsam{}).BuildVFG(context.Background(), prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("canary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prog := lowerSpec(b, p.Spec)
+			b.StartTimer()
+			core.Build(prog, core.DefaultBuild())
+		}
+	})
+}
+
+// BenchmarkFig8Scalability regenerates Fig. 8: Canary's full pipeline
+// (build + path-sensitive checking) across increasing program sizes; the
+// per-size sub-benchmark times form the scalability series.
+func BenchmarkFig8Scalability(b *testing.B) {
+	for _, spec := range workload.SizeSweep(4, 400, 3200) {
+		spec := spec
+		b.Run(fmt.Sprintf("lines=%d", spec.Lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, spec)
+				b.StartTimer()
+				builder := core.Build(prog, core.DefaultBuild())
+				opt := core.DefaultCheck()
+				opt.Checkers = []string{core.CheckUAF}
+				builder.Check(opt)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1BugHunting regenerates Table 1's Canary column: checking
+// the catalogue subjects and verifying the ground-truth report counts. The
+// reports/FP metrics are attached to the benchmark output.
+func BenchmarkTable1BugHunting(b *testing.B) {
+	for _, p := range benchSubjects(6, 1200) {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var reports, fps int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, p.Spec)
+				b.StartTimer()
+				builder := core.Build(prog, core.DefaultBuild())
+				opt := core.DefaultCheck()
+				opt.Checkers = []string{core.CheckUAF}
+				rs, _ := builder.Check(opt)
+				reports = len(rs)
+				fps = 0
+				for _, r := range rs {
+					if !workload.TruePositive(r.Source.Fn) {
+						fps++
+					}
+				}
+			}
+			b.ReportMetric(float64(reports), "reports")
+			b.ReportMetric(float64(fps), "falsepos")
+			want := p.TruePositives + p.CanaryFPs
+			if reports != want {
+				b.Fatalf("%s: got %d reports, seeded %d", p.Name, reports, want)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMHP measures the interference analysis with and without
+// may-happen-in-parallel pruning (§6).
+func BenchmarkAblationMHP(b *testing.B) {
+	spec := workload.SizeSweep(1, 1500, 1500)[0]
+	for _, enable := range []bool{true, false} {
+		enable := enable
+		b.Run(fmt.Sprintf("mhp=%v", enable), func(b *testing.B) {
+			var edges int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, spec)
+				b.StartTimer()
+				builder := core.Build(prog, core.BuildOptions{EnableMHP: enable})
+				edges = builder.Stats.InterferenceEdges
+			}
+			b.ReportMetric(float64(edges), "id-edges")
+		})
+	}
+}
+
+// BenchmarkAblationGuardSimplify measures checking with and without the
+// semi-decision filter (§5.2, opt. 1).
+func BenchmarkAblationGuardSimplify(b *testing.B) {
+	spec := workload.SizeSweep(1, 1200, 1200)[0]
+	for _, enable := range []bool{true, false} {
+		enable := enable
+		b.Run(fmt.Sprintf("simplify=%v", enable), func(b *testing.B) {
+			var queries int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, spec)
+				builder := core.Build(prog, core.DefaultBuild())
+				opt := core.DefaultCheck()
+				opt.Checkers = []string{core.CheckUAF}
+				opt.SimplifyGuards = enable
+				b.StartTimer()
+				_, stats := builder.Check(opt)
+				queries = stats.SolverQueries
+			}
+			b.ReportMetric(float64(queries), "queries")
+		})
+	}
+}
+
+// BenchmarkAblationParallelCheck measures the source-parallel checking of
+// §5.2 (opt. 2).
+func BenchmarkAblationParallelCheck(b *testing.B) {
+	spec := workload.SizeSweep(1, 2000, 2000)[0]
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, spec)
+				builder := core.Build(prog, core.DefaultBuild())
+				opt := core.DefaultCheck()
+				opt.Checkers = []string{core.CheckUAF}
+				opt.Workers = workers
+				b.StartTimer()
+				builder.Check(opt)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCubeAndConquer measures the parallel SMT strategy of
+// §5.2 (opt. 3) on a synthetic hard query (a pigeonhole instance mixed
+// with order atoms).
+func BenchmarkAblationCubeAndConquer(b *testing.B) {
+	for _, cube := range []bool{false, true} {
+		cube := cube
+		b.Run(fmt.Sprintf("cube=%v", cube), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pool, formulas := hardQuery(7)
+				b.StartTimer()
+				if cube {
+					smt.SolveCubeAndConquer(pool, formulas, smt.CubeOptions{SplitAtoms: 3, Workers: 4})
+				} else {
+					s := smt.New(pool)
+					for _, f := range formulas {
+						s.Assert(f)
+					}
+					s.Solve()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLockOrder measures checking with and without the
+// lock/unlock extension (§9 future work 1) on a lock-heavy subject.
+func BenchmarkAblationLockOrder(b *testing.B) {
+	spec := workload.Spec{
+		Name: "locky", Lines: 900, Seed: 99,
+		TruePositives: 1, LockTraps: 8, Fan: 2,
+	}
+	for _, enable := range []bool{true, false} {
+		enable := enable
+		b.Run(fmt.Sprintf("lockorder=%v", enable), func(b *testing.B) {
+			var reports int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, spec)
+				builder := core.Build(prog, core.DefaultBuild())
+				opt := core.DefaultCheck()
+				opt.Checkers = []string{core.CheckUAF}
+				opt.LockOrder = enable
+				b.StartTimer()
+				rs, _ := builder.Check(opt)
+				reports = len(rs)
+			}
+			b.ReportMetric(float64(reports), "reports")
+		})
+	}
+}
+
+// BenchmarkAblationFactPropagation measures the customized decision
+// procedure (§9 future work 3): the order-fact closure that settles or
+// shrinks queries before the CDCL solver.
+func BenchmarkAblationFactPropagation(b *testing.B) {
+	spec := workload.SizeSweep(1, 1500, 1500)[0]
+	for _, enable := range []bool{true, false} {
+		enable := enable
+		b.Run(fmt.Sprintf("factprop=%v", enable), func(b *testing.B) {
+			var queries, decided int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, spec)
+				builder := core.Build(prog, core.DefaultBuild())
+				opt := core.DefaultCheck()
+				opt.Checkers = []string{core.CheckUAF}
+				opt.FactPropagation = enable
+				b.StartTimer()
+				_, stats := builder.Check(opt)
+				queries = stats.SolverQueries
+				decided = stats.FactDecided
+			}
+			b.ReportMetric(float64(queries), "queries")
+			b.ReportMetric(float64(decided), "factdecided")
+		})
+	}
+}
+
+// BenchmarkSolver measures the raw SMT core on pigeonhole instances.
+func BenchmarkSolver(b *testing.B) {
+	for _, holes := range []int{5, 6, 7} {
+		holes := holes
+		b.Run(fmt.Sprintf("php-%d", holes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pool, formulas := hardQuery(holes)
+				s := smt.New(pool)
+				for _, f := range formulas {
+					s.Assert(f)
+				}
+				b.StartTimer()
+				if s.Solve() != smt.Unsat {
+					b.Fatal("pigeonhole must be unsat")
+				}
+			}
+		})
+	}
+}

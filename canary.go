@@ -1,0 +1,345 @@
+// Package canary is a static detector of inter-thread value-flow bugs,
+// reproducing "Canary: Practical Static Detection of Inter-thread
+// Value-Flow Bugs" (Cai, Yao, Zhang — PLDI 2021).
+//
+// Canary reduces concurrency bug detection to guarded source–sink
+// reachability over an interference-aware value-flow graph: a
+// thread-modular algorithm captures data and interference dependence with
+// execution-constraint guards on the edges, and an SMT solver decides
+// whether each extracted source–sink path corresponds to a feasible
+// interleaving under sequential consistency.
+//
+// The one-call entry point analyzes a program in the concurrent input
+// language (see the examples directory and the README for the syntax):
+//
+//	result, err := canary.Analyze(src, canary.DefaultOptions())
+//	for _, r := range result.Reports {
+//	    fmt.Println(r)
+//	}
+//
+// Four checkers are built in: inter-thread use-after-free, double-free,
+// null-pointer dereference, and taint/information leak.
+package canary
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"canary/internal/core"
+	"canary/internal/ir"
+	"canary/internal/lang"
+	"canary/internal/smt"
+)
+
+// Checker names accepted in Options.Checkers.
+const (
+	CheckUseAfterFree = core.CheckUAF
+	CheckDoubleFree   = core.CheckDoubleFree
+	CheckNullDeref    = core.CheckNullDeref
+	CheckTaintLeak    = core.CheckTaintLeak
+	// CheckDataRace and CheckDeadlock are the opt-in pair-based analyses
+	// (guarded lockset-and-order race detection, ab-ba deadlock cycles);
+	// they are not part of the default set.
+	CheckDataRace = core.CheckDataRace
+	CheckDeadlock = core.CheckDeadlock
+)
+
+// AllCheckers lists the default source–sink checkers.
+func AllCheckers() []string { return append([]string(nil), core.AllCheckers...) }
+
+// ExtendedCheckers lists the opt-in pair-based analyses.
+func ExtendedCheckers() []string { return append([]string(nil), core.ExtendedCheckers...) }
+
+// Options configures the whole pipeline. The zero value is not meaningful;
+// start from DefaultOptions.
+type Options struct {
+	// Entry is the entry function; defaults to "main".
+	Entry string
+	// UnrollDepth bounds loops by unrolling (the paper unrolls twice).
+	UnrollDepth int
+	// InlineDepth bounds the calling-context cloning (the paper uses six).
+	InlineDepth int
+
+	// EnableMHP prunes non-parallel store/load pairs during the
+	// interference analysis (§6).
+	EnableMHP bool
+	// GuardCap widens guards larger than this many formula nodes to true.
+	GuardCap int
+
+	// Checkers selects the properties to check; nil means all.
+	Checkers []string
+	// RequireInterThread keeps only bugs whose flow crosses threads.
+	RequireInterThread bool
+	// LockOrder enables the lock/unlock mutual-exclusion constraints.
+	LockOrder bool
+	// CondVarOrder enables the wait/notify order constraints.
+	CondVarOrder bool
+	// MemoryModel selects the consistency axioms: "sc" (default), "tso",
+	// or "pso" (the paper's future-work relaxed-model extension).
+	MemoryModel string
+	// FactPropagation enables the customized order-fact decision procedure
+	// that settles or shrinks queries before the SMT solver.
+	FactPropagation bool
+	// Workers parallelizes source–sink checking; 0/1 means sequential.
+	Workers int
+	// CubeAndConquer enables the parallel SMT strategy per query.
+	CubeAndConquer bool
+	// MaxConflicts bounds each SMT query.
+	MaxConflicts int64
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Entry:              "main",
+		UnrollDepth:        2,
+		InlineDepth:        6,
+		EnableMHP:          true,
+		GuardCap:           96,
+		RequireInterThread: true,
+		LockOrder:          true,
+		CondVarOrder:       true,
+		MemoryModel:        "sc",
+		FactPropagation:    true,
+		Workers:            1,
+		MaxConflicts:       200000,
+	}
+}
+
+// Site is one program point in a report.
+type Site struct {
+	Fn     string
+	Line   int
+	Thread int
+	Desc   string
+}
+
+func (s Site) String() string {
+	return fmt.Sprintf("%s (line %d, thread %d, %s)", s.Desc, s.Line, s.Thread, s.Fn)
+}
+
+// Report is one detected bug: a realizable source–sink value flow.
+type Report struct {
+	// Kind is the checker name (e.g. "use-after-free").
+	Kind string
+	// Source and Sink are the endpoints (e.g. the free and the use).
+	Source Site
+	Sink   Site
+	// Trace is the value-flow path between them, one step per line.
+	Trace []string
+	// Schedule is a concrete witness interleaving of the involved
+	// statements ("ℓ5 [thread 1]: *y = b", ...), reconstructed from the
+	// solver's satisfying assignment.
+	Schedule []string
+	// Guard is the aggregated execution constraint of the path.
+	Guard string
+	// Decided is false when the SMT budget ran out and the report is kept
+	// as a potential bug (the soundy choice).
+	Decided bool
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] source: %s\n         sink: %s", r.Kind, r.Source, r.Sink)
+	if !r.Decided {
+		b.WriteString("\n         (solver budget exhausted; potential bug)")
+	}
+	return b.String()
+}
+
+// VFGStats describes the constructed value-flow graph.
+type VFGStats struct {
+	Nodes             int
+	Edges             int
+	DirectEdges       int
+	DataDepEdges      int
+	InterferenceEdges int
+	FilteredEdges     int
+	EscapedObjects    int
+	Iterations        int
+	BuildTime         time.Duration
+}
+
+// CheckStats describes the checking stage's work.
+type CheckStats struct {
+	Sources       int
+	PathsExamined int
+	SemiDecided   int
+	FactDecided   int
+	SolverQueries int
+	SolverUnsat   int
+	SearchTime    time.Duration
+	SolveTime     time.Duration
+}
+
+// Result is the outcome of Analyze.
+type Result struct {
+	Reports      []Report
+	VFG          VFGStats
+	Check        CheckStats
+	Threads      int
+	Instructions int
+}
+
+// Analysis holds a built interference-aware VFG so that several checker
+// configurations can run over one program without re-running the
+// dependence analyses.
+type Analysis struct {
+	opt Options
+	b   *core.Builder
+}
+
+// NewAnalysis parses and lowers src and builds the interference-aware VFG
+// once. Use Check to run (possibly several rounds of) checkers over it.
+func NewAnalysis(src string, opt Options) (*Analysis, error) {
+	if _, err := memoryModelOf(opt); err != nil {
+		return nil, err
+	}
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("canary: %w", err)
+	}
+	prog, err := ir.Lower(ast, ir.Options{
+		UnrollDepth: opt.UnrollDepth,
+		InlineDepth: opt.InlineDepth,
+		Entry:       opt.Entry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("canary: %w", err)
+	}
+	b := core.Build(prog, core.BuildOptions{
+		EnableMHP: opt.EnableMHP,
+		GuardCap:  opt.GuardCap,
+	})
+	return &Analysis{opt: opt, b: b}, nil
+}
+
+func memoryModelOf(opt Options) (core.MemoryModel, error) {
+	switch opt.MemoryModel {
+	case "", "sc":
+		return core.MemSC, nil
+	case "tso":
+		return core.MemTSO, nil
+	case "pso":
+		return core.MemPSO, nil
+	}
+	return core.MemSC, fmt.Errorf("canary: unknown memory model %q (want sc, tso or pso)", opt.MemoryModel)
+}
+
+// Check runs the given checkers (nil = the Options' selection, which
+// defaults to all source–sink checkers) over the already-built VFG.
+func (a *Analysis) Check(checkers ...string) (*Result, error) {
+	opt := a.opt
+	if len(checkers) > 0 {
+		opt.Checkers = checkers
+	}
+	model, err := memoryModelOf(opt)
+	if err != nil {
+		return nil, err
+	}
+	reports, stats := a.b.Check(core.CheckOptions{
+		Checkers:           opt.Checkers,
+		RequireInterThread: opt.RequireInterThread,
+		LockOrder:          opt.LockOrder,
+		CondVarOrder:       opt.CondVarOrder,
+		MemoryModel:        model,
+		FactPropagation:    opt.FactPropagation,
+		Workers:            opt.Workers,
+		CubeAndConquer:     opt.CubeAndConquer,
+		MaxConflicts:       opt.MaxConflicts,
+	})
+	return a.result(reports, stats), nil
+}
+
+// WriteDot renders the built VFG in Graphviz DOT form.
+func (a *Analysis) WriteDot(w io.Writer) error { return a.b.G.WriteDot(w) }
+
+// Analyze parses, lowers, builds the interference-aware VFG, and runs the
+// selected checkers on src. For several checking rounds over one program,
+// use NewAnalysis + Check.
+func Analyze(src string, opt Options) (*Result, error) {
+	a, err := NewAnalysis(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	return a.Check()
+}
+
+func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result {
+	b := a.b
+	prog := b.Prog
+	res := &Result{
+		Threads:      len(prog.Threads),
+		Instructions: prog.NumInsts(),
+		VFG: VFGStats{
+			Nodes:             b.G.NumNodes(),
+			Edges:             b.G.NumEdges(),
+			DirectEdges:       b.Stats.DirectEdges,
+			DataDepEdges:      b.Stats.DataDepEdges,
+			InterferenceEdges: b.Stats.InterferenceEdges,
+			FilteredEdges:     b.Stats.FilteredEdges,
+			EscapedObjects:    b.Stats.EscapedObjects,
+			Iterations:        b.Stats.Iterations,
+			BuildTime:         b.Stats.BuildTime,
+		},
+		Check: CheckStats{
+			Sources:       stats.Sources,
+			PathsExamined: stats.PathsExamined,
+			SemiDecided:   stats.SemiDecided,
+			FactDecided:   stats.FactDecided,
+			SolverQueries: stats.SolverQueries,
+			SolverUnsat:   stats.SolverUnsat,
+			SearchTime:    stats.SearchTime,
+			SolveTime:     stats.SolveTime,
+		},
+	}
+	for _, r := range reports {
+		pub := Report{
+			Kind:    r.Kind,
+			Source:  Site{Fn: r.Source.Fn, Line: r.Source.Line, Thread: r.Source.Thread, Desc: r.Source.Desc},
+			Sink:    Site{Fn: r.Sink.Fn, Line: r.Sink.Line, Thread: r.Sink.Thread, Desc: r.Sink.Desc},
+			Guard:   r.Guard,
+			Decided: r.Result == smt.Sat,
+		}
+		for _, p := range r.Path {
+			pub.Trace = append(pub.Trace, p.Desc)
+		}
+		for _, s := range r.Schedule {
+			pub.Schedule = append(pub.Schedule, fmt.Sprintf("%s [thread %d]", s.Desc, s.Thread))
+		}
+		res.Reports = append(res.Reports, pub)
+	}
+	return res
+}
+
+// AnalyzeFile reads path and analyzes its contents.
+func AnalyzeFile(path string, opt Options) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("canary: %w", err)
+	}
+	return Analyze(string(data), opt)
+}
+
+// WriteVFGDot builds the interference-aware value-flow graph of src and
+// writes it in Graphviz DOT form: objects as boxes, variable definitions
+// as ellipses, interference edges dashed (the paper's Fig. 2(b) notation).
+func WriteVFGDot(src string, opt Options, w io.Writer) error {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return fmt.Errorf("canary: %w", err)
+	}
+	prog, err := ir.Lower(ast, ir.Options{
+		UnrollDepth: opt.UnrollDepth,
+		InlineDepth: opt.InlineDepth,
+		Entry:       opt.Entry,
+	})
+	if err != nil {
+		return fmt.Errorf("canary: %w", err)
+	}
+	b := core.Build(prog, core.BuildOptions{EnableMHP: opt.EnableMHP, GuardCap: opt.GuardCap})
+	return b.G.WriteDot(w)
+}

@@ -1,0 +1,88 @@
+// Command canary-bench regenerates the paper's evaluation tables and
+// figures over the synthetic subject catalogue:
+//
+//	canary-bench -experiment fig7a    # VFG construction time (Fig. 7a)
+//	canary-bench -experiment fig7b    # VFG construction memory (Fig. 7b)
+//	canary-bench -experiment fig8     # Canary scalability + linear fits (Fig. 8)
+//	canary-bench -experiment table1   # bug-hunting comparison (Table 1)
+//	canary-bench -experiment all
+//
+// Subject sizes and the per-tool timeout are scaled-down stand-ins for the
+// paper's testbed (see DESIGN.md); -scale and -timeout control them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"canary/internal/bench"
+	"canary/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig7a | fig7b | fig8 | table1 | all")
+		scale      = flag.Float64("scale", 0.004, "lines per project LoC (subject size scale)")
+		subjects   = flag.Int("subjects", 20, "how many catalogue subjects to run (prefix)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-baseline timeout (the paper's 12h, scaled)")
+		sweepN     = flag.Int("sweep", 6, "number of Fig. 8 sweep points")
+		sweepMin   = flag.Int("sweep-min", 500, "smallest Fig. 8 subject (lines)")
+		sweepMax   = flag.Int("sweep-max", 16000, "largest Fig. 8 subject (lines)")
+		verbose    = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	e := &bench.Experiments{Timeout: *timeout}
+	if *verbose {
+		e.Out = os.Stderr
+	}
+
+	needComparison := *experiment == "fig7a" || *experiment == "fig7b" ||
+		*experiment == "table1" || *experiment == "all"
+	var results []bench.SubjectResult
+	if needComparison {
+		projects := workload.Projects(*scale)
+		if *subjects < len(projects) {
+			projects = projects[:*subjects]
+		}
+		var err error
+		results, err = e.RunAll(projects)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "canary-bench:", err)
+			os.Exit(2)
+		}
+	}
+
+	switch *experiment {
+	case "fig7a":
+		bench.PrintFig7a(os.Stdout, results)
+	case "fig7b":
+		bench.PrintFig7b(os.Stdout, results)
+	case "table1":
+		bench.PrintTable1(os.Stdout, results)
+	case "fig8":
+		runFig8(e, *sweepN, *sweepMin, *sweepMax)
+	case "all":
+		bench.PrintFig7a(os.Stdout, results)
+		fmt.Println()
+		bench.PrintFig7b(os.Stdout, results)
+		fmt.Println()
+		bench.PrintTable1(os.Stdout, results)
+		fmt.Println()
+		runFig8(e, *sweepN, *sweepMin, *sweepMax)
+	default:
+		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func runFig8(e *bench.Experiments, n, minLines, maxLines int) {
+	res, err := e.RunFig8(workload.SizeSweep(n, minLines, maxLines))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canary-bench:", err)
+		os.Exit(2)
+	}
+	bench.PrintFig8(os.Stdout, res)
+}

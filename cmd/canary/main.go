@@ -1,0 +1,138 @@
+// Command canary analyzes a concurrent program and reports inter-thread
+// value-flow bugs (use-after-free, double-free, null dereference,
+// taint leaks), reproducing the tool of the PLDI 2021 paper.
+//
+// Usage:
+//
+//	canary [flags] file.cn
+//
+// Exit status is 1 when bugs are reported, 2 on usage or analysis errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"canary"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		entry    = flag.String("entry", "main", "entry function")
+		checkers = flag.String("checkers", "", "comma-separated checkers (default: all); one of: "+strings.Join(canary.AllCheckers(), ", "))
+		noMHP    = flag.Bool("no-mhp", false, "disable may-happen-in-parallel pruning")
+		noLock   = flag.Bool("no-lock-order", false, "disable lock/unlock mutual-exclusion constraints")
+		noCond   = flag.Bool("no-condvar", false, "disable wait/notify order constraints")
+		memModel = flag.String("memory-model", "sc", "memory model: sc | tso | pso")
+		intra    = flag.Bool("intra", false, "also report intra-thread (sequential) bugs")
+		workers  = flag.Int("workers", 1, "parallel source-sink checking workers")
+		cube     = flag.Bool("cube", false, "use cube-and-conquer parallel SMT solving")
+		unroll   = flag.Int("unroll", 2, "loop unrolling depth")
+		inline   = flag.Int("inline", 6, "call inlining (context) depth")
+		stats    = flag.Bool("stats", false, "print analysis statistics")
+		trace    = flag.Bool("trace", false, "print the value-flow trace of each report")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+		dotOut   = flag.String("dot", "", "write the value-flow graph in Graphviz DOT form to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: canary [flags] file.cn")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	opt := canary.DefaultOptions()
+	opt.Entry = *entry
+	opt.EnableMHP = !*noMHP
+	opt.LockOrder = !*noLock
+	opt.CondVarOrder = !*noCond
+	opt.MemoryModel = *memModel
+	opt.RequireInterThread = !*intra
+	opt.Workers = *workers
+	opt.CubeAndConquer = *cube
+	opt.UnrollDepth = *unroll
+	opt.InlineDepth = *inline
+	if *checkers != "" {
+		opt.Checkers = strings.Split(*checkers, ",")
+	}
+
+	res, err := canary.AnalyzeFile(flag.Arg(0), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canary:", err)
+		return 2
+	}
+
+	if *dotOut != "" {
+		src, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", rerr)
+			return 2
+		}
+		f, ferr := os.Create(*dotOut)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", ferr)
+			return 2
+		}
+		if derr := canary.WriteVFGDot(string(src), opt, f); derr != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "canary:", derr)
+			return 2
+		}
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", cerr)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jerr := enc.Encode(res); jerr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", jerr)
+			return 2
+		}
+		if len(res.Reports) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	for _, r := range res.Reports {
+		fmt.Println(r)
+		if *trace {
+			for _, step := range r.Trace {
+				fmt.Println("    ", step)
+			}
+			fmt.Println("     guard:", r.Guard)
+			if len(r.Schedule) > 0 {
+				fmt.Println("     witness schedule:")
+				for _, s := range r.Schedule {
+					fmt.Println("      ", s)
+				}
+			}
+		}
+	}
+	fmt.Printf("%d report(s)\n", len(res.Reports))
+
+	if *stats {
+		fmt.Printf("program: %d threads, %d instructions\n", res.Threads, res.Instructions)
+		fmt.Printf("vfg: %d nodes, %d edges (%d direct, %d dd, %d interference, %d filtered), %d escaped objects, %d iterations, built in %v\n",
+			res.VFG.Nodes, res.VFG.Edges, res.VFG.DirectEdges, res.VFG.DataDepEdges,
+			res.VFG.InterferenceEdges, res.VFG.FilteredEdges, res.VFG.EscapedObjects,
+			res.VFG.Iterations, res.VFG.BuildTime)
+		fmt.Printf("check: %d sources, %d paths, %d semi-decided, %d solver queries (%d unsat), search %v, solve %v\n",
+			res.Check.Sources, res.Check.PathsExamined, res.Check.SemiDecided,
+			res.Check.SolverQueries, res.Check.SolverUnsat, res.Check.SearchTime, res.Check.SolveTime)
+	}
+	if len(res.Reports) > 0 {
+		return 1
+	}
+	return 0
+}

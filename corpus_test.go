@@ -1,0 +1,122 @@
+package canary
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectRe parses the "// expect: checker=N ..." header of corpus files.
+var expectRe = regexp.MustCompile(`([a-z-]+)=(\d+)`)
+
+// TestCorpus runs every program under testdata/ and compares the report
+// counts per checker against the expectations embedded in the file header.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.cn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("corpus too small: %d files", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+			expectLine := ""
+			for _, line := range strings.Split(src, "\n") {
+				if strings.Contains(line, "expect:") {
+					expectLine = line
+					break
+				}
+			}
+			if expectLine == "" {
+				t.Fatalf("%s: no expect header", file)
+			}
+			want := map[string]int{}
+			for _, m := range expectRe.FindAllStringSubmatch(expectLine, -1) {
+				n, err := strconv.Atoi(m[2])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[m[1]] = n
+			}
+			if len(want) == 0 {
+				t.Fatalf("%s: empty expectations", file)
+			}
+			opt := DefaultOptions()
+			for _, line := range strings.Split(src, "\n") {
+				if !strings.Contains(line, "options:") {
+					continue
+				}
+				for _, tok := range strings.Fields(line[strings.Index(line, "options:")+8:]) {
+					switch {
+					case strings.HasPrefix(tok, "checkers="):
+						opt.Checkers = strings.Split(strings.TrimPrefix(tok, "checkers="), ",")
+					case strings.HasPrefix(tok, "memory-model="):
+						opt.MemoryModel = strings.TrimPrefix(tok, "memory-model=")
+					case tok == "intra":
+						opt.RequireInterThread = false
+					case tok == "no-lock-order":
+						opt.LockOrder = false
+					}
+				}
+				break
+			}
+
+			res, err := Analyze(src, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			got := map[string]int{}
+			for _, r := range res.Reports {
+				got[r.Kind]++
+			}
+			for checker, n := range want {
+				if got[checker] != n {
+					t.Errorf("%s: %s: got %d reports, want %d", file, checker, got[checker], n)
+					for _, r := range res.Reports {
+						t.Logf("  report: %v", r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusDeterminism re-analyzes every corpus program and requires
+// byte-identical report renderings.
+func TestCorpusDeterminism(t *testing.T) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.cn"))
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func() string {
+			res, err := Analyze(string(data), DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, r := range res.Reports {
+				b.WriteString(r.String())
+				b.WriteString("\n")
+				b.WriteString(r.Guard)
+				b.WriteString("\n")
+			}
+			return b.String()
+		}
+		if a, b := render(), render(); a != b {
+			t.Errorf("%s: nondeterministic output:\n--- first\n%s\n--- second\n%s",
+				file, a, b)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Taint-leak hunt: an information-flow scenario in the style of DTAM
+// (Ganai et al., FSE 2012 — the paper's information-leak citation). A
+// credential read in one thread is published through shared memory,
+// combined with other data, and eventually reaches a logging sink in
+// another thread. A parallel flow that is join-ordered *before* the taint
+// source shows the order constraints pruning an impossible leak.
+//
+// Run with: go run ./examples/taintleak
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"canary"
+)
+
+const program = `
+func credential_reader(mailbox) {
+  secret = taint();          // e.g. a password read from the user
+  *mailbox = secret;
+}
+
+func logger(mailbox) {
+  payload = *mailbox;
+  decorated = payload + salt;
+  sink(decorated);           // e.g. written to a world-readable log
+}
+
+// The early logger is joined before the credential is ever produced: the
+// "leak" would need the sink to run after the source, which the program
+// order forbids.
+func early_logger(mailbox) {
+  v = *mailbox;
+  sink(v);
+}
+
+func main() {
+  box = malloc();
+  zero = malloc();
+  *box = zero;
+
+  fork(te, early_logger, box);
+  join(te);
+
+  fork(t1, credential_reader, box);
+  fork(t2, logger, box);
+}
+`
+
+func main() {
+	opt := canary.DefaultOptions()
+	opt.Checkers = []string{canary.CheckTaintLeak}
+	res, err := canary.Analyze(program, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("credential-flow scan: %d leak report(s)\n\n", len(res.Reports))
+	for _, r := range res.Reports {
+		fmt.Println(r)
+		for _, step := range r.Trace {
+			fmt.Println("    ", step)
+		}
+	}
+	fmt.Println("\nthe join-ordered early logger produced no report: the sink")
+	fmt.Println("cannot execute after the taint source.")
+}

@@ -1,0 +1,56 @@
+package canary
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary and checks its key output
+// lines, keeping the README's promises honest.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn go run")
+	}
+	cases := []struct {
+		dir     string
+		needles []string
+	}{
+		{"./examples/quickstart", []string{
+			"reports: 0",
+			"use-after-free",
+			"aggregated guard",
+		}},
+		{"./examples/uafhunt", []string{
+			"1 report(s)",
+			"lock-protected pool produced no report",
+		}},
+		{"./examples/nullderef", []string{
+			"1 null-deref report(s)",
+			"never-nulled slot produced no report",
+		}},
+		{"./examples/taintleak", []string{
+			"1 leak report(s)",
+			"early logger produced no report",
+		}},
+		{"./examples/relaxedmemory", []string{
+			"sc : 0 report(s)",
+			"tso: 0 report(s)",
+			"pso: 1 report(s)",
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", tc.dir, err, out)
+			}
+			for _, n := range tc.needles {
+				if !strings.Contains(string(out), n) {
+					t.Errorf("%s: output missing %q:\n%s", tc.dir, n, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package andersen
+
+import (
+	"context"
+	"testing"
+
+	"canary/internal/ir"
+	"canary/internal/lang"
+)
+
+func run(t *testing.T, src string) (*Andersen, *ir.Program) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast, ir.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunAndersen(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, prog
+}
+
+func varByPrefix(t *testing.T, prog *ir.Program, prefix string) ir.VarID {
+	t.Helper()
+	for _, v := range prog.Vars {
+		if len(v.Name) >= len(prefix) && v.Name[:len(prefix)] == prefix {
+			return v.ID
+		}
+	}
+	t.Fatalf("no var %q", prefix)
+	return 0
+}
+
+func TestAllocAndCopy(t *testing.T) {
+	a, prog := run(t, `
+func main() {
+  p = malloc();
+  q = p;
+}
+`)
+	p := varByPrefix(t, prog, "p.")
+	q := varByPrefix(t, prog, "q.")
+	if len(a.Pts(p)) != 1 {
+		t.Fatalf("pts(p) = %v", a.Pts(p))
+	}
+	if !a.MayAlias(p, q) {
+		t.Error("p and q must alias after copy")
+	}
+}
+
+func TestLoadStoreFlowInsensitive(t *testing.T) {
+	// Flow-insensitivity: even though the store is after the load in
+	// program order, the load sees the stored value.
+	a, prog := run(t, `
+func main() {
+  x = malloc();
+  r = *x;
+  v = malloc();
+  *x = v;
+}
+`)
+	r := varByPrefix(t, prog, "r.")
+	v := varByPrefix(t, prog, "v.")
+	if !a.MayAlias(r, v) {
+		t.Error("flow-insensitive solver must connect the later store to the load")
+	}
+}
+
+func TestTransitiveThroughHeap(t *testing.T) {
+	a, prog := run(t, `
+func main() {
+  x = malloc();
+  inner = malloc();
+  *x = inner;
+  y = x;
+  got = *y;
+}
+`)
+	got := varByPrefix(t, prog, "got.")
+	inner := varByPrefix(t, prog, "inner.")
+	if !a.MayAlias(got, inner) {
+		t.Error("load through alias must see the stored object")
+	}
+}
+
+func TestNoAliasDistinctHeaps(t *testing.T) {
+	a, prog := run(t, `
+func main() {
+  p = malloc();
+  q = malloc();
+}
+`)
+	p := varByPrefix(t, prog, "p.")
+	q := varByPrefix(t, prog, "q.")
+	if a.MayAlias(p, q) {
+		t.Error("distinct allocations must not alias")
+	}
+}
+
+func TestPhiMerging(t *testing.T) {
+	a, prog := run(t, `
+func main() {
+  if (c) { p = malloc(); } else { p = malloc(); }
+  q = p;
+}
+`)
+	q := varByPrefix(t, prog, "q.")
+	if len(a.Pts(q)) != 2 {
+		t.Fatalf("q should point to both branch objects, got %v", a.Pts(q))
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ast, _ := lang.Parse(`func main() { p = malloc(); }`)
+	prog, _ := ir.Lower(ast, ir.DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAndersen(ctx, prog); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}
+
+func TestSizeCounts(t *testing.T) {
+	a, _ := run(t, `
+func main() {
+  p = malloc();
+  q = p;
+  r = q;
+}
+`)
+	if a.Size() < 3 {
+		t.Errorf("Size = %d, want at least 3 facts", a.Size())
+	}
+}

@@ -1,0 +1,190 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"canary/internal/ir"
+	"canary/internal/lang"
+)
+
+const fig2 = `
+func main(a) {
+  x = malloc();
+  *x = a;
+  fork(t, thread1, x);
+  if (theta1) {
+    c = *x;
+    print(*c);
+  }
+}
+
+func thread1(y) {
+  b = malloc();
+  if (!theta1) {
+    *y = b;
+    free(b);
+  }
+}
+`
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(ast, ir.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSaberReportsFig2FalsePositive(t *testing.T) {
+	// The whole point of the comparison: the path-insensitive baseline
+	// reports the Fig. 2 "bug" that Canary proves irrealizable.
+	prog := lower(t, fig2)
+	res, err := Saber{}.BuildVFG(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := CheckReachability(res.G, "use-after-free")
+	if len(reports) == 0 {
+		t.Fatal("Saber-like checking should report the Fig. 2 false positive")
+	}
+}
+
+func TestFsamReportsFig2FalsePositive(t *testing.T) {
+	prog := lower(t, fig2)
+	res, err := Fsam{}.BuildVFG(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := CheckReachability(res.G, "use-after-free")
+	if len(reports) == 0 {
+		t.Fatal("Fsam-like checking should report the Fig. 2 false positive")
+	}
+}
+
+func TestBaselinesFindTrueBug(t *testing.T) {
+	src := `
+func main() {
+  x = malloc();
+  fork(t, worker, x);
+  c = *x;
+  print(*c);
+}
+func worker(y) {
+  b = malloc();
+  *y = b;
+  free(b);
+}
+`
+	prog := lower(t, src)
+	for _, tool := range []Tool{Saber{}, Fsam{}} {
+		res, err := tool.BuildVFG(context.Background(), prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tool.Name(), err)
+		}
+		if len(CheckReachability(res.G, "use-after-free")) == 0 {
+			t.Errorf("%s should find the true UAF", tool.Name())
+		}
+	}
+}
+
+func TestSaberEdgeCrossProduct(t *testing.T) {
+	// Flow-insensitivity: even a store AFTER the load produces an edge.
+	src := `
+func main() {
+  x = malloc();
+  p = *x;
+  q = p;
+  *x = q;
+}
+`
+	prog := lower(t, src)
+	res, err := Saber{}.BuildVFG(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IndirectEdges == 0 {
+		t.Fatal("flow-insensitive Saber must connect the store to the load regardless of order")
+	}
+}
+
+func TestFsamFlowSensitiveIntraThread(t *testing.T) {
+	// Flow-sensitivity: a store after the load yields no intra-thread edge.
+	src := `
+func main() {
+  x = malloc();
+  p = *x;
+  q = p;
+  *x = q;
+}
+`
+	prog := lower(t, src)
+	res, err := Fsam{}.BuildVFG(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IndirectEdges != 0 {
+		t.Fatalf("flow-sensitive Fsam must not connect a later store to an earlier load (got %d edges)",
+			res.Stats.IndirectEdges)
+	}
+}
+
+func TestFsamStrongUpdate(t *testing.T) {
+	// The second store strongly updates the singleton object, so the load
+	// sees only the second value.
+	src := `
+func main() {
+  x = malloc();
+  a = malloc();
+  b = malloc();
+  *x = a;
+  *x = b;
+  p = *x;
+}
+`
+	prog := lower(t, src)
+	res, err := Fsam{}.BuildVFG(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IndirectEdges != 1 {
+		t.Fatalf("strong update should leave exactly 1 dd edge, got %d", res.Stats.IndirectEdges)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	prog := lower(t, fig2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expire immediately
+	if _, err := (Saber{}).BuildVFG(ctx, prog); err == nil {
+		t.Fatal("expired context should abort Saber")
+	} else if !errors.Is(err, ErrTimeout) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	time.Sleep(time.Millisecond)
+	if _, err := (Fsam{}).BuildVFG(ctx2, prog); err == nil {
+		t.Fatal("expired context should abort Fsam")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	prog := lower(t, fig2)
+	for _, tool := range []Tool{Saber{}, Fsam{}} {
+		res, err := tool.BuildVFG(context.Background(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PointsToFacts == 0 || res.Stats.DirectEdges == 0 {
+			t.Errorf("%s: stats not populated: %+v", tool.Name(), res.Stats)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package bench is the evaluation harness: it measures analysis time and
+// peak memory, fits scalability curves (the least-squares fits with R² the
+// paper reports in Fig. 8), and regenerates the paper's tables and figures
+// as text (Fig. 7a/7b, Fig. 8, Table 1).
+package bench
+
+import "math"
+
+// FitLinear computes the least-squares line y = slope·x + intercept over
+// the points and the coefficient of determination R² (the paper reports,
+// e.g., time ≈ 0.0326·KLoC + 25.4 with R² = 0.83). It returns R² = 1 for a
+// perfect fit and 0 when the fit explains nothing; fewer than two points
+// yield zeros.
+func FitLinear(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	// R² = 1 - SS_res/SS_tot.
+	var ssRes float64
+	for i := range xs {
+		e := ys[i] - (slope*xs[i] + intercept)
+		ssRes += e * e
+	}
+	r2 = 1 - ssRes/syy
+	if math.IsNaN(r2) || math.IsInf(r2, 0) {
+		r2 = 0
+	}
+	return slope, intercept, r2
+}

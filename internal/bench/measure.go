@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Measurement is one cost observation.
+type Measurement struct {
+	Time time.Duration
+	// PeakBytes is the observed peak heap growth while f ran (sampled).
+	PeakBytes uint64
+}
+
+// Measure runs f and samples heap usage at ~1 ms resolution to estimate the
+// peak memory the run needed beyond the pre-run baseline. A GC runs before
+// the measurement so prior experiments do not contaminate the baseline.
+func Measure(f func() error) (Measurement, error) {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var peak uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > base.HeapAlloc && ms.HeapAlloc-base.HeapAlloc > peak {
+					peak = ms.HeapAlloc - base.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	err := f()
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	// Final sample in case the run finished between ticks.
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	if end.HeapAlloc > base.HeapAlloc && end.HeapAlloc-base.HeapAlloc > peak {
+		peak = end.HeapAlloc - base.HeapAlloc
+	}
+	return Measurement{Time: elapsed, PeakBytes: peak}, err
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"canary/internal/guard"
+	"canary/internal/ir"
+	"canary/internal/vfg"
+)
+
+// storeSet maps reaching-store labels to the condition under which each is
+// the reaching definition.
+type storeSet map[ir.Label]*guard.Formula
+
+// memState is the flow-sensitive address-taken state of Alg. 1: each
+// location (object field, "" = whole cell) maps to the set of stores that
+// may currently define it.
+//
+// To keep one Alg. 1 sweep linear on the long inlined thread bodies, the
+// state is layered: entering a branch pushes an empty delta layer over the
+// shared pre-branch base, and the join merges only the objects the branch
+// bodies touched back into the base (in place — safe because the lowered
+// CFG is structured, so once a join executes, the base has no other
+// consumers). An entry in a layer shadows the same object's entries below
+// it (writes copy the effective value up first), so the nearest entry on
+// the parent chain is always the complete current value.
+type memState struct {
+	parent *memState
+	local  map[vfg.Loc]storeSet
+	depth  int
+}
+
+func newMemState(parent *memState) *memState {
+	d := 0
+	if parent != nil {
+		d = parent.depth + 1
+	}
+	return &memState{parent: parent, local: make(map[vfg.Loc]storeSet), depth: d}
+}
+
+// get returns the effective store set of o (nil when none). The result
+// must not be mutated; use set.
+func (m *memState) get(o vfg.Loc) storeSet {
+	for s := m; s != nil; s = s.parent {
+		if e, ok := s.local[o]; ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// set installs a complete value for o in this layer.
+func (m *memState) set(o vfg.Loc, e storeSet) { m.local[o] = e }
+
+// touchedDownTo collects, for every object with an entry strictly below
+// base on m's chain, the effective (nearest) value as seen from m.
+func (m *memState) touchedDownTo(base *memState, into map[vfg.Loc]storeSet) {
+	for s := m; s != nil && s != base; s = s.parent {
+		for o, e := range s.local {
+			if _, seen := into[o]; !seen {
+				into[o] = e
+			}
+		}
+	}
+}
+
+// commonBase returns the deepest state that is an ancestor-or-self of
+// every given state.
+func commonBase(states []*memState) *memState {
+	if len(states) == 0 {
+		return nil
+	}
+	cur := states[0]
+	for _, other := range states[1:] {
+		a, b := cur, other
+		for a != b {
+			if a == nil || b == nil {
+				return nil
+			}
+			if a.depth > b.depth {
+				a = a.parent
+			} else if b.depth > a.depth {
+				b = b.parent
+			} else {
+				a, b = a.parent, b.parent
+			}
+		}
+		cur = a
+	}
+	return cur
+}
+
+func cloneStoreSet(e storeSet) storeSet {
+	out := make(storeSet, len(e)+1)
+	for l, g := range e {
+		out[l] = g
+	}
+	return out
+}
+
+// dataDepPass runs one Alg. 1 pass over a thread: a single topological
+// sweep of the (acyclic) CFG computing the flow-sensitive address-taken
+// state, updating the top-level points-to graph, and emitting direct and dd
+// edges into the VFG. It reports whether any new points-to item or edge
+// appeared (the outer fixpoint's progress signal).
+func (b *Builder) dataDepPass(th *ir.Thread) bool {
+	itemsBefore := b.ptsItems
+	edgesBefore := b.G.NumEdges()
+
+	// Blocks are created in topological order by the lowerer, so one
+	// sweep reaches the intra-thread dataflow fixpoint (the CFG is a DAG).
+	out := make([]*memState, len(th.Blocks))
+	for bi, blk := range th.Blocks {
+		var cur *memState
+		switch {
+		case len(blk.Preds) == 0:
+			cur = newMemState(nil)
+		case len(blk.Preds) == 1:
+			pred := out[predIndex(th, blk.Preds[0])]
+			if len(blk.Preds[0].Succs) == 1 {
+				cur = pred // hand over: no other consumer
+			} else {
+				cur = newMemState(pred) // branch entry: delta layer
+			}
+		default:
+			cur = b.mergeAtJoin(th, blk, out)
+		}
+		for _, inst := range blk.Insts {
+			b.transfer(inst, cur)
+		}
+		out[bi] = cur
+	}
+	return b.ptsItems != itemsBefore || b.G.NumEdges() != edgesBefore
+}
+
+// mergeAtJoin merges the predecessors' delta layers into their common base
+// (Alg. 1's may-union with guard disjunction) and returns the base, which
+// becomes the join's state.
+func (b *Builder) mergeAtJoin(th *ir.Thread, blk *ir.Block, out []*memState) *memState {
+	preds := make([]*memState, len(blk.Preds))
+	for i, p := range blk.Preds {
+		preds[i] = out[predIndex(th, p)]
+	}
+	base := commonBase(preds)
+	if base == nil {
+		base = newMemState(nil)
+	}
+	// Objects touched by any branch since the base.
+	touched := make(map[vfg.Loc]bool)
+	scratch := make(map[vfg.Loc]storeSet)
+	for _, p := range preds {
+		for k := range scratch {
+			delete(scratch, k)
+		}
+		p.touchedDownTo(base, scratch)
+		for o := range scratch {
+			touched[o] = true
+		}
+	}
+	for o := range touched {
+		merged := make(storeSet)
+		for _, p := range preds {
+			for l, g := range p.get(o) {
+				if old, ok := merged[l]; ok {
+					merged[l] = b.cap(guard.Or(old, g))
+				} else {
+					merged[l] = g
+				}
+			}
+		}
+		base.set(o, merged)
+	}
+	return base
+}
+
+func predIndex(th *ir.Thread, pred *ir.Block) int {
+	// Thread block slices are append-only with globally increasing IDs:
+	// binary search on ID.
+	lo, hi := 0, len(th.Blocks)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case th.Blocks[mid].ID == pred.ID:
+			return mid
+		case th.Blocks[mid].ID < pred.ID:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	panic("core: predecessor not in thread block list")
+}
+
+// transfer applies the Alg. 1 flow functions (HandleEachInst) and emits VFG
+// edges.
+func (b *Builder) transfer(inst *ir.Inst, mem *memState) {
+	g := b.G
+	switch inst.Op {
+	case ir.OpAlloc, ir.OpAddr, ir.OpNull:
+		// ℓ,φ: p = alloc_o  ⇒  PG_top ← {p ↣ (φ, o)}; base edge o → p.
+		b.ptsAdd(inst.Def, inst.Obj, inst.Guard)
+		g.AddEdge(vfg.Edge{
+			From: g.ObjNode(inst.Obj), To: g.VarNode(inst.Def),
+			Kind: vfg.EdgeObj, Guard: inst.Guard,
+		})
+	case ir.OpCopy:
+		// ℓ,φ: p = q  ⇒  PG_top ← {p ↣ (γ∧φ, o)} ∀(γ,o) ∈ Pts(q).
+		for o, γ := range b.pts[inst.Val] {
+			b.ptsAdd(inst.Def, o, b.cap(guard.And(γ, inst.Guard)))
+		}
+		g.AddEdge(vfg.Edge{
+			From: g.VarNode(inst.Val), To: g.VarNode(inst.Def),
+			Kind: vfg.EdgeDirect, Guard: inst.Guard,
+		})
+	case ir.OpPhi:
+		for i, op := range inst.Ops {
+			φi := inst.PhiGuards[i]
+			for o, γ := range b.pts[op] {
+				b.ptsAdd(inst.Def, o, b.cap(guard.And(γ, φi)))
+			}
+			g.AddEdge(vfg.Edge{
+				From: g.VarNode(op), To: g.VarNode(inst.Def),
+				Kind: vfg.EdgeDirect, Guard: φi,
+			})
+		}
+	case ir.OpBin:
+		// Value-level flow only (taint propagation); no points-to.
+		for _, op := range inst.Ops {
+			g.AddEdge(vfg.Edge{
+				From: g.VarNode(op), To: g.VarNode(inst.Def),
+				Kind: vfg.EdgeDirect, Guard: inst.Guard,
+			})
+		}
+	case ir.OpStore:
+		// ℓ,φ: *x = q (or x.f = q). Strong update when Pts(x) is a
+		// singleton; locations are field-sensitive.
+		ptsX := b.pts[inst.Ptr]
+		strong := len(ptsX) == 1
+		for o, α := range ptsX {
+			loc := vfg.Loc{Obj: o, Field: inst.Field}
+			gStore := b.cap(guard.And(α, inst.Guard))
+			if gStore.IsFalse() {
+				continue
+			}
+			var entry storeSet
+			if strong {
+				entry = make(storeSet, 1) // IN ← IN \ Pts(x)
+			} else {
+				entry = cloneStoreSet(mem.get(loc))
+			}
+			entry[inst.Label] = gStore
+			mem.set(loc, entry)
+			b.G.AddObjStore(loc, vfg.StoreRef{Store: inst.Label, Guard: gStore})
+		}
+	case ir.OpLoad:
+		// ℓ,φ: p = *y (or p = y.f). Link reaching stores to the load (dd
+		// edges) and propagate the stored values' points-to facts.
+		for o, β := range b.pts[inst.Ptr] {
+			for storeLabel, γ := range mem.get(vfg.Loc{Obj: o, Field: inst.Field}) {
+				storeInst := b.Prog.Inst(storeLabel)
+				eg := b.cap(guard.And(γ, β, inst.Guard))
+				if eg.IsFalse() {
+					b.Stats.FilteredEdges++
+					continue
+				}
+				g.AddEdge(vfg.Edge{
+					From: g.VarNode(storeInst.Val), To: g.VarNode(inst.Def),
+					Kind: vfg.EdgeDD, Guard: eg,
+					Store: storeLabel, Load: inst.Label, Obj: o, Field: inst.Field,
+				})
+				for o2, γ2 := range b.pts[storeInst.Val] {
+					b.ptsAdd(inst.Def, o2, b.cap(guard.And(γ2, eg)))
+				}
+			}
+		}
+	case ir.OpFree, ir.OpDeref, ir.OpLeak:
+		// Sources/sinks; no dataflow effect. (free does not kill points-to
+		// facts — the dangling pointer is precisely what UAF checking
+		// tracks.)
+	case ir.OpTaint, ir.OpConst, ir.OpHavoc:
+		// Defines a value with no points-to facts (havoc is the documented
+		// beyond-depth summary).
+	case ir.OpFork, ir.OpJoin, ir.OpLock, ir.OpUnlock, ir.OpWait, ir.OpNotify:
+		// Synchronization; handled by MHP/Φ_po and the checker extensions.
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+
+	"canary/internal/ir"
+	"canary/internal/lang"
+)
+
+// --- wait/notify (condition variables, §9 future work 1) ---
+
+// condvarSafe: the consumer waits for the producer's notify, which happens
+// only after the dangling slot has been repointed to a fresh object. The
+// consumer can therefore never observe the freed payload.
+const condvarSafe = `
+func producer(cell) {
+  b = malloc();
+  fresh = malloc();
+  *cell = b;
+  free(b);
+  *cell = fresh;
+  notify(ready);
+}
+func consumer(cell) {
+  wait(ready);
+  c = *cell;
+  print(*c);
+}
+func main() {
+  slot = malloc();
+  seed = malloc();
+  *slot = seed;
+  fork(t1, producer, slot);
+  fork(t2, consumer, slot);
+}
+`
+
+// condvarUnsafe is the same program with the notify issued *before* the
+// free/overwrite: the wait no longer protects the consumer.
+const condvarUnsafe = `
+func producer(cell) {
+  b = malloc();
+  fresh = malloc();
+  *cell = b;
+  notify(ready);
+  free(b);
+  *cell = fresh;
+}
+func consumer(cell) {
+  wait(ready);
+  c = *cell;
+  print(*c);
+}
+func main() {
+  slot = malloc();
+  seed = malloc();
+  *slot = seed;
+  fork(t1, producer, slot);
+  fork(t2, consumer, slot);
+}
+`
+
+func checkWith(t *testing.T, src string, mutate func(*CheckOptions)) []Report {
+	t.Helper()
+	b := build(t, src)
+	opt := DefaultCheck()
+	opt.Checkers = []string{CheckUAF}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	reports, _ := b.Check(opt)
+	return reports
+}
+
+func TestCondVarPrunesProtectedConsumer(t *testing.T) {
+	if got := checkWith(t, condvarSafe, nil); len(got) != 0 {
+		t.Fatalf("wait/notify-protected consumer must not be reported: %v", got)
+	}
+}
+
+func TestCondVarUnsafeVariantReported(t *testing.T) {
+	if got := checkWith(t, condvarUnsafe, nil); len(got) != 1 {
+		t.Fatalf("early notify leaves the UAF window open; want 1 report, got %d", len(got))
+	}
+}
+
+func TestCondVarDisabledReportsSafeVariant(t *testing.T) {
+	got := checkWith(t, condvarSafe, func(o *CheckOptions) { o.CondVarOrder = false })
+	if len(got) != 1 {
+		t.Fatalf("without the extension the safe variant looks buggy; want 1 report, got %d", len(got))
+	}
+}
+
+func TestWaitWithoutAnyNotifyKillsPath(t *testing.T) {
+	// No notify exists: the wait never returns, so the consumer's use is
+	// unreachable and nothing is reported.
+	src := `
+func producer(cell) {
+  b = malloc();
+  *cell = b;
+  free(b);
+}
+func consumer(cell) {
+  wait(never);
+  c = *cell;
+  print(*c);
+}
+func main() {
+  slot = malloc();
+  seed = malloc();
+  *slot = seed;
+  fork(t1, producer, slot);
+  fork(t2, consumer, slot);
+}
+`
+	if got := checkWith(t, src, nil); len(got) != 0 {
+		t.Fatalf("a wait with no notify can never be passed: %v", got)
+	}
+}
+
+// --- relaxed memory models (§9 future work 2) ---
+
+// psoShield is the classic message-passing pattern broken by partial store
+// order: the producer publishes b, overwrites the slot through an aliased
+// pointer, frees b, and only then signals the reader, who waits before
+// loading. Under SC the reader can only observe the fresh object. Under
+// PSO the two stores (syntactically different pointer variables, so the
+// analysis cannot prove they hit the same location) may reorder in the
+// store buffer: the overwrite can drain before the publish, letting the
+// post-wait reader observe the freed payload.
+const psoShield = `
+func producer(cell) {
+  b = malloc();
+  fresh = malloc();
+  *cell = b;
+  alias = cell;
+  *alias = fresh;
+  free(b);
+  notify(done);
+}
+func reader(cell) {
+  wait(done);
+  c = *cell;
+  print(*c);
+}
+func main() {
+  slot = malloc();
+  seed = malloc();
+  *slot = seed;
+  fork(t1, producer, slot);
+  fork(t2, reader, slot);
+}
+`
+
+func TestPSOShieldSafeUnderSC(t *testing.T) {
+	got := checkWith(t, psoShield, func(o *CheckOptions) { o.MemoryModel = MemSC })
+	if len(got) != 0 {
+		t.Fatalf("under SC the overwrite shields the freed payload: %v", got)
+	}
+}
+
+func TestPSOShieldReportedUnderPSO(t *testing.T) {
+	got := checkWith(t, psoShield, func(o *CheckOptions) { o.MemoryModel = MemPSO })
+	if len(got) != 1 {
+		t.Fatalf("under PSO the stores may reorder; want 1 report, got %d", len(got))
+	}
+}
+
+func TestTSOKeepsStoreStoreOrder(t *testing.T) {
+	// TSO only relaxes store→load; the store→store shield still holds.
+	got := checkWith(t, psoShield, func(o *CheckOptions) { o.MemoryModel = MemTSO })
+	if len(got) != 0 {
+		t.Fatalf("TSO keeps store→store order; want 0 reports, got %d", len(got))
+	}
+}
+
+func TestSameLocationStoresStayOrderedUnderPSO(t *testing.T) {
+	// When both stores go through the same pointer variable the analysis
+	// knows they hit the same location, which stays ordered even under PSO.
+	src := `
+func reader(cell) {
+  c = *cell;
+  print(*c);
+}
+func main() {
+  slot = malloc();
+  b = malloc();
+  fresh = malloc();
+  *slot = b;
+  free(b);
+  *slot = fresh;
+  fork(t, reader, slot);
+}
+`
+	got := checkWith(t, src, func(o *CheckOptions) { o.MemoryModel = MemPSO })
+	if len(got) != 0 {
+		t.Fatalf("same-location stores are ordered under every model: %v", got)
+	}
+}
+
+func TestRelaxedPairClassification(t *testing.T) {
+	src := `
+func main() {
+  a = malloc();
+  bslot = malloc();
+  v = malloc();
+  *a = v;
+  w = *bslot;
+  *bslot = v;
+}
+`
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast, ir.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Build(prog, DefaultBuild())
+	var store1, load, store2 ir.Label
+	for _, i := range prog.Insts() {
+		switch i.Op {
+		case ir.OpStore:
+			if store1 == 0 && store2 == 0 {
+				store1 = i.Label
+			} else {
+				store2 = i.Label
+			}
+		case ir.OpLoad:
+			load = i.Label
+		}
+	}
+	mk := func(m MemoryModel) *checkCtx {
+		opt := DefaultCheck()
+		opt.MemoryModel = m
+		return &checkCtx{b: b, opt: opt}
+	}
+	if mk(MemSC).relaxedPair(store1, load) {
+		t.Error("SC relaxes nothing")
+	}
+	if !mk(MemTSO).relaxedPair(store1, load) {
+		t.Error("TSO must relax store→load on different locations")
+	}
+	if mk(MemTSO).relaxedPair(store1, store2) {
+		t.Error("TSO must keep store→store")
+	}
+	if !mk(MemPSO).relaxedPair(store1, store2) {
+		t.Error("PSO must relax store→store on different locations")
+	}
+	if mk(MemPSO).relaxedPair(load, store2) {
+		t.Error("load→store stays ordered under TSO/PSO")
+	}
+}
+
+func TestMemoryModelString(t *testing.T) {
+	if MemSC.String() != "sc" || MemTSO.String() != "tso" || MemPSO.String() != "pso" {
+		t.Fatal("model rendering broken")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sort"
+
+	"canary/internal/guard"
+	"canary/internal/ir"
+	"canary/internal/vfg"
+)
+
+// escapeAnalysis computes the EspObj set of Alg. 2 (lines 12–23): objects
+// passed to fork calls seed the set (together with globals, which are
+// statically reachable from every thread), and any object stored into an
+// escaped object escapes too, to a fixed point.
+func (b *Builder) escapeAnalysis() {
+	// Seeds: globals.
+	for _, o := range b.Prog.Objects {
+		if o.Kind == ir.ObjGlobal {
+			b.escaped[o.ID] = true
+		}
+	}
+	// Seeds: objects passed to fork calls. Parameter bindings are the
+	// cross-thread copy instructions emitted at child-thread entry.
+	for _, inst := range b.Prog.Insts() {
+		if inst.Op != ir.OpCopy {
+			continue
+		}
+		src := b.Prog.Var(inst.Val)
+		if src.Def == ir.NoLabel {
+			continue
+		}
+		if b.Prog.Inst(src.Def).Thread != inst.Thread {
+			for o := range b.pts[inst.Val] {
+				b.escaped[o] = true
+			}
+		}
+	}
+	// Propagate: *x = q with an escaped pointee of x escapes q's pointees.
+	for changed := true; changed; {
+		changed = false
+		for _, inst := range b.storeInsts {
+			esc := false
+			for o := range b.pts[inst.Ptr] {
+				if b.escaped[o] {
+					esc = true
+					break
+				}
+			}
+			if !esc {
+				continue
+			}
+			for o2 := range b.pts[inst.Val] {
+				if !b.escaped[o2] {
+					b.escaped[o2] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// Pted computes the pointed-to-by set of object o by guarded forward
+// reachability over the VFG (Alg. 2 lines 19–23): every variable node
+// reachable from o's node may point to o, under the aggregated guard of the
+// traversal.
+func (b *Builder) Pted(o ir.ObjID) map[vfg.NodeID]*guard.Formula {
+	g := b.G
+	start := g.ObjNode(o)
+	out := map[vfg.NodeID]*guard.Formula{start: guard.True()}
+	work := []vfg.NodeID{start}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		gn := out[n]
+		for _, eid := range g.Out(n) {
+			e := g.Edge(eid)
+			ng := b.cap(guard.And(gn, e.Guard))
+			if ng.IsFalse() {
+				continue
+			}
+			if old, seen := out[e.To]; seen {
+				out[e.To] = b.cap(guard.Or(old, ng))
+				continue // discovered before; do not re-expand (bounded)
+			}
+			out[e.To] = ng
+			work = append(work, e.To)
+		}
+	}
+	delete(out, start)
+	return out
+}
+
+// interferencePass identifies interference-dependence edges (Alg. 2 lines
+// 2–10): for every escaped object o, every cross-thread MHP pair of a store
+// and a load whose pointers may point to o gets a guarded interference edge
+// q@ℓ1 → p@ℓ2 with Φ_alias = φ1 ∧ φ2 ∧ α ∧ β. The load–store order part
+// Φ_ls of the guard is generated lazily from the edge bookkeeping at the
+// bug-checking stage (§4.2.2). Reports whether anything new appeared.
+func (b *Builder) interferencePass() bool {
+	itemsBefore := b.ptsItems
+	edgesBefore := b.G.NumEdges()
+
+	type access struct {
+		inst *ir.Inst
+		cond *guard.Formula // pointed-to-by condition (α or β)
+	}
+	storesByLoc := make(map[vfg.Loc][]access)
+	loadsByLoc := make(map[vfg.Loc][]access)
+	for _, inst := range b.storeInsts {
+		for o, α := range b.pts[inst.Ptr] {
+			if b.escaped[o] {
+				loc := vfg.Loc{Obj: o, Field: inst.Field}
+				storesByLoc[loc] = append(storesByLoc[loc], access{inst, α})
+			}
+		}
+	}
+	for _, inst := range b.loadInsts {
+		for o, β := range b.pts[inst.Ptr] {
+			if b.escaped[o] {
+				loc := vfg.Loc{Obj: o, Field: inst.Field}
+				loadsByLoc[loc] = append(loadsByLoc[loc], access{inst, β})
+			}
+		}
+	}
+
+	// Deterministic location order.
+	locs := make([]vfg.Loc, 0, len(storesByLoc))
+	for l := range storesByLoc {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].Obj != locs[j].Obj {
+			return locs[i].Obj < locs[j].Obj
+		}
+		return locs[i].Field < locs[j].Field
+	})
+
+	for _, loc := range locs {
+		loads := loadsByLoc[loc]
+		if len(loads) == 0 {
+			continue
+		}
+		for _, s := range storesByLoc[loc] {
+			for _, l := range loads {
+				if s.inst.Thread == l.inst.Thread {
+					continue // interference is cross-thread by definition
+				}
+				if b.opt.EnableMHP && !b.MHP.MHP(s.inst.Label, l.inst.Label) {
+					continue // §6: non-MHP pairs cannot interfere
+				}
+				φ := b.cap(guard.And(s.inst.Guard, l.inst.Guard, s.cond, l.cond))
+				if φ.IsFalse() {
+					b.Stats.FilteredEdges++
+					continue
+				}
+				b.G.AddEdge(vfg.Edge{
+					From: b.G.VarNode(s.inst.Val), To: b.G.VarNode(l.inst.Def),
+					Kind: vfg.EdgeInterference, Guard: φ,
+					Store: s.inst.Label, Load: l.inst.Label, Obj: loc.Obj, Field: loc.Field,
+				})
+				// The loaded variable may now hold anything the stored
+				// value points to (the cyclic enlargement of Alg. 2).
+				for o2, γ2 := range b.pts[s.inst.Val] {
+					b.ptsAdd(l.inst.Def, o2, b.cap(guard.And(γ2, φ)))
+				}
+			}
+		}
+	}
+	return b.ptsItems != itemsBefore || b.G.NumEdges() != edgesBefore
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"canary/internal/guard"
+	"canary/internal/ir"
+)
+
+// orderClosure is the customized decision procedure of the paper's §9
+// (future work 3): the program-order facts of one query are fixed unit
+// constraints, so their transitive closure can be computed once and used
+// to (a) refute the whole query when the facts already form a cycle, and
+// (b) simplify the order disjunctions (intervening-store competitors,
+// lock sections, wait/notify obligations) before anything reaches the CDCL
+// solver — deciding many queries outright and shrinking the rest.
+type orderClosure struct {
+	adj   map[ir.Label][]ir.Label
+	memo  map[ir.Label]map[ir.Label]bool
+	cycle bool
+}
+
+func newOrderClosure(facts [][2]ir.Label) *orderClosure {
+	c := &orderClosure{
+		adj:  make(map[ir.Label][]ir.Label),
+		memo: make(map[ir.Label]map[ir.Label]bool),
+	}
+	for _, f := range facts {
+		if f[0] == f[1] {
+			c.cycle = true
+			continue
+		}
+		c.adj[f[0]] = append(c.adj[f[0]], f[1])
+	}
+	for _, f := range facts {
+		if c.reaches(f[1], f[0]) {
+			c.cycle = true
+			break
+		}
+	}
+	return c
+}
+
+// reaches reports whether the facts force a < b (transitively).
+func (c *orderClosure) reaches(a, b ir.Label) bool {
+	if a == b {
+		return false
+	}
+	if m, ok := c.memo[a]; ok {
+		return m[b]
+	}
+	// DFS from a, memoizing the full reachable set.
+	seen := make(map[ir.Label]bool)
+	stack := append([]ir.Label(nil), c.adj[a]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, c.adj[n]...)
+	}
+	c.memo[a] = seen
+	return seen[b]
+}
+
+// simplify rewrites a constraint using the fact closure: order literals
+// implied by the facts become true, contradicted ones become false; the
+// guard constructors then fold the result. Non-order parts pass through
+// unchanged. Only the disjunctive skeleton produced by the checker
+// (Or / And / Not / Var) is traversed.
+func (c *orderClosure) simplify(pool *guard.Pool, f *guard.Formula) *guard.Formula {
+	switch f.Kind() {
+	case guard.KVar:
+		if from, to, ok := pool.OrderAtom(f.Atom()); ok {
+			if c.reaches(ir.Label(from), ir.Label(to)) {
+				return guard.True()
+			}
+			if c.reaches(ir.Label(to), ir.Label(from)) {
+				return guard.False()
+			}
+		}
+		return f
+	case guard.KNot:
+		return guard.Not(c.simplify(pool, f.Subs()[0]))
+	case guard.KAnd:
+		subs := f.Subs()
+		out := make([]*guard.Formula, len(subs))
+		for i, s := range subs {
+			out[i] = c.simplify(pool, s)
+		}
+		return guard.And(out...)
+	case guard.KOr:
+		subs := f.Subs()
+		out := make([]*guard.Formula, len(subs))
+		for i, s := range subs {
+			out[i] = c.simplify(pool, s)
+		}
+		return guard.Or(out...)
+	}
+	return f
+}

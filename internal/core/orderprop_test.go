@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"canary/internal/guard"
+	"canary/internal/ir"
+	"canary/internal/smt"
+)
+
+func TestOrderClosureCycleDetection(t *testing.T) {
+	c := newOrderClosure([][2]ir.Label{{1, 2}, {2, 3}, {3, 1}})
+	if !c.cycle {
+		t.Fatal("3-cycle not detected")
+	}
+	c2 := newOrderClosure([][2]ir.Label{{1, 2}, {2, 3}, {1, 3}})
+	if c2.cycle {
+		t.Fatal("acyclic facts misreported as cyclic")
+	}
+	if !c2.reaches(1, 3) || !c2.reaches(1, 2) || c2.reaches(3, 1) {
+		t.Fatal("closure reachability wrong")
+	}
+	c3 := newOrderClosure([][2]ir.Label{{5, 5}})
+	if !c3.cycle {
+		t.Fatal("reflexive fact is a cycle")
+	}
+}
+
+func TestOrderClosureSimplify(t *testing.T) {
+	pool := guard.NewPool()
+	c := newOrderClosure([][2]ir.Label{{1, 2}, {2, 3}})
+	implied := guard.Var(pool.Order(1, 3))
+	contradicted := guard.Var(pool.Order(3, 1))
+	open := guard.Var(pool.Order(7, 8))
+	boolAtom := guard.Var(pool.Bool("θ"))
+
+	if got := c.simplify(pool, implied); !got.IsTrue() {
+		t.Errorf("implied literal should fold to true, got %s", pool.String(got))
+	}
+	if got := c.simplify(pool, contradicted); !got.IsFalse() {
+		t.Errorf("contradicted literal should fold to false, got %s", pool.String(got))
+	}
+	if got := c.simplify(pool, open); got != open {
+		t.Errorf("unrelated literal must survive")
+	}
+	// Disjunction with one implied literal folds to true.
+	if got := c.simplify(pool, guard.Or(contradicted, implied)); !got.IsTrue() {
+		t.Errorf("disjunction should fold to true, got %s", pool.String(got))
+	}
+	// Disjunction of contradicted literals folds to false.
+	if got := c.simplify(pool, guard.Or(contradicted, guard.Var(pool.Order(2, 1)))); !got.IsFalse() {
+		t.Errorf("all-contradicted disjunction should be false, got %s", pool.String(got))
+	}
+	// The wait/notify shape: Or(And(g, order)) keeps the boolean part.
+	shaped := guard.Or(guard.And(boolAtom, implied))
+	if got := c.simplify(pool, shaped); got != boolAtom {
+		t.Errorf("And(g, implied) should reduce to g, got %s", pool.String(got))
+	}
+	// Negation of an implied literal is false.
+	if got := c.simplify(pool, guard.Not(implied)); !got.IsFalse() {
+		t.Errorf("¬implied should be false, got %s", pool.String(got))
+	}
+}
+
+// Property: simplification against the closure is equisatisfiable with the
+// original formula conjoined with the facts — checked against the solver.
+func TestQuickOrderClosureEquisat(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pool := guard.NewPool()
+		const labels = 6
+		// Random acyclic fact set over an underlying total order.
+		perm := r.Perm(labels)
+		pos := make([]int, labels)
+		for i, p := range perm {
+			pos[p] = i
+		}
+		var facts [][2]ir.Label
+		for i := 0; i < r.Intn(6)+1; i++ {
+			a, b := r.Intn(labels), r.Intn(labels)
+			if a == b {
+				continue
+			}
+			if pos[a] > pos[b] {
+				a, b = b, a
+			}
+			facts = append(facts, [2]ir.Label{ir.Label(a), ir.Label(b)})
+		}
+		closure := newOrderClosure(facts)
+		if closure.cycle {
+			return true // construction guarantees acyclicity; defensive
+		}
+		// Random disjunction of order literals.
+		var djs []*guard.Formula
+		for i := 0; i < r.Intn(3)+1; i++ {
+			var lits []*guard.Formula
+			for j := 0; j < r.Intn(3)+1; j++ {
+				a, b := r.Intn(labels), r.Intn(labels)
+				lits = append(lits, guard.Var(pool.Order(a, b)))
+			}
+			djs = append(djs, guard.Or(lits...))
+		}
+		factFs := make([]*guard.Formula, 0, len(facts))
+		for _, f := range facts {
+			factFs = append(factFs, guard.Var(pool.Order(int(f[0]), int(f[1]))))
+		}
+
+		solve := func(extra []*guard.Formula) smt.Result {
+			s := smt.New(pool)
+			for _, f := range factFs {
+				s.Assert(f)
+			}
+			for _, f := range extra {
+				s.Assert(f)
+			}
+			return s.Solve()
+		}
+		plain := solve(djs)
+		simplified := make([]*guard.Formula, len(djs))
+		for i, d := range djs {
+			simplified[i] = closure.simplify(pool, d)
+		}
+		simp := solve(simplified)
+		if plain != simp {
+			t.Logf("seed %d: plain=%v simplified=%v", seed, plain, simp)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFactPropagationConsistency: the checker's verdicts are identical with
+// the customized decision procedure on and off, but the solver works less.
+func TestFactPropagationConsistency(t *testing.T) {
+	for _, src := range []string{fig2, fig2Buggy, condvarSafe, condvarUnsafe, psoShield} {
+		b := build(t, src)
+		on := DefaultCheck()
+		on.Checkers = []string{CheckUAF}
+		rOn, sOn := b.Check(on)
+
+		off := DefaultCheck()
+		off.Checkers = []string{CheckUAF}
+		off.FactPropagation = false
+		rOff, sOff := b.Check(off)
+
+		if len(rOn) != len(rOff) {
+			t.Fatalf("fact propagation changed the verdict: %d vs %d reports", len(rOn), len(rOff))
+		}
+		if sOn.SolverQueries > sOff.SolverQueries {
+			t.Errorf("fact propagation should not increase solver queries (%d vs %d)",
+				sOn.SolverQueries, sOff.SolverQueries)
+		}
+	}
+}
+
+func TestFactDecidedCounted(t *testing.T) {
+	// The plain true bug needs no disjunctive reasoning: the fact closure
+	// should settle it without the solver.
+	b := build(t, fig2Buggy)
+	opt := DefaultCheck()
+	opt.Checkers = []string{CheckUAF}
+	_, stats := b.Check(opt)
+	if stats.FactDecided == 0 && stats.SolverQueries > 0 {
+		t.Log("note: query still reached the solver; acceptable but unexpected")
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"testing"
+)
+
+func checkKindOn(t *testing.T, src, kind string, mutate func(*CheckOptions)) []Report {
+	t.Helper()
+	b := build(t, src)
+	opt := DefaultCheck()
+	opt.Checkers = []string{kind}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	reports, _ := b.Check(opt)
+	return reports
+}
+
+// --- data races ---
+
+const racyPair = `
+func writer(cell) {
+  v = malloc();
+  *cell = v;
+}
+func reader(cell) {
+  c = *cell;
+  print(*c);
+}
+func main() {
+  cell = malloc();
+  seed = malloc();
+  *cell = seed;
+  fork(t1, writer, cell);
+  fork(t2, reader, cell);
+}
+`
+
+func TestDataRaceDetected(t *testing.T) {
+	reports := checkKindOn(t, racyPair, CheckDataRace, nil)
+	if len(reports) == 0 {
+		t.Fatal("unsynchronized store/load pair must be racy")
+	}
+	for _, r := range reports {
+		if r.Kind != CheckDataRace {
+			t.Errorf("kind = %s", r.Kind)
+		}
+		if r.Source.Thread == r.Sink.Thread {
+			t.Errorf("race must span threads: %+v", r)
+		}
+	}
+}
+
+func TestDataRaceLockProtected(t *testing.T) {
+	src := `
+global mu;
+func writer(cell) {
+  v = malloc();
+  lock(mu);
+  *cell = v;
+  unlock(mu);
+}
+func reader(cell) {
+  lock(mu);
+  c = *cell;
+  unlock(mu);
+  print(*c);
+}
+func main() {
+  cell = malloc();
+  seed = malloc();
+  *cell = seed;
+  fork(t1, writer, cell);
+  fork(t2, reader, cell);
+}
+`
+	if got := checkKindOn(t, src, CheckDataRace, nil); len(got) != 0 {
+		t.Fatalf("lock-protected accesses are not racy: %v", got)
+	}
+}
+
+func TestDataRaceJoinOrdered(t *testing.T) {
+	src := `
+func writer(cell) {
+  v = malloc();
+  *cell = v;
+}
+func main() {
+  cell = malloc();
+  seed = malloc();
+  *cell = seed;
+  fork(t1, writer, cell);
+  join(t1);
+  c = *cell;
+  print(*c);
+}
+`
+	if got := checkKindOn(t, src, CheckDataRace, nil); len(got) != 0 {
+		t.Fatalf("join-ordered accesses are not racy: %v", got)
+	}
+}
+
+func TestDataRaceGuardContradiction(t *testing.T) {
+	src := `
+func writer(cell) {
+  v = malloc();
+  if (mode) {
+    *cell = v;
+  }
+}
+func reader(cell) {
+  if (!mode) {
+    c = *cell;
+    print(*c);
+  }
+}
+func main() {
+  cell = malloc();
+  seed = malloc();
+  *cell = seed;
+  fork(t1, writer, cell);
+  fork(t2, reader, cell);
+}
+`
+	if got := checkKindOn(t, src, CheckDataRace, nil); len(got) != 0 {
+		t.Fatalf("contradictory guards make the pair unrealizable: %v", got)
+	}
+}
+
+func TestDataRaceCondVarOrdered(t *testing.T) {
+	src := `
+func writer(cell) {
+  v = malloc();
+  *cell = v;
+  notify(done);
+}
+func reader(cell) {
+  wait(done);
+  c = *cell;
+  print(*c);
+}
+func main() {
+  cell = malloc();
+  seed = malloc();
+  *cell = seed;
+  fork(t1, writer, cell);
+  fork(t2, reader, cell);
+}
+`
+	if got := checkKindOn(t, src, CheckDataRace, nil); len(got) != 0 {
+		t.Fatalf("wait/notify forces the order; not racy: %v", got)
+	}
+}
+
+func TestDataRaceReadsOnlyNotRacy(t *testing.T) {
+	src := `
+func r1(cell) { a = *cell; print(*a); }
+func r2(cell) { b = *cell; print(*b); }
+func main() {
+  cell = malloc();
+  seed = malloc();
+  *cell = seed;
+  fork(t1, r1, cell);
+  fork(t2, r2, cell);
+}
+`
+	got := checkKindOn(t, src, CheckDataRace, nil)
+	for _, r := range got {
+		// The seed store in main is ordered before both forks, so only
+		// read/read pairs remain — and those are not conflicts.
+		t.Fatalf("read/read pair misreported: %v", r)
+	}
+}
+
+// --- deadlocks ---
+
+const abba = `
+global m1;
+global m2;
+func left() {
+  lock(m1);
+  lock(m2);
+  unlock(m2);
+  unlock(m1);
+}
+func right() {
+  lock(m2);
+  lock(m1);
+  unlock(m1);
+  unlock(m2);
+}
+func main() {
+  fork(t1, left);
+  fork(t2, right);
+}
+`
+
+func TestDeadlockABBA(t *testing.T) {
+	reports := checkKindOn(t, abba, CheckDeadlock, nil)
+	if len(reports) != 1 {
+		t.Fatalf("ab-ba cycle should yield exactly 1 report, got %d: %v", len(reports), reports)
+	}
+}
+
+func TestDeadlockConsistentOrderSafe(t *testing.T) {
+	src := `
+global m1;
+global m2;
+func left() {
+  lock(m1);
+  lock(m2);
+  unlock(m2);
+  unlock(m1);
+}
+func right() {
+  lock(m1);
+  lock(m2);
+  unlock(m2);
+  unlock(m1);
+}
+func main() {
+  fork(t1, left);
+  fork(t2, right);
+}
+`
+	if got := checkKindOn(t, src, CheckDeadlock, nil); len(got) != 0 {
+		t.Fatalf("consistent lock order cannot deadlock: %v", got)
+	}
+}
+
+func TestDeadlockJoinOrderedSafe(t *testing.T) {
+	src := `
+global m1;
+global m2;
+func left() {
+  lock(m1);
+  lock(m2);
+  unlock(m2);
+  unlock(m1);
+}
+func right() {
+  lock(m2);
+  lock(m1);
+  unlock(m1);
+  unlock(m2);
+}
+func main() {
+  fork(t1, left);
+  join(t1);
+  fork(t2, right);
+}
+`
+	if got := checkKindOn(t, src, CheckDeadlock, nil); len(got) != 0 {
+		t.Fatalf("sequenced threads cannot deadlock: %v", got)
+	}
+}
+
+func TestDeadlockGuardContradictionSafe(t *testing.T) {
+	src := `
+global m1;
+global m2;
+func left() {
+  if (mode) {
+    lock(m1);
+    lock(m2);
+    unlock(m2);
+    unlock(m1);
+  }
+}
+func right() {
+  if (!mode) {
+    lock(m2);
+    lock(m1);
+    unlock(m1);
+    unlock(m2);
+  }
+}
+func main() {
+  fork(t1, left);
+  fork(t2, right);
+}
+`
+	if got := checkKindOn(t, src, CheckDeadlock, nil); len(got) != 0 {
+		t.Fatalf("contradictory guards exclude the cycle: %v", got)
+	}
+}

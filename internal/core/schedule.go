@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+
+	"canary/internal/ir"
+	"canary/internal/smt"
+)
+
+// buildSchedule reconstructs a concrete witness interleaving of the
+// involved statements from a satisfying assignment: every order atom the
+// solver set (plus the asserted facts) becomes an edge, and any topological
+// order of the result is a feasible schedule of the bug. The paper stresses
+// that value-flow reports are concise and debuggable; the schedule makes
+// the offending interleaving explicit.
+//
+// s may be nil (fact-propagation decided the query, or cube-and-conquer
+// produced no model); the facts alone still yield a valid — if less
+// constrained — witness.
+func (c *checkCtx) buildSchedule(labels []ir.Label, facts [][2]ir.Label, s *smt.Solver) []Site {
+	pool := c.b.Prog.Pool
+	idx := make(map[ir.Label]int, len(labels))
+	for i, l := range labels {
+		idx[l] = i
+	}
+	n := len(labels)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	addEdge := func(a, z ir.Label) {
+		ia, okA := idx[a]
+		iz, okZ := idx[z]
+		if !okA || !okZ || ia == iz {
+			return
+		}
+		adj[ia] = append(adj[ia], iz)
+		indeg[iz]++
+	}
+	for _, f := range facts {
+		addEdge(f[0], f[1])
+	}
+	if s != nil {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a, z := labels[i], labels[j]
+				atom := pool.Order(int(a), int(z))
+				if v, ok := s.ValueAtom(atom); ok {
+					if v {
+						addEdge(a, z)
+					} else {
+						addEdge(z, a) // ¬(a<z) ⟺ z<a over a total order
+					}
+				}
+			}
+		}
+	}
+	// Kahn's algorithm with deterministic (smallest-label-first)
+	// tie-breaking. Cycles cannot happen for a satisfiable model; if the
+	// fact set alone is used it is acyclic by construction. Defensively,
+	// leftover nodes are appended in label order.
+	order := make([]int, 0, n)
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sortByLabel := func(xs []int) {
+		sort.Slice(xs, func(a, b int) bool { return labels[xs[a]] < labels[xs[b]] })
+	}
+	sortByLabel(ready)
+	for len(ready) > 0 {
+		cur := ready[0]
+		ready = ready[1:]
+		order = append(order, cur)
+		changed := false
+		for _, nxt := range adj[cur] {
+			indeg[nxt]--
+			if indeg[nxt] == 0 {
+				ready = append(ready, nxt)
+				changed = true
+			}
+		}
+		if changed {
+			sortByLabel(ready)
+		}
+	}
+	if len(order) < n {
+		seen := make(map[int]bool, len(order))
+		for _, i := range order {
+			seen[i] = true
+		}
+		var rest []int
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				rest = append(rest, i)
+			}
+		}
+		sortByLabel(rest)
+		order = append(order, rest...)
+	}
+	out := make([]Site, 0, n)
+	for _, i := range order {
+		out = append(out, c.site(labels[i]))
+	}
+	return out
+}

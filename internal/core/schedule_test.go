@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"canary/internal/ir"
+)
+
+func scheduleOf(t *testing.T, src string) (Report, *Builder) {
+	t.Helper()
+	b := build(t, src)
+	reports, _ := checkUAF(t, b)
+	if len(reports) != 1 {
+		t.Fatalf("want 1 report, got %d", len(reports))
+	}
+	return reports[0], b
+}
+
+func TestScheduleWitnessPresent(t *testing.T) {
+	r, _ := scheduleOf(t, fig2Buggy)
+	if len(r.Schedule) < 3 {
+		t.Fatalf("schedule too short: %v", r.Schedule)
+	}
+	// The source (free) must appear before the sink (use) in the witness.
+	srcIdx, sinkIdx := -1, -1
+	for i, s := range r.Schedule {
+		if s.Label == r.Source.Label {
+			srcIdx = i
+		}
+		if s.Label == r.Sink.Label {
+			sinkIdx = i
+		}
+	}
+	if srcIdx < 0 || sinkIdx < 0 {
+		t.Fatalf("schedule missing endpoints: %v", r.Schedule)
+	}
+	if srcIdx >= sinkIdx {
+		t.Fatalf("the witness must order the free before the use: %v", r.Schedule)
+	}
+}
+
+func TestScheduleRespectsProgramOrder(t *testing.T) {
+	r, b := scheduleOf(t, `
+func main() {
+  x = malloc();
+  fork(t, worker, x);
+  c = *x;
+  print(*c);
+}
+func worker(y) {
+  b = malloc();
+  *y = b;
+  free(b);
+}
+`)
+	// Same-thread labels in the schedule must respect CFG order.
+	pos := make(map[ir.Label]int)
+	for i, s := range r.Schedule {
+		pos[s.Label] = i
+	}
+	for l1 := range pos {
+		for l2 := range pos {
+			if l1 == l2 {
+				continue
+			}
+			i1 := b.Prog.Inst(l1)
+			i2 := b.Prog.Inst(l2)
+			if i1.Thread == i2.Thread && b.Prog.Reaches(l1, l2) && pos[l1] > pos[l2] {
+				t.Fatalf("witness violates program order: ℓ%d before ℓ%d expected\n%v",
+					l1, l2, r.Schedule)
+			}
+		}
+	}
+}
+
+func TestScheduleStoreBeforeLoad(t *testing.T) {
+	r, b := scheduleOf(t, `
+func main() {
+  x = malloc();
+  fork(t, worker, x);
+  c = *x;
+  print(*c);
+}
+func worker(y) {
+  b = malloc();
+  *y = b;
+  free(b);
+}
+`)
+	var store, load ir.Label = -1, -1
+	for _, s := range r.Schedule {
+		inst := b.Prog.Inst(s.Label)
+		if inst.Op == ir.OpStore {
+			store = s.Label
+		}
+		if inst.Op == ir.OpLoad {
+			load = s.Label
+		}
+	}
+	if store < 0 || load < 0 {
+		t.Fatalf("schedule should include the store and load: %v", r.Schedule)
+	}
+	pos := map[ir.Label]int{}
+	for i, s := range r.Schedule {
+		pos[s.Label] = i
+	}
+	if pos[store] > pos[load] {
+		t.Fatalf("the witness must schedule the store before the load: %v", r.Schedule)
+	}
+}

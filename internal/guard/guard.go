@@ -1,0 +1,442 @@
+// Package guard implements the symbolic execution-constraint formulas
+// ("guards") that annotate value-flow edges in Canary (PLDI 2021, §4).
+//
+// A guard is an immutable propositional formula over two kinds of atoms:
+//
+//   - boolean atoms, which stand for opaque branch conditions (the θ of the
+//     paper's Fig. 2), and
+//   - order atoms O_i < O_j, which stand for a strict execution-order
+//     relation between two statement labels (Defn. 2).
+//
+// Constructors perform lightweight structural simplification (flattening,
+// unit elimination, complementary-literal detection). The package also
+// provides the semi-decision procedure of §5.2 that cheaply filters out
+// guards with apparent contradictions before any SMT solving happens.
+package guard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Atom identifies an atomic proposition interned in a Pool. The zero Atom is
+// invalid.
+type Atom int32
+
+// Kind discriminates the node type of a Formula.
+type Kind uint8
+
+// Formula node kinds.
+const (
+	KTrue Kind = iota
+	KFalse
+	KVar // a single atom
+	KNot
+	KAnd
+	KOr
+)
+
+// Formula is an immutable propositional formula. The zero value is not
+// meaningful; use the package constructors. Formulas share subtrees freely.
+type Formula struct {
+	kind Kind
+	atom Atom
+	subs []*Formula
+}
+
+var (
+	trueF  = &Formula{kind: KTrue}
+	falseF = &Formula{kind: KFalse}
+)
+
+// True returns the formula ⊤.
+func True() *Formula { return trueF }
+
+// False returns the formula ⊥.
+func False() *Formula { return falseF }
+
+// Kind reports the node kind of f.
+func (f *Formula) Kind() Kind { return f.kind }
+
+// Atom returns the atom of a KVar node; it is 0 for other kinds.
+func (f *Formula) Atom() Atom {
+	if f.kind == KVar {
+		return f.atom
+	}
+	return 0
+}
+
+// Subs returns the immediate subformulas of a KNot, KAnd or KOr node. The
+// returned slice must not be modified.
+func (f *Formula) Subs() []*Formula { return f.subs }
+
+// IsTrue reports whether f is syntactically ⊤.
+func (f *Formula) IsTrue() bool { return f.kind == KTrue }
+
+// IsFalse reports whether f is syntactically ⊥.
+func (f *Formula) IsFalse() bool { return f.kind == KFalse }
+
+// Var returns the formula consisting of the single atom a.
+func Var(a Atom) *Formula {
+	if a <= 0 {
+		panic("guard: Var with non-positive atom")
+	}
+	return &Formula{kind: KVar, atom: a}
+}
+
+// Not returns ¬f, simplifying double negation and constants.
+func Not(f *Formula) *Formula {
+	switch f.kind {
+	case KTrue:
+		return falseF
+	case KFalse:
+		return trueF
+	case KNot:
+		return f.subs[0]
+	}
+	return &Formula{kind: KNot, subs: []*Formula{f}}
+}
+
+// litKey returns a key identifying f if it is a literal (an atom or a
+// negated atom): positive atom id for KVar, negative for ¬KVar, and
+// (0, false) otherwise.
+func litKey(f *Formula) (int32, bool) {
+	switch f.kind {
+	case KVar:
+		return int32(f.atom), true
+	case KNot:
+		if f.subs[0].kind == KVar {
+			return -int32(f.subs[0].atom), true
+		}
+	}
+	return 0, false
+}
+
+// And returns the conjunction of fs with flattening, unit and duplicate
+// elimination, and complementary-literal short-circuiting.
+func And(fs ...*Formula) *Formula { return nary(KAnd, fs) }
+
+// Or returns the disjunction of fs with the dual simplifications of And.
+func Or(fs ...*Formula) *Formula { return nary(KOr, fs) }
+
+func nary(kind Kind, fs []*Formula) *Formula {
+	unit, zero := trueF, falseF
+	if kind == KOr {
+		unit, zero = falseF, trueF
+	}
+	out := make([]*Formula, 0, len(fs))
+	seen := make(map[*Formula]bool, len(fs))
+	lits := make(map[int32]bool, len(fs))
+	var add func(f *Formula) bool // reports zero short-circuit
+	add = func(f *Formula) bool {
+		if f == nil {
+			panic("guard: nil formula operand")
+		}
+		if f.kind == unit.kind {
+			return false
+		}
+		if f.kind == zero.kind {
+			return true
+		}
+		if f.kind == kind { // flatten
+			for _, s := range f.subs {
+				if add(s) {
+					return true
+				}
+			}
+			return false
+		}
+		if seen[f] {
+			return false
+		}
+		if k, ok := litKey(f); ok {
+			if lits[-k] {
+				return true // x ∧ ¬x (or x ∨ ¬x)
+			}
+			if lits[k] {
+				return false
+			}
+			lits[k] = true
+		}
+		seen[f] = true
+		out = append(out, f)
+		return false
+	}
+	for _, f := range fs {
+		if add(f) {
+			return zero
+		}
+	}
+	switch len(out) {
+	case 0:
+		return unit
+	case 1:
+		return out[0]
+	}
+	return &Formula{kind: kind, subs: out}
+}
+
+// Implies returns ¬a ∨ b.
+func Implies(a, b *Formula) *Formula { return Or(Not(a), b) }
+
+// Eval evaluates f under the given total assignment of atoms. Atoms missing
+// from the map evaluate to false.
+func (f *Formula) Eval(asn map[Atom]bool) bool {
+	switch f.kind {
+	case KTrue:
+		return true
+	case KFalse:
+		return false
+	case KVar:
+		return asn[f.atom]
+	case KNot:
+		return !f.subs[0].Eval(asn)
+	case KAnd:
+		for _, s := range f.subs {
+			if !s.Eval(asn) {
+				return false
+			}
+		}
+		return true
+	case KOr:
+		for _, s := range f.subs {
+			if s.Eval(asn) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("guard: bad formula kind")
+}
+
+// Atoms appends to dst every distinct atom occurring in f and returns the
+// extended slice.
+func (f *Formula) Atoms(dst []Atom) []Atom {
+	seen := make(map[Atom]bool)
+	var walk func(g *Formula)
+	walk = func(g *Formula) {
+		switch g.kind {
+		case KVar:
+			if !seen[g.atom] {
+				seen[g.atom] = true
+				dst = append(dst, g.atom)
+			}
+		case KNot, KAnd, KOr:
+			for _, s := range g.subs {
+				walk(s)
+			}
+		}
+	}
+	walk(f)
+	return dst
+}
+
+// Size returns the number of nodes in the formula tree (shared subtrees are
+// counted once per occurrence).
+func (f *Formula) Size() int {
+	n := 1
+	for _, s := range f.subs {
+		n += s.Size()
+	}
+	return n
+}
+
+// SemiDecide is the lightweight semi-decision procedure of §5.2. It returns
+// (result, decided). When decided is true, result is the exact
+// satisfiability of f; when decided is false the formula needs a full SMT
+// query. It runs in time linear in the size of f and never returns a wrong
+// verdict.
+//
+// The procedure decides:
+//   - syntactic ⊤/⊥ (constructors already fold contradictory literal sets);
+//   - pure conjunctions of literals (checking complementary pairs);
+//   - conjunctions whose conjuncts include a decided-⊥ part.
+func SemiDecide(f *Formula) (sat, decided bool) {
+	switch f.kind {
+	case KTrue:
+		return true, true
+	case KFalse:
+		return false, true
+	case KVar:
+		return true, true
+	case KNot:
+		if f.subs[0].kind == KVar {
+			return true, true
+		}
+		return false, false
+	case KAnd:
+		lits := make(map[int32]bool)
+		pure := true
+		for _, s := range f.subs {
+			k, ok := litKey(s)
+			if !ok {
+				pure = false
+				continue
+			}
+			if lits[-k] {
+				return false, true
+			}
+			lits[k] = true
+		}
+		if pure {
+			return true, true
+		}
+		return false, false
+	}
+	return false, false
+}
+
+// Pool interns atoms and records their interpretation. All methods are safe
+// for concurrent use: the bug-checking stage interns order atoms from
+// parallel source-sink queries (§5.2's parallelization).
+type Pool struct {
+	mu    sync.Mutex
+	names map[string]Atom
+	info  []atomInfo // index atom-1
+}
+
+type atomInfo struct {
+	name     string
+	order    bool
+	from, to int // statement labels for order atoms
+}
+
+// NewPool returns an empty atom pool.
+func NewPool() *Pool {
+	return &Pool{names: make(map[string]Atom)}
+}
+
+// Bool interns (or returns the existing) boolean atom with the given name.
+// Names are the identity of boolean atoms: two statements sharing the same
+// syntactic branch condition share the atom, which is what makes the θ vs ¬θ
+// contradiction of the paper's Fig. 2 detectable.
+func (p *Pool) Bool(name string) Atom {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.intern(atomInfo{name: name})
+}
+
+func (p *Pool) intern(ai atomInfo) Atom {
+	if a, ok := p.names[ai.name]; ok {
+		return a
+	}
+	p.info = append(p.info, ai)
+	a := Atom(len(p.info))
+	p.names[ai.name] = a
+	return a
+}
+
+// Order interns the order atom O_from < O_to between two statement labels.
+// Interning is symmetric-aware only in that (from,to) and (to,from) are
+// distinct atoms related by the theory (¬(i<j) ⟺ j<i for i≠j).
+func (p *Pool) Order(from, to int) Atom {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name := fmt.Sprintf("O%d<O%d", from, to)
+	return p.intern(atomInfo{name: name, order: true, from: from, to: to})
+}
+
+// NumAtoms returns the number of interned atoms.
+func (p *Pool) NumAtoms() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.info)
+}
+
+// Name returns the display name of atom a.
+func (p *Pool) Name(a Atom) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if a <= 0 || int(a) > len(p.info) {
+		return fmt.Sprintf("atom#%d", a)
+	}
+	return p.info[a-1].name
+}
+
+// OrderAtom reports whether a is an order atom and, if so, its two
+// statement labels.
+func (p *Pool) OrderAtom(a Atom) (from, to int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if a <= 0 || int(a) > len(p.info) {
+		return 0, 0, false
+	}
+	ai := p.info[a-1]
+	return ai.from, ai.to, ai.order
+}
+
+// String renders f using the pool's atom names.
+func (p *Pool) String(f *Formula) string {
+	var b strings.Builder
+	p.render(&b, f, false)
+	return b.String()
+}
+
+func (p *Pool) render(b *strings.Builder, f *Formula, paren bool) {
+	switch f.kind {
+	case KTrue:
+		b.WriteString("true")
+	case KFalse:
+		b.WriteString("false")
+	case KVar:
+		b.WriteString(p.Name(f.atom))
+	case KNot:
+		b.WriteString("!")
+		p.render(b, f.subs[0], true)
+	case KAnd, KOr:
+		op := " && "
+		if f.kind == KOr {
+			op = " || "
+		}
+		if paren {
+			b.WriteString("(")
+		}
+		// Render literals in a stable order for readable, deterministic
+		// reports.
+		subs := f.subs
+		if allLiterals(subs) {
+			subs = sortedLiterals(p, subs)
+		}
+		for i, s := range subs {
+			if i > 0 {
+				b.WriteString(op)
+			}
+			p.render(b, s, true)
+		}
+		if paren {
+			b.WriteString(")")
+		}
+	}
+}
+
+func allLiterals(fs []*Formula) bool {
+	for _, f := range fs {
+		if _, ok := litKey(f); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedLiterals(p *Pool, fs []*Formula) []*Formula {
+	out := append([]*Formula(nil), fs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ki, _ := litKey(out[i])
+		kj, _ := litKey(out[j])
+		ni, nj := p.Name(Atom(abs32(ki))), p.Name(Atom(abs32(kj)))
+		if ni != nj {
+			return ni < nj
+		}
+		return ki > kj // positive literal first
+	})
+	return out
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

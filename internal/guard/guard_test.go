@@ -1,0 +1,327 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if !True().IsTrue() || True().Kind() != KTrue {
+		t.Fatal("True() malformed")
+	}
+	if !False().IsFalse() || False().Kind() != KFalse {
+		t.Fatal("False() malformed")
+	}
+	if True() != True() {
+		t.Fatal("True() not canonical")
+	}
+}
+
+func TestVarPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Var(0) did not panic")
+		}
+	}()
+	Var(0)
+}
+
+func TestNotSimplification(t *testing.T) {
+	a := Var(1)
+	if Not(True()) != False() {
+		t.Error("!true != false")
+	}
+	if Not(False()) != True() {
+		t.Error("!false != true")
+	}
+	if Not(Not(a)) != a {
+		t.Error("double negation not removed")
+	}
+}
+
+func TestAndSimplification(t *testing.T) {
+	a, b := Var(1), Var(2)
+	if And() != True() {
+		t.Error("empty And should be true")
+	}
+	if And(a) != a {
+		t.Error("singleton And should be its operand")
+	}
+	if And(a, True()) != a {
+		t.Error("unit not eliminated")
+	}
+	if And(a, False()) != False() {
+		t.Error("zero not short-circuited")
+	}
+	if And(a, Not(a)) != False() {
+		t.Error("complementary literals not detected")
+	}
+	if got := And(a, a, b, a); got.Kind() != KAnd || len(got.Subs()) != 2 {
+		t.Errorf("duplicates not removed: %v subs", len(got.Subs()))
+	}
+	// Flattening.
+	f := And(And(a, b), Var(3))
+	if f.Kind() != KAnd || len(f.Subs()) != 3 {
+		t.Errorf("nested And not flattened: got %d subs", len(f.Subs()))
+	}
+}
+
+func TestOrSimplification(t *testing.T) {
+	a, b := Var(1), Var(2)
+	if Or() != False() {
+		t.Error("empty Or should be false")
+	}
+	if Or(a, False()) != a {
+		t.Error("unit not eliminated")
+	}
+	if Or(a, True()) != True() {
+		t.Error("zero not short-circuited")
+	}
+	if Or(a, Not(a)) != True() {
+		t.Error("tautology not detected")
+	}
+	f := Or(Or(a, b), Var(3))
+	if f.Kind() != KOr || len(f.Subs()) != 3 {
+		t.Errorf("nested Or not flattened: got %d subs", len(f.Subs()))
+	}
+}
+
+func TestFig2Contradiction(t *testing.T) {
+	// The motivating example: branch conditions θ1 at line 6 and ¬θ1 at
+	// line 13 conjoin to an unsatisfiable alias guard.
+	p := NewPool()
+	theta := p.Bool("theta1")
+	aliasGuard := And(Var(theta), Not(Var(theta)))
+	if aliasGuard != False() {
+		t.Fatalf("θ1 ∧ ¬θ1 should fold to false, got %s", p.String(aliasGuard))
+	}
+	sat, decided := SemiDecide(aliasGuard)
+	if !decided || sat {
+		t.Fatal("semi-decision must refute θ1 ∧ ¬θ1")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	a, b := Var(1), Var(2)
+	f := Implies(a, b)
+	if !f.Eval(map[Atom]bool{1: false, 2: false}) {
+		t.Error("false → false should hold")
+	}
+	if f.Eval(map[Atom]bool{1: true, 2: false}) {
+		t.Error("true → false should fail")
+	}
+}
+
+func TestEval(t *testing.T) {
+	a, b, c := Var(1), Var(2), Var(3)
+	f := Or(And(a, Not(b)), c)
+	cases := []struct {
+		asn  map[Atom]bool
+		want bool
+	}{
+		{map[Atom]bool{1: true, 2: false, 3: false}, true},
+		{map[Atom]bool{1: true, 2: true, 3: false}, false},
+		{map[Atom]bool{1: false, 2: true, 3: true}, true},
+		{map[Atom]bool{}, false},
+	}
+	for i, c := range cases {
+		if got := f.Eval(c.asn); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	f := And(Var(3), Or(Var(1), Not(Var(3))), Var(2))
+	atoms := f.Atoms(nil)
+	if len(atoms) != 3 {
+		t.Fatalf("want 3 distinct atoms, got %v", atoms)
+	}
+	seen := map[Atom]bool{}
+	for _, a := range atoms {
+		seen[a] = true
+	}
+	for _, want := range []Atom{1, 2, 3} {
+		if !seen[want] {
+			t.Errorf("missing atom %d", want)
+		}
+	}
+}
+
+func TestSemiDecidePureConjunctions(t *testing.T) {
+	a, b, c := Var(1), Var(2), Var(3)
+	sat, dec := SemiDecide(And(a, b, Not(c)))
+	if !dec || !sat {
+		t.Error("consistent literal conjunction should be decided sat")
+	}
+	// A conjunction with a non-literal conjunct is not decided.
+	_, dec = SemiDecide(And(a, Or(b, c)))
+	if dec {
+		t.Error("mixed conjunction should not be decided")
+	}
+	sat, dec = SemiDecide(True())
+	if !dec || !sat {
+		t.Error("true should be decided sat")
+	}
+	sat, dec = SemiDecide(False())
+	if !dec || sat {
+		t.Error("false should be decided unsat")
+	}
+}
+
+func TestPoolInterning(t *testing.T) {
+	p := NewPool()
+	a1 := p.Bool("x>0")
+	a2 := p.Bool("x>0")
+	if a1 != a2 {
+		t.Error("same name must intern to same atom")
+	}
+	if p.Bool("y>0") == a1 {
+		t.Error("distinct names must differ")
+	}
+	o1 := p.Order(3, 7)
+	o2 := p.Order(3, 7)
+	o3 := p.Order(7, 3)
+	if o1 != o2 {
+		t.Error("order atoms must intern")
+	}
+	if o1 == o3 {
+		t.Error("reversed order atoms must differ")
+	}
+	from, to, ok := p.OrderAtom(o1)
+	if !ok || from != 3 || to != 7 {
+		t.Errorf("OrderAtom: got (%d,%d,%v)", from, to, ok)
+	}
+	if _, _, ok := p.OrderAtom(a1); ok {
+		t.Error("bool atom misreported as order atom")
+	}
+	if p.NumAtoms() != 4 {
+		t.Errorf("NumAtoms = %d, want 4", p.NumAtoms())
+	}
+}
+
+func TestPoolString(t *testing.T) {
+	p := NewPool()
+	x := p.Bool("theta")
+	o := p.Order(13, 6)
+	f := And(Var(x), Var(o))
+	s := p.String(f)
+	if s != "O13<O6 && theta" && s != "theta && O13<O6" {
+		t.Errorf("unexpected rendering %q", s)
+	}
+	if got := p.String(Not(Or(Var(x), Var(o)))); got == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestSizeAndAtomAccessors(t *testing.T) {
+	f := And(Var(1), Or(Var(2), Var(3)))
+	if f.Size() != 5 {
+		t.Errorf("Size = %d, want 5", f.Size())
+	}
+	if Var(7).Atom() != 7 {
+		t.Error("Atom accessor broken")
+	}
+	if f.Atom() != 0 {
+		t.Error("Atom on non-var should be 0")
+	}
+}
+
+// randomFormula builds a random formula over atoms 1..nAtoms.
+func randomFormula(r *rand.Rand, depth, nAtoms int) *Formula {
+	if depth == 0 || r.Intn(3) == 0 {
+		v := Var(Atom(r.Intn(nAtoms) + 1))
+		if r.Intn(2) == 0 {
+			return Not(v)
+		}
+		return v
+	}
+	n := r.Intn(3) + 1
+	subs := make([]*Formula, n)
+	for i := range subs {
+		subs[i] = randomFormula(r, depth-1, nAtoms)
+	}
+	if r.Intn(2) == 0 {
+		return And(subs...)
+	}
+	return Or(subs...)
+}
+
+// Property: constructor simplifications preserve semantics.
+func TestQuickSimplificationPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const nAtoms = 5
+	f := func(seed int64, bits uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randomFormula(rr, 4, nAtoms)
+		// Rebuild through constructors in a different association order and
+		// compare evaluation: And(g, True), Or(g, False), Not(Not(g)).
+		h := Not(Not(And(Or(g, False()), True())))
+		asn := map[Atom]bool{}
+		for i := 1; i <= nAtoms; i++ {
+			asn[Atom(i)] = bits&(1<<i) != 0
+		}
+		return g.Eval(asn) == h.Eval(asn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SemiDecide never contradicts brute-force satisfiability.
+func TestQuickSemiDecideSound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const nAtoms = 4
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randomFormula(rr, 3, nAtoms)
+		sat, decided := SemiDecide(g)
+		if !decided {
+			return true
+		}
+		// Brute force over 2^nAtoms assignments.
+		bruteSat := false
+		for m := 0; m < 1<<nAtoms; m++ {
+			asn := map[Atom]bool{}
+			for i := 1; i <= nAtoms; i++ {
+				asn[Atom(i)] = m&(1<<(i-1)) != 0
+			}
+			if g.Eval(asn) {
+				bruteSat = true
+				break
+			}
+		}
+		return sat == bruteSat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flattened n-ary constructors evaluate like the naive fold.
+func TestQuickNaryMatchesFold(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func(seed int64, bits uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		const nAtoms = 5
+		var parts []*Formula
+		for i := 0; i < rr.Intn(5)+1; i++ {
+			parts = append(parts, randomFormula(rr, 2, nAtoms))
+		}
+		asn := map[Atom]bool{}
+		for i := 1; i <= nAtoms; i++ {
+			asn[Atom(i)] = bits&(1<<i) != 0
+		}
+		andWant, orWant := true, false
+		for _, p := range parts {
+			v := p.Eval(asn)
+			andWant = andWant && v
+			orWant = orWant || v
+		}
+		return And(parts...).Eval(asn) == andWant && Or(parts...).Eval(asn) == orWant
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalDecl declares a global memory object (an address-taken variable in
+// the paper's O domain). Globals are reachable from every thread.
+type GlobalDecl struct {
+	Name string
+	Pos  Pos
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Pos    Pos
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	Position() Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	Position() Pos
+	// Text renders the expression canonically; branch-condition atoms are
+	// keyed on this rendering.
+	Text() string
+}
+
+// AssignStmt is "lhs = rhs;" where rhs is any expression (covering the
+// paper's v1 = v2, v1 = &v2, v1 = *v2, v1 = v2 binop v3 and call forms).
+type AssignStmt struct {
+	LHS string
+	RHS Expr
+	Pos Pos
+}
+
+// StoreStmt is "*ptr = val;" (whole-cell) or "ptr.f = val;" (field store,
+// when Field is non-empty). Field sensitivity follows the paper's
+// implementation, which distinguishes C struct fields.
+type StoreStmt struct {
+	Ptr, Val string
+	Field    string
+	Pos      Pos
+}
+
+// FreeStmt is "free(v);" — a source for use-after-free and double-free.
+type FreeStmt struct {
+	Var string
+	Pos Pos
+}
+
+// PrintStmt is "print(*v);" — a pointer-dereference sink.
+type PrintStmt struct {
+	Var string
+	Pos Pos
+}
+
+// SinkStmt is "sink(v);" — an information-leak sink for taint checking.
+type SinkStmt struct {
+	Var string
+	Pos Pos
+}
+
+// IfStmt is structured branching. Else may be nil.
+type IfStmt struct {
+	Cond Cond
+	Then *Block
+	Else *Block
+	Pos  Pos
+}
+
+// WhileStmt is a structured loop; the analyses bound it by unrolling
+// (paper §3.1).
+type WhileStmt struct {
+	Cond Cond
+	Body *Block
+	Pos  Pos
+}
+
+// ForkStmt is "fork(t, f, args...);". Callee may be a function name or a
+// variable holding a function value (resolved by Steensgaard's analysis).
+type ForkStmt struct {
+	Thread string
+	Callee string
+	Args   []string
+	Pos    Pos
+}
+
+// JoinStmt is "join(t);".
+type JoinStmt struct {
+	Thread string
+	Pos    Pos
+}
+
+// LockStmt is "lock(m);" where m names a lock object.
+type LockStmt struct {
+	Mutex string
+	Pos   Pos
+}
+
+// UnlockStmt is "unlock(m);".
+type UnlockStmt struct {
+	Mutex string
+	Pos   Pos
+}
+
+// WaitStmt is "wait(cv);" — blocks until some notify(cv) has happened
+// (condition-variable semantics, the signal/notify extension of the
+// paper's §9).
+type WaitStmt struct {
+	Cond string
+	Pos  Pos
+}
+
+// NotifyStmt is "notify(cv);".
+type NotifyStmt struct {
+	Cond string
+	Pos  Pos
+}
+
+// ReturnStmt is "return;" or "return v;".
+type ReturnStmt struct {
+	Value  string // empty when void
+	HasVal bool
+	Pos    Pos
+}
+
+// CallStmt is a call in statement position: "f(args);".
+type CallStmt struct {
+	Callee string
+	Args   []string
+	Pos    Pos
+}
+
+func (*AssignStmt) stmtNode() {}
+func (*StoreStmt) stmtNode()  {}
+func (*FreeStmt) stmtNode()   {}
+func (*PrintStmt) stmtNode()  {}
+func (*SinkStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ForkStmt) stmtNode()   {}
+func (*JoinStmt) stmtNode()   {}
+func (*LockStmt) stmtNode()   {}
+func (*UnlockStmt) stmtNode() {}
+func (*WaitStmt) stmtNode()   {}
+func (*NotifyStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode() {}
+func (*CallStmt) stmtNode()   {}
+
+func (s *AssignStmt) Position() Pos { return s.Pos }
+func (s *StoreStmt) Position() Pos  { return s.Pos }
+func (s *FreeStmt) Position() Pos   { return s.Pos }
+func (s *PrintStmt) Position() Pos  { return s.Pos }
+func (s *SinkStmt) Position() Pos   { return s.Pos }
+func (s *IfStmt) Position() Pos     { return s.Pos }
+func (s *WhileStmt) Position() Pos  { return s.Pos }
+func (s *ForkStmt) Position() Pos   { return s.Pos }
+func (s *JoinStmt) Position() Pos   { return s.Pos }
+func (s *LockStmt) Position() Pos   { return s.Pos }
+func (s *UnlockStmt) Position() Pos { return s.Pos }
+func (s *WaitStmt) Position() Pos   { return s.Pos }
+func (s *NotifyStmt) Position() Pos { return s.Pos }
+func (s *ReturnStmt) Position() Pos { return s.Pos }
+func (s *CallStmt) Position() Pos   { return s.Pos }
+
+// VarExpr references a top-level variable (or a function by name).
+type VarExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Value int
+	Pos   Pos
+}
+
+// LoadExpr is "*v" (whole-cell) or "v.f" (field load, when Field is
+// non-empty).
+type LoadExpr struct {
+	Ptr   string
+	Field string
+	Pos   Pos
+}
+
+// AddrExpr is "&g" taking the address of a global object.
+type AddrExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// MallocExpr is "malloc()" — allocates a fresh abstract object per syntactic
+// occurrence (per clone after context-sensitive inlining).
+type MallocExpr struct {
+	Pos Pos
+}
+
+// NullExpr is the null pointer constant — a source for null-deref checking.
+type NullExpr struct {
+	Pos Pos
+}
+
+// TaintExpr is "taint()" — an information source for leak checking.
+type TaintExpr struct {
+	Pos Pos
+}
+
+// BinExpr is "a op b" over top-level variables or literals (value level;
+// used for taint propagation and conditions).
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// CallExpr is "f(args)" in expression position. Callee may be a variable
+// holding a function value.
+type CallExpr struct {
+	Callee string
+	Args   []string
+	Pos    Pos
+}
+
+func (*VarExpr) exprNode()    {}
+func (*NumExpr) exprNode()    {}
+func (*LoadExpr) exprNode()   {}
+func (*AddrExpr) exprNode()   {}
+func (*MallocExpr) exprNode() {}
+func (*NullExpr) exprNode()   {}
+func (*TaintExpr) exprNode()  {}
+func (*BinExpr) exprNode()    {}
+func (*CallExpr) exprNode()   {}
+
+func (e *VarExpr) Position() Pos    { return e.Pos }
+func (e *NumExpr) Position() Pos    { return e.Pos }
+func (e *LoadExpr) Position() Pos   { return e.Pos }
+func (e *AddrExpr) Position() Pos   { return e.Pos }
+func (e *MallocExpr) Position() Pos { return e.Pos }
+func (e *NullExpr) Position() Pos   { return e.Pos }
+func (e *TaintExpr) Position() Pos  { return e.Pos }
+func (e *BinExpr) Position() Pos    { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+
+func (e *VarExpr) Text() string { return e.Name }
+func (e *NumExpr) Text() string { return fmt.Sprintf("%d", e.Value) }
+func (e *LoadExpr) Text() string {
+	if e.Field != "" {
+		return e.Ptr + "." + e.Field
+	}
+	return "*" + e.Ptr
+}
+func (e *AddrExpr) Text() string   { return "&" + e.Name }
+func (e *MallocExpr) Text() string { return "malloc()" }
+func (e *NullExpr) Text() string   { return "null" }
+func (e *TaintExpr) Text() string  { return "taint()" }
+func (e *BinExpr) Text() string {
+	return e.L.Text() + e.Op + e.R.Text()
+}
+func (e *CallExpr) Text() string {
+	return e.Callee + "(" + strings.Join(e.Args, ",") + ")"
+}
+
+// Cond is a branch condition: a boolean combination of opaque condition
+// atoms. Atoms are keyed by their canonical text so that the same syntactic
+// condition in different program points shares one atom (the θ of Fig. 2).
+type Cond interface {
+	condNode()
+	Text() string
+}
+
+// CondAtom is an atomic condition: an identifier or a comparison.
+type CondAtom struct {
+	Txt string
+}
+
+// CondTrue and CondFalse are the constant conditions.
+type CondTrue struct{}
+
+// CondFalse is the constant false condition.
+type CondFalse struct{}
+
+// CondNot is "!c".
+type CondNot struct{ C Cond }
+
+// CondAnd is "a && b".
+type CondAnd struct{ L, R Cond }
+
+// CondOr is "a || b".
+type CondOr struct{ L, R Cond }
+
+func (*CondAtom) condNode()  {}
+func (*CondTrue) condNode()  {}
+func (*CondFalse) condNode() {}
+func (*CondNot) condNode()   {}
+func (*CondAnd) condNode()   {}
+func (*CondOr) condNode()    {}
+
+func (c *CondAtom) Text() string { return c.Txt }
+func (*CondTrue) Text() string   { return "true" }
+func (*CondFalse) Text() string  { return "false" }
+func (c *CondNot) Text() string  { return "!(" + c.C.Text() + ")" }
+func (c *CondAnd) Text() string  { return "(" + c.L.Text() + "&&" + c.R.Text() + ")" }
+func (c *CondOr) Text() string   { return "(" + c.L.Text() + "||" + c.R.Text() + ")" }

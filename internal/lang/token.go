@@ -1,0 +1,110 @@
+// Package lang implements the frontend for the concurrent programming
+// language of the paper's Fig. 3: a call-by-value language with the four
+// canonical pointer operations (address, copy, load, store), structured
+// control flow, and fork/join (plus the lock/unlock extension listed as
+// future work in §9). Programs in this language are what Canary analyzes;
+// the paper obtains the same shape of program from LLVM IR.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokFunc
+	TokGlobal
+	TokIf
+	TokElse
+	TokWhile
+	TokFork
+	TokJoin
+	TokLock
+	TokUnlock
+	TokWait
+	TokNotify
+	TokFree
+	TokMalloc
+	TokNull
+	TokPrint
+	TokSink
+	TokTaint
+	TokReturn
+	TokTrue
+	TokFalse
+
+	// Punctuation and operators.
+	TokAssign // =
+	TokStar   // *
+	TokAmp    // &
+	TokNot    // !
+	TokAndAnd // &&
+	TokOrOr   // ||
+	TokEq     // ==
+	TokNeq    // !=
+	TokLt     // <
+	TokGt     // >
+	TokLe     // <=
+	TokGe     // >=
+	TokPlus   // +
+	TokMinus  // -
+	TokLParen // (
+	TokRParen // )
+	TokLBrace // {
+	TokRBrace // }
+	TokComma  // ,
+	TokSemi   // ;
+	TokDot    // .
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokFunc: "func", TokGlobal: "global", TokIf: "if", TokElse: "else",
+	TokWhile: "while", TokFork: "fork", TokJoin: "join", TokLock: "lock",
+	TokUnlock: "unlock", TokWait: "wait", TokNotify: "notify",
+	TokFree: "free", TokMalloc: "malloc",
+	TokNull: "null", TokPrint: "print", TokSink: "sink", TokTaint: "taint",
+	TokReturn: "return", TokTrue: "true", TokFalse: "false",
+	TokAssign: "=", TokStar: "*", TokAmp: "&", TokNot: "!",
+	TokAndAnd: "&&", TokOrOr: "||", TokEq: "==", TokNeq: "!=",
+	TokLt: "<", TokGt: ">", TokLe: "<=", TokGe: ">=",
+	TokPlus: "+", TokMinus: "-", TokLParen: "(", TokRParen: ")",
+	TokLBrace: "{", TokRBrace: "}", TokComma: ",", TokSemi: ";",
+	TokDot: ".",
+}
+
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"func": TokFunc, "global": TokGlobal, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "fork": TokFork, "join": TokJoin, "lock": TokLock,
+	"unlock": TokUnlock, "wait": TokWait, "notify": TokNotify,
+	"free": TokFree, "malloc": TokMalloc,
+	"null": TokNull, "print": TokPrint, "sink": TokSink, "taint": TokTaint,
+	"return": TokReturn, "true": TokTrue, "false": TokFalse,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}

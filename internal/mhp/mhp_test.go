@@ -1,0 +1,185 @@
+package mhp
+
+import (
+	"testing"
+
+	"canary/internal/ir"
+	"canary/internal/lang"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(ast, ir.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// allocLabels returns alloc labels in emission order.
+func allocLabels(p *ir.Program) []ir.Label {
+	var out []ir.Label
+	for _, i := range p.Insts() {
+		if i.Op == ir.OpAlloc {
+			out = append(out, i.Label)
+		}
+	}
+	return out
+}
+
+func TestSameThreadNeverMHP(t *testing.T) {
+	p := lower(t, `
+func main() {
+  a = malloc();
+  b = malloc();
+}
+`)
+	m := Analyze(p)
+	as := allocLabels(p)
+	if m.MHP(as[0], as[1]) {
+		t.Error("same-thread statements are never MHP")
+	}
+}
+
+func TestForkWindow(t *testing.T) {
+	p := lower(t, `
+func w() { c = malloc(); }
+func main() {
+  a = malloc();
+  fork(t, w);
+  b = malloc();
+  join(t);
+  d = malloc();
+}
+`)
+	m := Analyze(p)
+	as := allocLabels(p) // a, b, d in main; c in child (order: a, b, d emitted before child? child lowered inside fork handling, so order: a, c, b, d)
+	var inMain []ir.Label
+	var inChild []ir.Label
+	for _, l := range as {
+		if p.Inst(l).Thread == 0 {
+			inMain = append(inMain, l)
+		} else {
+			inChild = append(inChild, l)
+		}
+	}
+	if len(inMain) != 3 || len(inChild) != 1 {
+		t.Fatalf("unexpected layout: main=%d child=%d", len(inMain), len(inChild))
+	}
+	a, b, d := inMain[0], inMain[1], inMain[2]
+	c := inChild[0]
+	if m.MHP(a, c) {
+		t.Error("statement before fork must not be MHP with child")
+	}
+	if !m.MHP(b, c) {
+		t.Error("statement between fork and join must be MHP with child")
+	}
+	if m.MHP(d, c) {
+		t.Error("statement after join must not be MHP with child")
+	}
+	if !m.MHP(c, b) {
+		t.Error("MHP must be symmetric")
+	}
+}
+
+func TestUnjoinedChildParallelWithRest(t *testing.T) {
+	p := lower(t, `
+func w() { c = malloc(); }
+func main() {
+  fork(t, w);
+  b = malloc();
+}
+`)
+	m := Analyze(p)
+	var b, c ir.Label
+	for _, l := range allocLabels(p) {
+		if p.Inst(l).Thread == 0 {
+			b = l
+		} else {
+			c = l
+		}
+	}
+	if !m.MHP(b, c) {
+		t.Error("unjoined child is MHP with post-fork statements")
+	}
+}
+
+func TestSiblingThreads(t *testing.T) {
+	p := lower(t, `
+func w1() { a = malloc(); }
+func w2() { b = malloc(); }
+func main() {
+  fork(t1, w1);
+  fork(t2, w2);
+  join(t1);
+  join(t2);
+}
+`)
+	m := Analyze(p)
+	var a, b ir.Label
+	for _, l := range allocLabels(p) {
+		switch p.Inst(l).Thread {
+		case 1:
+			a = l
+		case 2:
+			b = l
+		}
+	}
+	if !m.MHP(a, b) {
+		t.Error("overlapping sibling threads must be MHP")
+	}
+}
+
+func TestSequencedSiblings(t *testing.T) {
+	// t1 is joined before t2 is forked: their bodies never overlap.
+	p := lower(t, `
+func w1() { a = malloc(); }
+func w2() { b = malloc(); }
+func main() {
+  fork(t1, w1);
+  join(t1);
+  fork(t2, w2);
+  join(t2);
+}
+`)
+	m := Analyze(p)
+	var a, b ir.Label
+	for _, l := range allocLabels(p) {
+		switch p.Inst(l).Thread {
+		case 1:
+			a = l
+		case 2:
+			b = l
+		}
+	}
+	if m.MHP(a, b) {
+		t.Error("join-sequenced siblings must not be MHP")
+	}
+}
+
+func TestNestedThreadsMHPWithGrandparent(t *testing.T) {
+	p := lower(t, `
+func leaf() { a = malloc(); }
+func mid() { fork(t2, leaf); }
+func main() {
+  fork(t1, mid);
+  b = malloc();
+}
+`)
+	m := Analyze(p)
+	var a, b ir.Label
+	for _, l := range allocLabels(p) {
+		if p.Inst(l).Thread == 0 {
+			b = l
+		} else {
+			a = l
+		}
+	}
+	if !m.MHP(a, b) {
+		t.Error("grandchild body should be MHP with main after fork")
+	}
+}

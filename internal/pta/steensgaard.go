@@ -1,0 +1,257 @@
+// Package pta provides the AST-level auxiliary analyses Canary leans on
+// before lowering:
+//
+//   - Steensgaard's unification-based, flow-insensitive points-to analysis
+//     (almost linear time), which the paper uses to resolve function
+//     pointers when constructing the thread call graph (§6);
+//   - the procedural transfer functions Trans(F) of Alg. 1 (summary.go),
+//     applied at call sites beyond the inlining bound.
+//
+// The Andersen-style inclusion solver used by the baselines lives in
+// internal/andersen (it works over the lowered IR).
+package pta
+
+import (
+	"sort"
+
+	"canary/internal/lang"
+)
+
+// Steensgaard is the result of the unification analysis over an AST. It
+// answers which functions a variable may refer to, which is all the thread
+// call-graph construction needs.
+type Steensgaard struct {
+	uf    *unionFind
+	nodes map[string]int    // qualified name → node
+	funcs []map[string]bool // per representative: function names
+}
+
+// node kinds are implicit: every variable "fn.var" or global "g.name" has a
+// node, and each node has a deref node created lazily.
+type unionFind struct {
+	parent []int
+	rank   []int
+	deref  []int // node of *x; 0 means none yet (node ids start at 1)
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: []int{0}, rank: []int{0}, deref: []int{0}}
+}
+
+func (u *unionFind) fresh() int {
+	id := len(u.parent)
+	u.parent = append(u.parent, id)
+	u.rank = append(u.rank, 0)
+	u.deref = append(u.deref, 0)
+	return id
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// AnalyzeFuncPointers runs Steensgaard's analysis over prog, tracking only
+// function values (the thread call graph does not need full objects). It
+// unifies across assignments, loads/stores, calls, and fork argument
+// passing, iterating indirect-call target resolution to a fixed point.
+func AnalyzeFuncPointers(prog *lang.Program) *Steensgaard {
+	s := &Steensgaard{
+		uf:    newUnionFind(),
+		nodes: make(map[string]int),
+	}
+	declared := make(map[string]*lang.FuncDecl)
+	for _, f := range prog.Funcs {
+		declared[f.Name] = f
+	}
+	// funcSets maps representative → set of function names; kept in a map
+	// re-keyed on union.
+	funcSets := make(map[int]map[string]bool)
+
+	node := func(fn, v string) int {
+		key := fn + "." + v
+		if declared[v] != nil {
+			// A bare function name used as a value.
+			key = "fn." + v
+		}
+		if n, ok := s.nodes[key]; ok {
+			return n
+		}
+		n := s.uf.fresh()
+		s.nodes[key] = n
+		if declared[v] != nil {
+			funcSets[n] = map[string]bool{v: true}
+		}
+		return n
+	}
+
+	unions := 0
+	var union func(a, b int) int
+	union = func(a, b int) int {
+		ra, rb := s.uf.find(a), s.uf.find(b)
+		if ra == rb {
+			return ra
+		}
+		unions++
+		if s.uf.rank[ra] < s.uf.rank[rb] {
+			ra, rb = rb, ra
+		}
+		s.uf.parent[rb] = ra
+		if s.uf.rank[ra] == s.uf.rank[rb] {
+			s.uf.rank[ra]++
+		}
+		// Merge function sets.
+		if fs := funcSets[rb]; fs != nil {
+			dst := funcSets[ra]
+			if dst == nil {
+				dst = make(map[string]bool)
+				funcSets[ra] = dst
+			}
+			for f := range fs {
+				dst[f] = true
+			}
+			delete(funcSets, rb)
+		}
+		// Unify deref nodes (Steensgaard's conditional join).
+		da, db := s.uf.deref[ra], s.uf.deref[rb]
+		switch {
+		case da == 0:
+			s.uf.deref[ra] = db
+		case db != 0:
+			union(da, db)
+		}
+		return s.uf.find(ra)
+	}
+
+	derefOf := func(n int) int {
+		r := s.uf.find(n)
+		if s.uf.deref[r] == 0 {
+			s.uf.deref[r] = s.uf.fresh()
+		}
+		return s.uf.deref[r]
+	}
+
+	resolveTargets := func(rep int) []string {
+		fs := funcSets[s.uf.find(rep)]
+		out := make([]string, 0, len(fs))
+		for f := range fs {
+			out = append(out, f)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	// One structural pass collecting constraints; indirect calls re-run
+	// until no new unifications occur.
+	changed := true
+	for rounds := 0; changed && rounds < 20; rounds++ {
+		changed = false
+		sizeBefore := len(s.uf.parent)
+		unionsBefore := unions
+		var walkBlock func(fn string, b *lang.Block)
+		handleCall := func(fn, callee string, args []string, resultVar string) {
+			targets := []string{callee}
+			if declared[callee] == nil {
+				targets = resolveTargets(node(fn, callee))
+			}
+			for _, tgt := range targets {
+				decl := declared[tgt]
+				if decl == nil {
+					continue
+				}
+				for i, a := range args {
+					if i < len(decl.Params) {
+						union(node(fn, a), node(tgt, decl.Params[i]))
+					}
+				}
+				if resultVar != "" {
+					// Unify result with every returned variable.
+					var findReturns func(b *lang.Block)
+					findReturns = func(b *lang.Block) {
+						for _, st := range b.Stmts {
+							switch r := st.(type) {
+							case *lang.ReturnStmt:
+								if r.HasVal {
+									union(node(fn, resultVar), node(tgt, r.Value))
+								}
+							case *lang.IfStmt:
+								findReturns(r.Then)
+								if r.Else != nil {
+									findReturns(r.Else)
+								}
+							case *lang.WhileStmt:
+								findReturns(r.Body)
+							}
+						}
+					}
+					findReturns(decl.Body)
+				}
+			}
+		}
+		walkBlock = func(fn string, b *lang.Block) {
+			for _, st := range b.Stmts {
+				switch st := st.(type) {
+				case *lang.AssignStmt:
+					switch rhs := st.RHS.(type) {
+					case *lang.VarExpr:
+						union(node(fn, st.LHS), node(fn, rhs.Name))
+					case *lang.LoadExpr:
+						union(node(fn, st.LHS), derefOf(node(fn, rhs.Ptr)))
+					case *lang.AddrExpr:
+						union(derefOf(node(fn, st.LHS)), node("g", rhs.Name))
+					case *lang.CallExpr:
+						handleCall(fn, rhs.Callee, rhs.Args, st.LHS)
+					}
+				case *lang.StoreStmt:
+					union(derefOf(node(fn, st.Ptr)), node(fn, st.Val))
+				case *lang.CallStmt:
+					handleCall(fn, st.Callee, st.Args, "")
+				case *lang.ForkStmt:
+					handleCall(fn, st.Callee, st.Args, "")
+				case *lang.IfStmt:
+					walkBlock(fn, st.Then)
+					if st.Else != nil {
+						walkBlock(fn, st.Else)
+					}
+				case *lang.WhileStmt:
+					walkBlock(fn, st.Body)
+				}
+			}
+		}
+		for _, f := range prog.Funcs {
+			walkBlock(f.Name, f.Body)
+		}
+		if len(s.uf.parent) != sizeBefore || unions != unionsBefore {
+			changed = true
+		}
+	}
+	s.funcs = make([]map[string]bool, len(s.uf.parent))
+	for rep, fs := range funcSets {
+		s.funcs[s.uf.find(rep)] = fs
+	}
+	return s
+}
+
+// Targets returns the functions variable v (in function fn) may refer to,
+// sorted for determinism. A declared function name resolves to itself.
+func (s *Steensgaard) Targets(fn, v string) []string {
+	key := fn + "." + v
+	n, ok := s.nodes[key]
+	if !ok {
+		if n2, ok2 := s.nodes["fn."+v]; ok2 {
+			n = n2
+		} else {
+			return nil
+		}
+	}
+	fs := s.funcs[s.uf.find(n)]
+	out := make([]string, 0, len(fs))
+	for f := range fs {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

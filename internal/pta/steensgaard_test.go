@@ -1,0 +1,130 @@
+package pta
+
+import (
+	"reflect"
+	"testing"
+
+	"canary/internal/lang"
+)
+
+func parse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDirectFunctionValue(t *testing.T) {
+	prog := parse(t, `
+func worker() { }
+func main() {
+  fp = worker;
+  fork(t, fp);
+}
+`)
+	s := AnalyzeFuncPointers(prog)
+	if got := s.Targets("main", "fp"); !reflect.DeepEqual(got, []string{"worker"}) {
+		t.Fatalf("fp targets = %v", got)
+	}
+	if got := s.Targets("main", "worker"); !reflect.DeepEqual(got, []string{"worker"}) {
+		t.Fatalf("bare function name should resolve to itself: %v", got)
+	}
+}
+
+func TestCopyChain(t *testing.T) {
+	prog := parse(t, `
+func a() { }
+func b() { }
+func main() {
+  f1 = a;
+  f2 = f1;
+  f3 = f2;
+  if (c) { f3 = b; }
+}
+`)
+	s := AnalyzeFuncPointers(prog)
+	got := s.Targets("main", "f3")
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("f3 targets = %v (unification merges both)", got)
+	}
+}
+
+func TestThroughMemory(t *testing.T) {
+	prog := parse(t, `
+func w() { }
+func main() {
+  p = malloc();
+  f = w;
+  *p = f;
+  g = *p;
+  fork(t, g);
+}
+`)
+	s := AnalyzeFuncPointers(prog)
+	if got := s.Targets("main", "g"); !reflect.DeepEqual(got, []string{"w"}) {
+		t.Fatalf("g targets = %v", got)
+	}
+}
+
+func TestAcrossCallParams(t *testing.T) {
+	prog := parse(t, `
+func w() { }
+func spawn(fn) {
+  fork(t, fn);
+}
+func main() {
+  spawn(w);
+}
+`)
+	s := AnalyzeFuncPointers(prog)
+	if got := s.Targets("spawn", "fn"); !reflect.DeepEqual(got, []string{"w"}) {
+		t.Fatalf("fn targets = %v", got)
+	}
+}
+
+func TestAcrossReturn(t *testing.T) {
+	prog := parse(t, `
+func w() { }
+func get() { f = w; return f; }
+func main() {
+  h = get();
+  fork(t, h);
+}
+`)
+	s := AnalyzeFuncPointers(prog)
+	if got := s.Targets("main", "h"); !reflect.DeepEqual(got, []string{"w"}) {
+		t.Fatalf("h targets = %v", got)
+	}
+}
+
+func TestGlobalFuncPointer(t *testing.T) {
+	prog := parse(t, `
+global slot;
+func w() { }
+func setter() {
+  p = &slot;
+  f = w;
+  *p = f;
+}
+func main() {
+  setter();
+  q = &slot;
+  h = *q;
+  fork(t, h);
+}
+`)
+	s := AnalyzeFuncPointers(prog)
+	if got := s.Targets("main", "h"); !reflect.DeepEqual(got, []string{"w"}) {
+		t.Fatalf("h targets = %v", got)
+	}
+}
+
+func TestUnknownVariableHasNoTargets(t *testing.T) {
+	prog := parse(t, `func main() { x = y; }`)
+	s := AnalyzeFuncPointers(prog)
+	if got := s.Targets("main", "nothere"); len(got) != 0 {
+		t.Fatalf("unknown var should have no targets: %v", got)
+	}
+}

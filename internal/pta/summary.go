@@ -1,0 +1,147 @@
+package pta
+
+import "canary/internal/lang"
+
+// Summary is the procedural transfer function Trans(F) of the paper's
+// Alg. 1 (lines 21–22), restricted to the return-value interface: which
+// formal parameters may flow to the returned value, and whether a fresh
+// allocation may be returned. The bounded lowering applies these summaries
+// at call sites beyond the inlining depth (and at recursion cut points)
+// instead of havocking the result, preserving value flows through deep
+// call chains.
+type Summary struct {
+	// RetParams are the indices of parameters that may flow to the return
+	// value (directly, through local copies, or through function-local
+	// memory).
+	RetParams []int
+	// RetAlloc reports whether a fresh allocation may be returned.
+	RetAlloc bool
+	// RetTaint reports whether a taint() source may be returned.
+	RetTaint bool
+}
+
+// tag bit layout: bits 0..59 are parameter indices, bit 60 is "fresh
+// allocation", bit 61 is "taint source".
+const (
+	allocBit = 60
+	taintBit = 61
+	maxParam = 59
+)
+
+// Summaries computes Trans(F) for every function by a flow-insensitive
+// fixpoint over the program: variables carry tag sets (parameters, fresh
+// allocations, taint), one coarse memory cell per function propagates tags
+// across stores and loads, and call sites apply callee summaries. The
+// global iteration handles mutual recursion.
+func Summaries(prog *lang.Program) map[string]*Summary {
+	sums := make(map[string]*Summary, len(prog.Funcs))
+	retTags := make(map[string]uint64, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		sums[f.Name] = &Summary{}
+	}
+	decl := make(map[string]*lang.FuncDecl)
+	for _, f := range prog.Funcs {
+		decl[f.Name] = f
+	}
+
+	analyzeOnce := func(f *lang.FuncDecl) uint64 {
+		vars := make(map[string]uint64)
+		for i, p := range f.Params {
+			if i <= maxParam {
+				vars[p] = 1 << i
+			}
+		}
+		var mem uint64
+		var ret uint64
+		// Iterate the body a few times: flow-insensitive transfer through
+		// copies, loads, stores, and calls.
+		var walk func(b *lang.Block)
+		evalCall := func(callee string, args []string) uint64 {
+			s := sums[callee]
+			if s == nil {
+				return 0
+			}
+			var t uint64
+			for _, pi := range s.RetParams {
+				if pi < len(args) {
+					t |= vars[args[pi]]
+				}
+			}
+			if s.RetAlloc {
+				t |= 1 << allocBit
+			}
+			if s.RetTaint {
+				t |= 1 << taintBit
+			}
+			return t
+		}
+		walk = func(b *lang.Block) {
+			for _, st := range b.Stmts {
+				switch st := st.(type) {
+				case *lang.AssignStmt:
+					switch rhs := st.RHS.(type) {
+					case *lang.VarExpr:
+						vars[st.LHS] |= vars[rhs.Name]
+					case *lang.LoadExpr:
+						vars[st.LHS] |= mem
+					case *lang.MallocExpr:
+						vars[st.LHS] |= 1 << allocBit
+					case *lang.TaintExpr:
+						vars[st.LHS] |= 1 << taintBit
+					case *lang.BinExpr:
+						if v, ok := rhs.L.(*lang.VarExpr); ok {
+							vars[st.LHS] |= vars[v.Name]
+						}
+						if v, ok := rhs.R.(*lang.VarExpr); ok {
+							vars[st.LHS] |= vars[v.Name]
+						}
+					case *lang.CallExpr:
+						vars[st.LHS] |= evalCall(rhs.Callee, rhs.Args)
+					}
+				case *lang.StoreStmt:
+					mem |= vars[st.Val]
+				case *lang.ReturnStmt:
+					if st.HasVal {
+						ret |= vars[st.Value]
+					}
+				case *lang.IfStmt:
+					walk(st.Then)
+					if st.Else != nil {
+						walk(st.Else)
+					}
+				case *lang.WhileStmt:
+					walk(st.Body)
+				}
+			}
+		}
+		// Two local passes make loads see earlier (and loop-carried)
+		// stores under the single-cell memory abstraction.
+		walk(f.Body)
+		walk(f.Body)
+		return ret
+	}
+
+	for round := 0; round < 12; round++ {
+		changed := false
+		for _, f := range prog.Funcs {
+			ret := analyzeOnce(f)
+			if ret != retTags[f.Name] {
+				retTags[f.Name] = ret
+				changed = true
+				s := sums[f.Name]
+				s.RetParams = s.RetParams[:0]
+				for i := 0; i <= maxParam && i < len(f.Params); i++ {
+					if ret&(1<<i) != 0 {
+						s.RetParams = append(s.RetParams, i)
+					}
+				}
+				s.RetAlloc = ret&(1<<allocBit) != 0
+				s.RetTaint = ret&(1<<taintBit) != 0
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}

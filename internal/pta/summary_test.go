@@ -1,0 +1,108 @@
+package pta
+
+import (
+	"reflect"
+	"testing"
+
+	"canary/internal/lang"
+)
+
+func summaries(t *testing.T, src string) map[string]*Summary {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Summaries(prog)
+}
+
+func TestSummaryIdentity(t *testing.T) {
+	s := summaries(t, `func id(x) { return x; }`)["id"]
+	if !reflect.DeepEqual(s.RetParams, []int{0}) || s.RetAlloc {
+		t.Fatalf("id summary = %+v", s)
+	}
+}
+
+func TestSummarySecondParam(t *testing.T) {
+	s := summaries(t, `func pick(a, b) { return b; }`)["pick"]
+	if !reflect.DeepEqual(s.RetParams, []int{1}) {
+		t.Fatalf("pick summary = %+v", s)
+	}
+}
+
+func TestSummaryAllocator(t *testing.T) {
+	s := summaries(t, `func mk() { p = malloc(); return p; }`)["mk"]
+	if !s.RetAlloc || len(s.RetParams) != 0 {
+		t.Fatalf("mk summary = %+v", s)
+	}
+}
+
+func TestSummaryThroughCopiesAndBranches(t *testing.T) {
+	s := summaries(t, `
+func f(a, b) {
+  if (c) {
+    t = a;
+    return t;
+  }
+  u = malloc();
+  return u;
+}
+`)["f"]
+	if !reflect.DeepEqual(s.RetParams, []int{0}) || !s.RetAlloc {
+		t.Fatalf("f summary = %+v", s)
+	}
+}
+
+func TestSummaryThroughLocalMemory(t *testing.T) {
+	s := summaries(t, `
+func stash(v) {
+  box = malloc();
+  *box = v;
+  out = *box;
+  return out;
+}
+`)["stash"]
+	if !reflect.DeepEqual(s.RetParams, []int{0}) {
+		t.Fatalf("stash summary = %+v (param must survive the store/load)", s)
+	}
+}
+
+func TestSummaryTransitiveAcrossCalls(t *testing.T) {
+	sums := summaries(t, `
+func inner(x) { return x; }
+func outer(y) { r = inner(y); return r; }
+`)
+	s := sums["outer"]
+	if !reflect.DeepEqual(s.RetParams, []int{0}) {
+		t.Fatalf("outer summary = %+v (must see through inner)", s)
+	}
+}
+
+func TestSummaryRecursive(t *testing.T) {
+	s := summaries(t, `
+func rec(n) {
+  if (base) {
+    return n;
+  }
+  m = rec(n);
+  return m;
+}
+`)["rec"]
+	if !reflect.DeepEqual(s.RetParams, []int{0}) {
+		t.Fatalf("rec summary = %+v", s)
+	}
+}
+
+func TestSummaryTaint(t *testing.T) {
+	s := summaries(t, `func secret() { s = taint(); return s; }`)["secret"]
+	if !s.RetTaint {
+		t.Fatalf("secret summary = %+v", s)
+	}
+}
+
+func TestSummaryVoid(t *testing.T) {
+	s := summaries(t, `func nothing(a) { b = a; }`)["nothing"]
+	if len(s.RetParams) != 0 || s.RetAlloc || s.RetTaint {
+		t.Fatalf("void summary must be empty: %+v", s)
+	}
+}

@@ -1,0 +1,162 @@
+package smt
+
+import (
+	"sort"
+	"sync"
+
+	"canary/internal/guard"
+)
+
+// CubeOptions configures the cube-and-conquer parallel solving strategy of
+// §5.2 (Heule et al.'s cube-and-conquer adapted to Canary's queries).
+type CubeOptions struct {
+	// SplitAtoms is the number of atoms to case-split on; the formula is
+	// partitioned into 2^SplitAtoms cubes.
+	SplitAtoms int
+	// Workers is the number of concurrent cube solvers; 0 means
+	// SplitAtoms-derived default.
+	Workers int
+	// MaxConflictsPerCube bounds each cube's search; <=0 means unbounded.
+	MaxConflictsPerCube int64
+}
+
+// SolveCubeAndConquer decides the conjunction of formulas by splitting on
+// the most frequently occurring atoms and solving the resulting cubes in
+// parallel. The whole query is Sat iff some cube is Sat. If every cube is
+// decided Unsat the query is Unsat; any Unknown cube with no Sat sibling
+// makes the result Unknown.
+func SolveCubeAndConquer(pool *guard.Pool, formulas []*guard.Formula, opt CubeOptions) Result {
+	split := pickSplitAtoms(formulas, opt.SplitAtoms)
+	if len(split) == 0 {
+		s := New(pool)
+		s.MaxConflicts = opt.MaxConflictsPerCube
+		for _, f := range formulas {
+			s.Assert(f)
+		}
+		return s.Solve()
+	}
+	nCubes := 1 << len(split)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = minInt(nCubes, 8)
+	}
+
+	type job struct{ mask int }
+	jobs := make(chan job)
+	results := make(chan Result, nCubes)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s := New(pool)
+				s.MaxConflicts = opt.MaxConflictsPerCube
+				for _, f := range formulas {
+					s.Assert(f)
+				}
+				assumps := make(map[guard.Atom]bool, len(split))
+				for i, a := range split {
+					assumps[a] = j.mask&(1<<i) != 0
+				}
+				r := s.SolveAssuming(assumps)
+				results <- r
+				if r == Sat {
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for m := 0; m < nCubes; m++ {
+			select {
+			case jobs <- job{mask: m}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	sawUnknown := false
+	decided := 0
+	for {
+		select {
+		case r := <-results:
+			decided++
+			switch r {
+			case Sat:
+				return Sat
+			case Unknown:
+				sawUnknown = true
+			}
+			if decided == nCubes {
+				if sawUnknown {
+					return Unknown
+				}
+				return Unsat
+			}
+		case <-done:
+			// Workers exited (early stop already returned Sat above, so
+			// drain whatever is buffered).
+			for decided < nCubes {
+				select {
+				case r := <-results:
+					decided++
+					if r == Sat {
+						return Sat
+					}
+					if r == Unknown {
+						sawUnknown = true
+					}
+				default:
+					// Early termination without Sat cannot happen unless a
+					// worker saw Sat; treat missing results as unknown.
+					if sawUnknown {
+						return Unknown
+					}
+					return Unsat
+				}
+			}
+			if sawUnknown {
+				return Unknown
+			}
+			return Unsat
+		}
+	}
+}
+
+// pickSplitAtoms chooses up to n atoms by descending occurrence count
+// (ties broken by atom id for determinism).
+func pickSplitAtoms(formulas []*guard.Formula, n int) []guard.Atom {
+	if n <= 0 {
+		return nil
+	}
+	counts := make(map[guard.Atom]int)
+	for _, f := range formulas {
+		for _, a := range f.Atoms(nil) {
+			counts[a]++
+		}
+	}
+	atoms := make([]guard.Atom, 0, len(counts))
+	for a := range counts {
+		atoms = append(atoms, a)
+	}
+	sort.Slice(atoms, func(i, j int) bool {
+		if counts[atoms[i]] != counts[atoms[j]] {
+			return counts[atoms[i]] > counts[atoms[j]]
+		}
+		return atoms[i] < atoms[j]
+	})
+	if len(atoms) > n {
+		atoms = atoms[:n]
+	}
+	return atoms
+}

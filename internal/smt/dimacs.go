@@ -1,0 +1,194 @@
+package smt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"canary/internal/guard"
+)
+
+// ParseDIMACS reads a CNF in (extended) DIMACS format and returns the atom
+// pool and clause formulas ready for Assert. Besides the standard
+// `p cnf <vars> <clauses>` form with integer literals, lines of the form
+//
+//	o <v> <i> <j>
+//
+// bind boolean variable v to the order atom O_i < O_j, exposing the
+// solver's partial-order theory to external instances.
+func ParseDIMACS(r io.Reader) (*guard.Pool, []*guard.Formula, error) {
+	pool := guard.NewPool()
+	atoms := make(map[int]guard.Atom)
+	atomOf := func(v int) guard.Atom {
+		if a, ok := atoms[v]; ok {
+			return a
+		}
+		a := pool.Bool(fmt.Sprintf("x%d", v))
+		atoms[v] = a
+		return a
+	}
+	var formulas []*guard.Formula
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	declared := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, nil, fmt.Errorf("smt: bad problem line %q", line)
+			}
+			if _, err := strconv.Atoi(fields[2]); err != nil {
+				return nil, nil, fmt.Errorf("smt: bad problem line %q", line)
+			}
+			if _, err := strconv.Atoi(fields[3]); err != nil {
+				return nil, nil, fmt.Errorf("smt: bad problem line %q", line)
+			}
+			declared = true
+			continue
+		case "o":
+			if len(fields) != 4 {
+				return nil, nil, fmt.Errorf("smt: bad order binding %q", line)
+			}
+			v, err1 := strconv.Atoi(fields[1])
+			i, err2 := strconv.Atoi(fields[2])
+			j, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil || v <= 0 {
+				return nil, nil, fmt.Errorf("smt: bad order binding %q", line)
+			}
+			if _, dup := atoms[v]; dup {
+				return nil, nil, fmt.Errorf("smt: variable %d bound twice", v)
+			}
+			atoms[v] = pool.Order(i, j)
+			continue
+		}
+		if !declared {
+			return nil, nil, fmt.Errorf("smt: clause before problem line: %q", line)
+		}
+		var lits []*guard.Formula
+		for _, f := range fields {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, nil, fmt.Errorf("smt: bad literal %q", f)
+			}
+			if n == 0 {
+				break
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			l := guard.Var(atomOf(v))
+			if n < 0 {
+				l = guard.Not(l)
+			}
+			lits = append(lits, l)
+		}
+		// An explicit "0"-only line is the empty clause: unsatisfiable.
+		formulas = append(formulas, guard.Or(lits...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if !declared {
+		return nil, nil, fmt.Errorf("smt: missing problem line")
+	}
+	return pool, formulas, nil
+}
+
+// WriteDIMACS renders clause formulas (each a disjunction of literals over
+// pool atoms) in the extended DIMACS format ParseDIMACS accepts.
+func WriteDIMACS(w io.Writer, pool *guard.Pool, formulas []*guard.Formula) error {
+	// Assign DIMACS indices to atoms in first-appearance order.
+	index := make(map[guard.Atom]int)
+	var order []guard.Atom
+	var clauses [][]int
+	var visit func(f *guard.Formula, neg bool, cl *[]int) error
+	visit = func(f *guard.Formula, neg bool, cl *[]int) error {
+		switch f.Kind() {
+		case guard.KVar:
+			a := f.Atom()
+			v, ok := index[a]
+			if !ok {
+				v = len(index) + 1
+				index[a] = v
+				order = append(order, a)
+			}
+			if neg {
+				v = -v
+			}
+			*cl = append(*cl, v)
+			return nil
+		case guard.KNot:
+			return visit(f.Subs()[0], !neg, cl)
+		case guard.KOr:
+			if neg {
+				return fmt.Errorf("smt: cannot export negated disjunction")
+			}
+			for _, s := range f.Subs() {
+				if err := visit(s, false, cl); err != nil {
+					return err
+				}
+			}
+			return nil
+		case guard.KTrue, guard.KFalse:
+			return fmt.Errorf("smt: constant inside a clause")
+		}
+		return fmt.Errorf("smt: formula is not clausal")
+	}
+	addClause := func(f *guard.Formula) error {
+		if f.IsTrue() {
+			return nil // vacuous clause
+		}
+		if f.IsFalse() {
+			clauses = append(clauses, nil) // the empty clause
+			return nil
+		}
+		var cl []int
+		if err := visit(f, false, &cl); err != nil {
+			return err
+		}
+		clauses = append(clauses, cl)
+		return nil
+	}
+	for _, f := range formulas {
+		if f.Kind() == guard.KAnd {
+			for _, s := range f.Subs() {
+				if err := addClause(s); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := addClause(f); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", len(index), len(clauses)); err != nil {
+		return err
+	}
+	for _, a := range order {
+		if from, to, ok := pool.OrderAtom(a); ok {
+			if _, err := fmt.Fprintf(w, "o %d %d %d\n", index[a], from, to); err != nil {
+				return err
+			}
+		}
+	}
+	for _, cl := range clauses {
+		for _, v := range cl {
+			if _, err := fmt.Fprintf(w, "%d ", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "0"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package smt
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"canary/internal/guard"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `
+c a comment
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	pool, fs, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("want 3 clauses, got %d", len(fs))
+	}
+	s := New(pool)
+	for _, f := range fs {
+		s.Assert(f)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("instance is satisfiable (x1=0, x2=0, x3=1)")
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	src := "p cnf 1 2\n1 0\n-1 0\n"
+	pool, fs, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(pool)
+	for _, f := range fs {
+		s.Assert(f)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("x ∧ ¬x must be unsat")
+	}
+}
+
+func TestParseDIMACSOrderBindings(t *testing.T) {
+	// x1 ⟺ O(1<2), x2 ⟺ O(2<3), x3 ⟺ O(3<1): all three true is a cycle.
+	src := `
+p cnf 3 3
+o 1 1 2
+o 2 2 3
+o 3 3 1
+1 0
+2 0
+3 0
+`
+	pool, fs, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(pool)
+	for _, f := range fs {
+		s.Assert(f)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("order cycle must be theory-unsat")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"1 2 0\n",                            // clause before problem line
+		"p cnf x y\n",                        // bad problem line
+		"p cnf 2 1\n1 foo 0\n",               // bad literal
+		"p cnf 2 1\no 1 2\n",                 // bad order binding arity
+		"",                                   // empty
+		"p cnf 1 1\no 1 1 2\no 1 3 4\n1 0\n", // variable bound twice
+	}
+	for _, src := range cases {
+		if _, _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestWriteDIMACSRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		pool := guard.NewPool()
+		fs := randomCNFFormula(r, pool, 6, r.Intn(12)+2)
+		// Mix in an order-atom clause.
+		fs = append(fs, guard.Or(
+			guard.Var(pool.Order(1, 2)),
+			guard.Not(guard.Var(pool.Order(2, 3))),
+		))
+
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, pool, fs); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		pool2, fs2, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v\n%s", trial, err, buf.String())
+		}
+
+		solve := func(p *guard.Pool, formulas []*guard.Formula) Result {
+			s := New(p)
+			for _, f := range formulas {
+				s.Assert(f)
+			}
+			return s.Solve()
+		}
+		if a, b := solve(pool, fs), solve(pool2, fs2); a != b {
+			t.Fatalf("trial %d: round trip changed verdict: %v vs %v\n%s", trial, a, b, buf.String())
+		}
+	}
+}
+
+func TestParseDIMACSEmptyClause(t *testing.T) {
+	pool, fs, err := ParseDIMACS(strings.NewReader("p cnf 1 1\n0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(pool)
+	for _, f := range fs {
+		s.Assert(f)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("the empty clause is unsatisfiable")
+	}
+}
+
+func TestWriteDIMACSRejectsNonClausal(t *testing.T) {
+	pool := guard.NewPool()
+	x := guard.Var(pool.Bool("x"))
+	y := guard.Var(pool.Bool("y"))
+	nonClausal := guard.Or(guard.And(x, y), guard.Not(guard.Or(x, y)))
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, pool, []*guard.Formula{nonClausal}); err == nil {
+		t.Fatal("non-clausal formula must be rejected")
+	}
+}
+
+func TestDIMACSPigeonhole(t *testing.T) {
+	// Generate php-5 in DIMACS text, parse, solve: unsat.
+	const holes = 5
+	const pigeons = holes + 1
+	var b strings.Builder
+	varOf := func(p, h int) int { return p*holes + h + 1 }
+	var clauses []string
+	for p := 0; p < pigeons; p++ {
+		var c []string
+		for h := 0; h < holes; h++ {
+			c = append(c, fmt.Sprint(varOf(p, h)))
+		}
+		clauses = append(clauses, strings.Join(c, " ")+" 0")
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				clauses = append(clauses, fmt.Sprintf("-%d -%d 0", varOf(p1, h), varOf(p2, h)))
+			}
+		}
+	}
+	fmt.Fprintf(&b, "p cnf %d %d\n%s\n", pigeons*holes, len(clauses), strings.Join(clauses, "\n"))
+	pool, fs, err := ParseDIMACS(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(pool)
+	for _, f := range fs {
+		s.Assert(f)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("php-5 must be unsat")
+	}
+}

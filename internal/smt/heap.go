@@ -1,0 +1,101 @@
+package smt
+
+// varHeap is the VSIDS order heap: a max-heap of variables keyed by
+// activity, with positions tracked so activity bumps can sift in place.
+// Assigned variables stay in the heap lazily; decide() pops until it finds
+// an unassigned one, and backtracking re-inserts freed variables.
+type varHeap struct {
+	s    *Solver
+	heap []int // variable ids, heap[0] is the most active
+	pos  []int // var → index+1 in heap; 0 = absent
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.s.activity[h.heap[a]] > h.s.activity[h.heap[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a + 1
+	h.pos[h.heap[b]] = b + 1
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// grow ensures pos can index variable v.
+func (h *varHeap) grow(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, 0)
+	}
+}
+
+// insert adds v if absent.
+func (h *varHeap) insert(v int) {
+	h.grow(v)
+	if h.pos[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap)
+	h.up(len(h.heap) - 1)
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v int) {
+	h.grow(v)
+	if h.pos[v] == 0 {
+		h.insert(v)
+		return
+	}
+	h.up(h.pos[v] - 1)
+}
+
+// popMax removes and returns the most active variable (0 when empty).
+func (h *varHeap) popMax() int {
+	if len(h.heap) == 0 {
+		return 0
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.pos[h.heap[0]] = 1
+	h.heap = h.heap[:last]
+	h.pos[top] = 0
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// rescale is called after a global activity rescale: heap order is
+// preserved (all activities scaled by the same factor), so nothing to do;
+// kept for clarity at the call site.
+func (h *varHeap) rescale() {}

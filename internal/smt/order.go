@@ -1,0 +1,98 @@
+package smt
+
+// orderTheory decides conjunctions of strict-order literals over statement
+// labels. Every assigned order atom contributes one directed edge (the
+// forward edge when true, the reverse edge when false — over a strict total
+// execution order ¬(i<j) ⟺ j<i for distinct statements). A literal set is
+// consistent iff the edge multigraph is acyclic; a cycle yields the
+// explanation (the set of literals whose edges form it) for CDCL learning.
+//
+// Edges are pushed and popped in lock step with the solver trail, so
+// removal is LIFO and adjacency lists can be plain stacks.
+type orderTheory struct {
+	// edges maps a solver variable to its (from,to) labels.
+	edges map[int]orderEdge
+	// adj is the current adjacency: node label → outgoing edge entries.
+	adj map[int][]edgeEntry
+	// pushedFor remembers, per variable, whether it currently has an edge
+	// installed (for removeLastFor).
+	pushedFor map[int]int // var → node whose adj list holds its edge
+}
+
+type orderEdge struct{ from, to int }
+
+type edgeEntry struct {
+	to  int
+	lit lit // the assigned literal that produced this edge
+}
+
+func newOrderTheory() *orderTheory {
+	return &orderTheory{
+		edges:     make(map[int]orderEdge),
+		adj:       make(map[int][]edgeEntry),
+		pushedFor: make(map[int]int),
+	}
+}
+
+// register declares that solver variable v encodes the atom from<to.
+func (t *orderTheory) register(v, from, to int) {
+	t.edges[v] = orderEdge{from: from, to: to}
+}
+
+// addEdge installs u→w produced by literal l and returns the literals of a
+// cycle if one appears, or nil. The returned slice includes l itself.
+func (t *orderTheory) addEdge(u, w int, l lit) []lit {
+	// Before committing, search for a path w ⇝ u; together with u→w it
+	// would close a cycle.
+	if path := t.findPath(w, u); path != nil {
+		return append(path, l)
+	}
+	t.adj[u] = append(t.adj[u], edgeEntry{to: w, lit: l})
+	t.pushedFor[l.v()] = u
+	return nil
+}
+
+// removeLastFor pops the edge contributed by variable v, if any. Calls
+// happen in exact reverse assignment order, so the edge is the last entry
+// of its source's adjacency list.
+func (t *orderTheory) removeLastFor(v int) {
+	u, ok := t.pushedFor[v]
+	if !ok {
+		return
+	}
+	delete(t.pushedFor, v)
+	lst := t.adj[u]
+	t.adj[u] = lst[:len(lst)-1]
+}
+
+// findPath runs a DFS from src looking for dst and returns the literals of
+// the edges along one such path (nil if unreachable). src==dst returns an
+// empty, non-nil slice (a self-loop closes a cycle by itself).
+func (t *orderTheory) findPath(src, dst int) []lit {
+	if src == dst {
+		return []lit{}
+	}
+	visited := map[int]bool{src: true}
+	var lits []lit
+	var dfs func(n int) bool
+	dfs = func(n int) bool {
+		for _, e := range t.adj[n] {
+			if e.to == dst {
+				lits = append(lits, e.lit)
+				return true
+			}
+			if !visited[e.to] {
+				visited[e.to] = true
+				if dfs(e.to) {
+					lits = append(lits, e.lit)
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if dfs(src) {
+		return lits
+	}
+	return nil
+}

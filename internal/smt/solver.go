@@ -1,0 +1,661 @@
+// Package smt implements the constraint solver Canary hands its aggregated
+// value-flow guards to (PLDI 2021, §5.2). The paper uses Z3; this package is
+// a from-scratch replacement that decides exactly the fragment Canary
+// generates: propositional combinations of
+//
+//   - opaque branch-condition atoms (plain boolean variables), and
+//   - strict execution-order atoms O_i < O_j (Defn. 2's partial orders).
+//
+// The solver is a CDCL SAT core (two-watched-literal propagation, 1UIP
+// clause learning, activity-based decisions, restarts) with an integrated
+// theory of strict partial orders: each order atom assigned true contributes
+// a directed edge i→j, each assigned false contributes the reverse edge j→i
+// (over a strict total execution order, ¬(i<j) ⟺ j<i for i≠j), and a set of
+// order literals is consistent iff the edge set is acyclic. Cycles become
+// theory conflict clauses, which the CDCL core learns from.
+//
+// The cube-and-conquer parallel strategy of §5.2 is in cube.go.
+package smt
+
+import (
+	"sort"
+
+	"canary/internal/guard"
+)
+
+// Result is the outcome of a Solve call.
+type Result int
+
+// Solve outcomes.
+const (
+	Unknown Result = iota // resource limit exceeded
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// lit is a literal: variable v (1-based) encoded as v<<1 for the positive
+// and v<<1|1 for the negative phase.
+type lit int32
+
+func mkLit(v int, neg bool) lit {
+	l := lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func (l lit) v() int        { return int(l >> 1) }
+func (l lit) negated() bool { return l&1 == 1 }
+func (l lit) not() lit      { return l ^ 1 }
+
+const litUndef lit = -1
+
+type clause struct {
+	lits    []lit
+	learned bool
+	deleted bool
+	act     float64
+}
+
+// Stats counts solver work, used by the evaluation harness.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	TheoryProps  int64 // theory conflict clauses generated
+	Restarts     int64
+}
+
+// Solver is a single-query SMT solver. It is not safe for concurrent use;
+// cube-and-conquer spawns one Solver per cube.
+type Solver struct {
+	pool *guard.Pool
+
+	// Variables. Index 0 unused; vars are 1..nVars.
+	nVars     int
+	assign    []int8 // 0 undef, +1 true, -1 false
+	level     []int32
+	reason    []*clause
+	activity  []float64
+	phase     []bool
+	atomOfVar []guard.Atom // 0 for Tseitin auxiliaries
+	varOfAtom map[guard.Atom]int
+
+	clauses []*clause
+	learnts []*clause
+	watches [][]*clause // indexed by lit
+	varInc  float64
+	claInc  float64
+	// maxLearnts triggers learned-clause database reduction; it grows
+	// geometrically so hard instances keep useful lemmas.
+	maxLearnts int
+
+	// vsids is the activity heap over unassigned variables.
+	vsids varHeap
+
+	trail    []lit
+	trailLim []int
+	qhead    int
+
+	theory *orderTheory
+
+	tseitinMemo map[*guard.Formula]lit
+	asserted    []*guard.Formula // for cloning into cube solvers
+	rootUnsat   bool             // a top-level contradiction was asserted
+
+	// MaxConflicts bounds the search; <=0 means no bound. Exceeding it makes
+	// Solve return Unknown.
+	MaxConflicts int64
+
+	Stats Stats
+
+	seen  []bool // scratch for conflict analysis
+	model []int8 // last satisfying assignment
+}
+
+// New returns a solver over the atoms of pool.
+func New(pool *guard.Pool) *Solver {
+	s := &Solver{
+		pool:        pool,
+		varOfAtom:   make(map[guard.Atom]int),
+		varInc:      1.0,
+		claInc:      1.0,
+		maxLearnts:  4000,
+		tseitinMemo: make(map[*guard.Formula]lit),
+		theory:      newOrderTheory(),
+	}
+	s.vsids.s = s
+	// Slot for var 0 (unused) and lit indexing.
+	s.assign = append(s.assign, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.atomOfVar = append(s.atomOfVar, 0)
+	s.watches = append(s.watches, nil, nil)
+	return s
+}
+
+// newVar allocates a fresh solver variable, optionally bound to a guard
+// atom.
+func (s *Solver) newVar(a guard.Atom) int {
+	s.nVars++
+	v := s.nVars
+	s.assign = append(s.assign, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.atomOfVar = append(s.atomOfVar, a)
+	s.watches = append(s.watches, nil, nil)
+	s.vsids.insert(v)
+	if a != 0 {
+		s.varOfAtom[a] = v
+		if from, to, ok := s.pool.OrderAtom(a); ok {
+			if from == to {
+				// O_i < O_i is theory-false: assert the negation.
+				s.addClause([]lit{mkLit(v, true)})
+			} else {
+				s.theory.register(v, from, to)
+			}
+		}
+	}
+	return v
+}
+
+// varFor returns (allocating on demand) the solver variable of atom a.
+func (s *Solver) varFor(a guard.Atom) int {
+	if v, ok := s.varOfAtom[a]; ok {
+		return v
+	}
+	return s.newVar(a)
+}
+
+func (s *Solver) value(l lit) int8 {
+	v := s.assign[l.v()]
+	if l.negated() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// addClause installs a clause, handling unit and empty cases. Literals must
+// reference existing variables.
+func (s *Solver) addClause(lits []lit) {
+	// Simplify: drop duplicate lits, detect tautology, drop false lits at
+	// level 0.
+	out := lits[:0:len(lits)]
+	seen := make(map[lit]bool, len(lits))
+	for _, l := range lits {
+		if seen[l] {
+			continue
+		}
+		if seen[l.not()] {
+			return // tautology
+		}
+		if s.decisionLevel() == 0 {
+			switch s.value(l) {
+			case 1:
+				return // already satisfied forever
+			case -1:
+				continue // permanently false literal
+			}
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.rootUnsat = true
+		return
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.rootUnsat = true
+		}
+		return
+	}
+	c := &clause{lits: append([]lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].not()] = append(s.watches[c.lits[0].not()], c)
+	s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], c)
+}
+
+// enqueue assigns l true with the given reason; it reports false when l is
+// already false (a conflict the caller must handle).
+func (s *Solver) enqueue(l lit, from *clause) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := l.v()
+	if l.negated() {
+		s.assign[v] = -1
+	} else {
+		s.assign[v] = 1
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.phase[v] = !l.negated()
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs boolean constraint propagation followed by the order
+// theory check; it returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		if conf := s.propagateLit(l); conf != nil {
+			return conf
+		}
+		// Theory: feed the newly assigned literal to the order theory.
+		if conf := s.theoryAssign(l); conf != nil {
+			return conf
+		}
+	}
+	return nil
+}
+
+func (s *Solver) propagateLit(l lit) *clause {
+	ws := s.watches[l]
+	kept := ws[:0]
+	var conflict *clause
+	for i := 0; i < len(ws); i++ {
+		c := ws[i]
+		if c.deleted {
+			continue // dropped from this watch list lazily
+		}
+		if conflict != nil {
+			kept = append(kept, c)
+			continue
+		}
+		// Make sure the false literal is lits[1].
+		if c.lits[0] == l.not() {
+			c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+		}
+		// If lits[0] is true, the clause is satisfied.
+		if s.value(c.lits[0]) == 1 {
+			kept = append(kept, c)
+			continue
+		}
+		// Look for a new literal to watch.
+		moved := false
+		for k := 2; k < len(c.lits); k++ {
+			if s.value(c.lits[k]) != -1 {
+				c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+				s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], c)
+				moved = true
+				break
+			}
+		}
+		if moved {
+			continue
+		}
+		// Clause is unit or conflicting.
+		kept = append(kept, c)
+		if !s.enqueue(c.lits[0], c) {
+			conflict = c
+		}
+	}
+	s.watches[l] = kept
+	return conflict
+}
+
+// theoryAssign adds the order edge implied by l (if l's variable is an
+// order atom) and returns a conflict clause on an order cycle.
+func (s *Solver) theoryAssign(l lit) *clause {
+	v := l.v()
+	e, ok := s.theory.edges[v]
+	if !ok {
+		return nil
+	}
+	u, w := e.from, e.to
+	if l.negated() {
+		u, w = w, u // ¬(i<j) contributes j→i
+	}
+	if cyc := s.theory.addEdge(u, w, l); cyc != nil {
+		s.Stats.TheoryProps++
+		lits := make([]lit, len(cyc))
+		for i, el := range cyc {
+			lits[i] = el.not()
+		}
+		return &clause{lits: lits, learned: true}
+	}
+	return nil
+}
+
+// decide pops the most active unassigned variable from the VSIDS heap.
+func (s *Solver) decide() lit {
+	for {
+		v := s.vsids.popMax()
+		if v == 0 {
+			return litUndef
+		}
+		if s.assign[v] == 0 {
+			return mkLit(v, !s.phase[v])
+		}
+	}
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.vsids.rescale()
+	}
+	s.vsids.update(v)
+}
+
+// bumpClause increases a learned clause's usefulness score.
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learned {
+		return
+	}
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs 1UIP conflict analysis; it returns the learned clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conf *clause) ([]lit, int) {
+	if cap(s.seen) < s.nVars+1 {
+		s.seen = make([]bool, s.nVars+1)
+	}
+	seen := s.seen[:s.nVars+1]
+	for i := range seen {
+		seen[i] = false
+	}
+	learned := []lit{litUndef} // slot 0 for the asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p lit = litUndef
+	s.bumpClause(conf)
+	reasonLits := conf.lits
+	for {
+		for _, q := range reasonLits {
+			if p != litUndef && q == p {
+				continue
+			}
+			v := q.v()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find next literal on the trail to resolve on.
+		for !seen[s.trail[idx].v()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.v()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		r := s.reason[p.v()]
+		if r == nil {
+			// Decision reached with pending paths — should not happen for
+			// 1UIP, but guard anyway.
+			break
+		}
+		s.bumpClause(r)
+		reasonLits = r.lits
+	}
+	learned[0] = p.not()
+	// Backtrack level: second-highest level in the clause.
+	bt := 0
+	if len(learned) > 1 {
+		maxI := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[learned[i].v()] > s.level[learned[maxI].v()] {
+				maxI = i
+			}
+		}
+		learned[1], learned[maxI] = learned[maxI], learned[1]
+		bt = int(s.level[learned[1].v()])
+	}
+	return learned, bt
+}
+
+// backtrackTo undoes assignments above the given decision level.
+func (s *Solver) backtrackTo(levelTo int) {
+	if s.decisionLevel() <= levelTo {
+		return
+	}
+	bound := s.trailLim[levelTo]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.v()
+		s.theory.removeLastFor(v)
+		s.assign[v] = 0
+		s.reason[v] = nil
+		s.vsids.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:levelTo]
+	s.qhead = len(s.trail)
+}
+
+// Solve runs the CDCL search. Subsequent calls re-solve from the root
+// (learned clauses are kept).
+func (s *Solver) Solve() Result { return s.solve(nil) }
+
+// SolveAssuming solves under the given atom assumptions (atom, phase pairs
+// expressed as a map). Used by cube-and-conquer.
+func (s *Solver) SolveAssuming(assumps map[guard.Atom]bool) Result {
+	lits := make([]lit, 0, len(assumps))
+	for a, ph := range assumps {
+		lits = append(lits, mkLit(s.varFor(a), !ph))
+	}
+	return s.solve(lits)
+}
+
+func (s *Solver) solve(assumps []lit) Result {
+	if s.rootUnsat {
+		return Unsat
+	}
+	s.backtrackTo(0)
+	if conf := s.propagate(); conf != nil {
+		s.rootUnsat = true
+		return Unsat
+	}
+	var conflicts int64
+	restartLim := int64(64)
+	sinceRestart := int64(0)
+	for {
+		conf := s.propagate()
+		if conf != nil {
+			conflicts++
+			sinceRestart++
+			s.Stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.rootUnsat = true
+				return Unsat
+			}
+			if s.MaxConflicts > 0 && conflicts > s.MaxConflicts {
+				return Unknown
+			}
+			learned, bt := s.analyze(conf)
+			// Never backtrack past the assumption levels.
+			if bt < len(assumps) && s.decisionLevel() > len(assumps) {
+				bt = minInt(bt, len(assumps))
+			}
+			s.backtrackTo(bt)
+			if len(learned) == 1 {
+				if s.decisionLevel() > 0 {
+					s.backtrackTo(0)
+				}
+				if !s.enqueue(learned[0], nil) {
+					s.rootUnsat = true
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: append([]lit(nil), learned...), learned: true}
+				s.learnts = append(s.learnts, c)
+				s.bumpClause(c)
+				s.watch(c)
+				if !s.enqueue(learned[0], c) {
+					s.rootUnsat = true
+					return Unsat
+				}
+			}
+			s.varInc *= 1.05
+			s.claInc *= 1.001
+			if len(s.learnts) > s.maxLearnts+len(s.trail) {
+				s.reduceDB()
+			}
+			// Assumption conflict: if we backtracked below the assumption
+			// prefix and an assumption is now false, the cube is unsat.
+			if !s.assumpsHold(assumps) {
+				return Unsat
+			}
+			continue
+		}
+		// Restart policy (simple geometric).
+		if sinceRestart > restartLim {
+			sinceRestart = 0
+			restartLim += restartLim / 2
+			s.Stats.Restarts++
+			s.backtrackTo(0)
+			if !s.reassume(assumps) {
+				return Unsat
+			}
+			continue
+		}
+		// Install any pending assumptions as decisions.
+		if s.decisionLevel() < len(assumps) {
+			a := assumps[s.decisionLevel()]
+			switch s.value(a) {
+			case 1:
+				// Already implied: open an empty level to keep indices in
+				// step with the assumption prefix.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case -1:
+				return Unsat
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(a, nil)
+			}
+			continue
+		}
+		next := s.decide()
+		if next == litUndef {
+			// Full assignment, theory kept consistent incrementally: SAT.
+			s.model = append(s.model[:0], s.assign...)
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(next, nil)
+	}
+}
+
+func (s *Solver) assumpsHold(assumps []lit) bool {
+	for i := 0; i < s.decisionLevel() && i < len(assumps); i++ {
+		if s.value(assumps[i]) == -1 {
+			return false
+		}
+	}
+	for _, a := range assumps {
+		if s.value(a) == -1 && s.level[a.v()] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) reassume(assumps []lit) bool {
+	for _, a := range assumps {
+		if s.value(a) == -1 && s.level[a.v()] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reduceDB removes the least useful half of the learned clauses (by
+// activity), keeping binary clauses and clauses currently locked as the
+// reason of an assignment. Deleted clauses are dropped from the watch lists
+// lazily during propagation. The budget then grows so hard instances retain
+// more lemmas.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	// Partition: find the median activity with a copy-sort of activities.
+	acts := make([]float64, 0, len(s.learnts))
+	for _, c := range s.learnts {
+		acts = append(acts, c.act)
+	}
+	sort.Float64s(acts)
+	median := acts[len(acts)/2]
+
+	locked := func(c *clause) bool {
+		v := c.lits[0].v()
+		return s.assign[v] != 0 && s.reason[v] == c
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) == 2 || locked(c) || c.act > median {
+			kept = append(kept, c)
+			continue
+		}
+		c.deleted = true
+	}
+	s.learnts = kept
+	s.maxLearnts += s.maxLearnts / 10
+}
+
+// ValueAtom reports the model value of atom a after a Sat result. ok is
+// false when the atom never reached the solver or no model is available.
+func (s *Solver) ValueAtom(a guard.Atom) (val, ok bool) {
+	v, exists := s.varOfAtom[a]
+	if !exists || len(s.model) <= v {
+		return false, false
+	}
+	return s.model[v] == 1, true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,507 @@
+package smt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"canary/internal/guard"
+)
+
+func b(p *guard.Pool, name string) *guard.Formula { return guard.Var(p.Bool(name)) }
+
+func TestTrivial(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	s.Assert(guard.True())
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("true: got %v", got)
+	}
+	s2 := New(p)
+	s2.Assert(guard.False())
+	if got := s2.Solve(); got != Unsat {
+		t.Fatalf("false: got %v", got)
+	}
+}
+
+func TestSingleVar(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	x := b(p, "x")
+	s.Assert(x)
+	if s.Solve() != Sat {
+		t.Fatal("x should be sat")
+	}
+	if v, ok := s.ValueAtom(p.Bool("x")); !ok || !v {
+		t.Fatal("model must set x true")
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	x := b(p, "x")
+	s.Assert(x)
+	s.Assert(guard.Not(x))
+	if s.Solve() != Unsat {
+		t.Fatal("x ∧ ¬x should be unsat")
+	}
+}
+
+func TestImplicationChainUnsat(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	const n = 20
+	vars := make([]*guard.Formula, n)
+	for i := range vars {
+		vars[i] = b(p, fmt.Sprintf("v%d", i))
+	}
+	s.Assert(vars[0])
+	for i := 0; i+1 < n; i++ {
+		s.Assert(guard.Implies(vars[i], vars[i+1]))
+	}
+	s.Assert(guard.Not(vars[n-1]))
+	if s.Solve() != Unsat {
+		t.Fatal("implication chain with negated head should be unsat")
+	}
+}
+
+func TestDisjunctiveReasoning(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	x, y, z := b(p, "x"), b(p, "y"), b(p, "z")
+	s.Assert(guard.Or(x, y))
+	s.Assert(guard.Or(guard.Not(x), z))
+	s.Assert(guard.Or(guard.Not(y), z))
+	s.Assert(guard.Not(z))
+	if s.Solve() != Unsat {
+		t.Fatal("resolution example should be unsat")
+	}
+}
+
+// Pigeonhole principle PHP(n+1, n): unsat, exercises clause learning.
+func TestPigeonhole(t *testing.T) {
+	const holes = 4
+	const pigeons = holes + 1
+	p := guard.NewPool()
+	s := New(p)
+	at := func(pi, h int) *guard.Formula {
+		return b(p, fmt.Sprintf("p%dh%d", pi, h))
+	}
+	for pi := 0; pi < pigeons; pi++ {
+		var d []*guard.Formula
+		for h := 0; h < holes; h++ {
+			d = append(d, at(pi, h))
+		}
+		s.Assert(guard.Or(d...))
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.Assert(guard.Or(guard.Not(at(p1, h)), guard.Not(at(p2, h))))
+			}
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("pigeonhole must be unsat")
+	}
+	if s.Stats.Conflicts == 0 {
+		t.Error("expected the search to hit conflicts")
+	}
+}
+
+func TestOrderTheoryTwoCycle(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	s.Assert(guard.Var(p.Order(1, 2)))
+	s.Assert(guard.Var(p.Order(2, 1)))
+	if s.Solve() != Unsat {
+		t.Fatal("O1<O2 ∧ O2<O1 must be unsat")
+	}
+}
+
+func TestOrderTheoryTransitivityViaNegation(t *testing.T) {
+	// O1<O2 ∧ O2<O3 ∧ ¬(O1<O3): the negation contributes edge 3→1, closing
+	// a cycle 1→2→3→1.
+	p := guard.NewPool()
+	s := New(p)
+	s.Assert(guard.Var(p.Order(1, 2)))
+	s.Assert(guard.Var(p.Order(2, 3)))
+	s.Assert(guard.Not(guard.Var(p.Order(1, 3))))
+	if s.Solve() != Unsat {
+		t.Fatal("transitivity violation must be unsat")
+	}
+}
+
+func TestOrderTheorySatChain(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	for i := 1; i < 10; i++ {
+		s.Assert(guard.Var(p.Order(i, i+1)))
+	}
+	if s.Solve() != Sat {
+		t.Fatal("a simple chain must be sat")
+	}
+}
+
+func TestOrderReflexiveAtomIsFalse(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	s.Assert(guard.Var(p.Order(5, 5)))
+	if s.Solve() != Unsat {
+		t.Fatal("O5<O5 must be unsat")
+	}
+}
+
+func TestOrderMixedWithBooleans(t *testing.T) {
+	// (θ → O1<O2) ∧ (¬θ → O2<O1) is sat either way; adding O2<O1 ∧ θ makes
+	// it unsat.
+	p := guard.NewPool()
+	theta := b(p, "theta")
+	o12 := guard.Var(p.Order(1, 2))
+	o21 := guard.Var(p.Order(2, 1))
+	s := New(p)
+	s.Assert(guard.Implies(theta, o12))
+	s.Assert(guard.Implies(guard.Not(theta), o21))
+	if s.Solve() != Sat {
+		t.Fatal("guarded orders should be sat")
+	}
+	s2 := New(p)
+	s2.Assert(guard.Implies(theta, o12))
+	s2.Assert(o21)
+	s2.Assert(theta)
+	if s2.Solve() != Unsat {
+		t.Fatal("θ forces O1<O2, conflicting with O2<O1")
+	}
+}
+
+// TestFig5bIrrealizablePath encodes Example 5.1 of the paper: the value-flow
+// path ⟨a@ℓ2, b@ℓ3, b@ℓ4, a@ℓ1⟩ has Φls = O2<O3 ∧ O3<O4 ∧ O4<O1 while Φpo
+// gives O1<O2 ∧ O3<O4; the conjunction is unsat, pruning the path.
+func TestFig5bIrrealizablePath(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	s.Assert(guard.Var(p.Order(2, 3)))
+	s.Assert(guard.Var(p.Order(3, 4)))
+	s.Assert(guard.Var(p.Order(4, 1)))
+	s.Assert(guard.Var(p.Order(1, 2)))
+	if s.Solve() != Unsat {
+		t.Fatal("Fig. 5(b) path must be irrealizable")
+	}
+}
+
+// TestFig2GuardUnsat encodes the motivating example's aggregated guard:
+// (O3<O13 ∧ O13<O6) ∧ θ1 ∧ ¬θ1. The branch contradiction alone refutes it.
+func TestFig2GuardUnsat(t *testing.T) {
+	p := guard.NewPool()
+	s := New(p)
+	theta := b(p, "theta1")
+	s.Assert(guard.Var(p.Order(3, 13)))
+	s.Assert(guard.Var(p.Order(13, 6)))
+	s.Assert(theta)
+	s.Assert(guard.Not(theta))
+	if s.Solve() != Unsat {
+		t.Fatal("Fig. 2 guard must be unsat")
+	}
+}
+
+func TestSolveAssuming(t *testing.T) {
+	p := guard.NewPool()
+	x, y := p.Bool("x"), p.Bool("y")
+	s := New(p)
+	s.Assert(guard.Or(guard.Var(x), guard.Var(y)))
+	if s.SolveAssuming(map[guard.Atom]bool{x: false, y: false}) != Unsat {
+		t.Fatal("assuming both false must be unsat")
+	}
+	if s.SolveAssuming(map[guard.Atom]bool{x: true}) != Sat {
+		t.Fatal("assuming x must be sat")
+	}
+	// Solver stays reusable after assumption solving.
+	if s.Solve() != Sat {
+		t.Fatal("unassumed solve must be sat")
+	}
+}
+
+func TestMaxConflictsReturnsUnknown(t *testing.T) {
+	const holes = 7
+	const pigeons = holes + 1
+	p := guard.NewPool()
+	s := New(p)
+	s.MaxConflicts = 5
+	at := func(pi, h int) *guard.Formula { return b(p, fmt.Sprintf("p%dh%d", pi, h)) }
+	for pi := 0; pi < pigeons; pi++ {
+		var d []*guard.Formula
+		for h := 0; h < holes; h++ {
+			d = append(d, at(pi, h))
+		}
+		s.Assert(guard.Or(d...))
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.Assert(guard.Or(guard.Not(at(p1, h)), guard.Not(at(p2, h))))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("tiny conflict budget should yield Unknown, got %v", got)
+	}
+}
+
+// TestLargePigeonholeExercisesReduction drives the solver through enough
+// conflicts to trigger learned-clause database reduction and checks the
+// verdict stays correct.
+func TestLargePigeonholeExercisesReduction(t *testing.T) {
+	const holes = 8
+	const pigeons = holes + 1
+	p := guard.NewPool()
+	s := New(p)
+	s.maxLearnts = 200 // force several reductions
+	at := func(pi, h int) *guard.Formula { return b(p, fmt.Sprintf("p%dh%d", pi, h)) }
+	for pi := 0; pi < pigeons; pi++ {
+		var d []*guard.Formula
+		for h := 0; h < holes; h++ {
+			d = append(d, at(pi, h))
+		}
+		s.Assert(guard.Or(d...))
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.Assert(guard.Or(guard.Not(at(p1, h)), guard.Not(at(p2, h))))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("php-8 must be unsat, got %v", got)
+	}
+	if s.Stats.Conflicts < 200 {
+		t.Fatalf("expected enough conflicts to trigger reduction, got %d", s.Stats.Conflicts)
+	}
+}
+
+// TestSatisfiableAfterReduction: clause deletion must not break models on
+// satisfiable instances (random 3-SAT at the easy density, re-solved and
+// model-checked).
+func TestSatisfiableAfterReduction(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		p := guard.NewPool()
+		s := New(p)
+		s.maxLearnts = 16
+		whole := guard.And(randomCNFFormula(r, p, 12, 30)...)
+		s.Assert(whole)
+		res := s.Solve()
+		if res != Sat {
+			continue // unsat instances are checked by the brute-force property test
+		}
+		asn := map[guard.Atom]bool{}
+		for i := 0; i < 12; i++ {
+			a := p.Bool(fmt.Sprintf("r%d", i))
+			if v, ok := s.ValueAtom(a); ok {
+				asn[a] = v
+			}
+		}
+		if !whole.Eval(asn) {
+			t.Fatalf("trial %d: model does not satisfy the formula after reductions", trial)
+		}
+	}
+}
+
+func TestCubeAndConquerAgreesWithSequential(t *testing.T) {
+	p := guard.NewPool()
+	x, y, z := b(p, "x"), b(p, "y"), b(p, "z")
+	fs := []*guard.Formula{
+		guard.Or(x, y, z),
+		guard.Or(guard.Not(x), y),
+		guard.Or(guard.Not(y), z),
+		guard.Not(z),
+	}
+	if got := SolveCubeAndConquer(p, fs, CubeOptions{SplitAtoms: 2, Workers: 4}); got != Unsat {
+		t.Fatalf("cube-and-conquer: got %v, want unsat", got)
+	}
+	sat := []*guard.Formula{guard.Or(x, y), guard.Or(guard.Not(x), z)}
+	if got := SolveCubeAndConquer(p, sat, CubeOptions{SplitAtoms: 2, Workers: 4}); got != Sat {
+		t.Fatalf("cube-and-conquer: got %v, want sat", got)
+	}
+}
+
+func TestCubeAndConquerZeroSplitFallsBack(t *testing.T) {
+	p := guard.NewPool()
+	x := b(p, "x")
+	if got := SolveCubeAndConquer(p, []*guard.Formula{x, guard.Not(x)}, CubeOptions{}); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// randomCNFFormula builds a random k-CNF style guard formula.
+func randomCNFFormula(r *rand.Rand, p *guard.Pool, nVars, nClauses int) []*guard.Formula {
+	var fs []*guard.Formula
+	for i := 0; i < nClauses; i++ {
+		width := r.Intn(3) + 1
+		var lits []*guard.Formula
+		for j := 0; j < width; j++ {
+			v := guard.Var(p.Bool(fmt.Sprintf("r%d", r.Intn(nVars))))
+			if r.Intn(2) == 0 {
+				v = guard.Not(v)
+			}
+			lits = append(lits, v)
+		}
+		fs = append(fs, guard.Or(lits...))
+	}
+	return fs
+}
+
+// Property: the solver agrees with brute force on small boolean formulas.
+func TestQuickSolverMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := guard.NewPool()
+		const nVars = 6
+		fs := randomCNFFormula(r, p, nVars, r.Intn(16)+1)
+		s := New(p)
+		whole := guard.And(fs...)
+		s.Assert(whole)
+		got := s.Solve()
+
+		bruteSat := false
+		for m := 0; m < 1<<nVars && !bruteSat; m++ {
+			asn := map[guard.Atom]bool{}
+			for i := 0; i < nVars; i++ {
+				asn[p.Bool(fmt.Sprintf("r%d", i))] = m&(1<<i) != 0
+			}
+			if whole.Eval(asn) {
+				bruteSat = true
+			}
+		}
+		want := Unsat
+		if bruteSat {
+			want = Sat
+		}
+		if got != want {
+			t.Logf("seed %d: got %v want %v", seed, got, want)
+			return false
+		}
+		// If sat, the model must actually satisfy the formula.
+		if got == Sat {
+			asn := map[guard.Atom]bool{}
+			for i := 0; i < nVars; i++ {
+				a := p.Bool(fmt.Sprintf("r%d", i))
+				if v, ok := s.ValueAtom(a); ok {
+					asn[a] = v
+				}
+			}
+			if !whole.Eval(asn) {
+				t.Logf("seed %d: model does not satisfy formula", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conjunctions of random order literals agree with brute-force
+// permutation search over a small label universe.
+func TestQuickOrderTheoryMatchesPermutations(t *testing.T) {
+	const labels = 4
+	perms := permutations(labels)
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := guard.NewPool()
+		s := New(p)
+		type atomLit struct {
+			from, to int
+			pos      bool
+		}
+		n := r.Intn(6) + 1
+		lits := make([]atomLit, 0, n)
+		for i := 0; i < n; i++ {
+			a := atomLit{from: r.Intn(labels), to: r.Intn(labels), pos: r.Intn(2) == 0}
+			if a.from == a.to {
+				a.pos = false // i<i is false; assert its negation to stay satisfiable-ish
+			}
+			lits = append(lits, a)
+			f := guard.Var(p.Order(a.from, a.to))
+			if !a.pos {
+				f = guard.Not(f)
+			}
+			s.Assert(f)
+		}
+		got := s.Solve()
+
+		want := Unsat
+		for _, perm := range perms {
+			ok := true
+			for _, a := range lits {
+				holds := perm[a.from] < perm[a.to]
+				if holds != a.pos {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want = Sat
+				break
+			}
+		}
+		if got != want {
+			t.Logf("seed %d: got %v want %v (lits %v)", seed, got, want, lits)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// permutations returns all position assignments of n labels.
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if !used[v] {
+				used[v] = true
+				perm[i] = v
+				rec(i + 1)
+				used[v] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Property: cube-and-conquer agrees with the sequential solver.
+func TestQuickCubeAndConquerMatchesSequential(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := guard.NewPool()
+		fs := randomCNFFormula(r, p, 5, r.Intn(14)+1)
+		s := New(p)
+		for _, f := range fs {
+			s.Assert(f)
+		}
+		seq := s.Solve()
+		par := SolveCubeAndConquer(p, fs, CubeOptions{SplitAtoms: 2, Workers: 3})
+		if seq != par {
+			t.Logf("seed %d: sequential %v, cube %v", seed, seq, par)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

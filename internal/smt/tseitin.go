@@ -1,0 +1,96 @@
+package smt
+
+import "canary/internal/guard"
+
+// Assert adds the guard formula f as a top-level constraint, converting it
+// to CNF with the Tseitin transformation. Subformulas are memoized by
+// pointer, so the structure sharing produced by guard constructors keeps
+// the encoding small.
+func (s *Solver) Assert(f *guard.Formula) {
+	s.asserted = append(s.asserted, f)
+	switch f.Kind() {
+	case guard.KTrue:
+		return
+	case guard.KFalse:
+		s.rootUnsat = true
+		return
+	case guard.KAnd:
+		// Top-level conjunctions assert each conjunct directly, avoiding an
+		// auxiliary variable for the root.
+		for _, sub := range f.Subs() {
+			s.assertTop(sub)
+		}
+		return
+	}
+	s.assertTop(f)
+}
+
+func (s *Solver) assertTop(f *guard.Formula) {
+	switch f.Kind() {
+	case guard.KTrue:
+		return
+	case guard.KFalse:
+		s.rootUnsat = true
+		return
+	}
+	l := s.tseitin(f)
+	s.addClause([]lit{l})
+}
+
+// tseitin returns a literal equisatisfiably representing f.
+func (s *Solver) tseitin(f *guard.Formula) lit {
+	if l, ok := s.tseitinMemo[f]; ok {
+		return l
+	}
+	var out lit
+	switch f.Kind() {
+	case guard.KTrue, guard.KFalse:
+		// Encode constants with a fresh var pinned by a unit clause.
+		v := s.newVar(0)
+		out = mkLit(v, f.Kind() == guard.KFalse)
+		s.addClause([]lit{mkLit(v, false)})
+		if f.Kind() == guard.KFalse {
+			out = mkLit(v, true)
+		}
+	case guard.KVar:
+		out = mkLit(s.varFor(f.Atom()), false)
+	case guard.KNot:
+		out = s.tseitin(f.Subs()[0]).not()
+	case guard.KAnd:
+		subs := f.Subs()
+		inner := make([]lit, len(subs))
+		for i, sub := range subs {
+			inner[i] = s.tseitin(sub)
+		}
+		a := mkLit(s.newVar(0), false)
+		// a → s_i for each i; (⋀ s_i) → a.
+		long := make([]lit, 0, len(inner)+1)
+		long = append(long, a)
+		for _, si := range inner {
+			s.addClause([]lit{a.not(), si})
+			long = append(long, si.not())
+		}
+		s.addClause(long)
+		out = a
+	case guard.KOr:
+		subs := f.Subs()
+		inner := make([]lit, len(subs))
+		for i, sub := range subs {
+			inner[i] = s.tseitin(sub)
+		}
+		a := mkLit(s.newVar(0), false)
+		// s_i → a for each i; a → ⋁ s_i.
+		long := make([]lit, 0, len(inner)+1)
+		long = append(long, a.not())
+		for _, si := range inner {
+			s.addClause([]lit{si.not(), a})
+			long = append(long, si)
+		}
+		s.addClause(long)
+		out = a
+	default:
+		panic("smt: bad formula kind")
+	}
+	s.tseitinMemo[f] = out
+	return out
+}

@@ -1,0 +1,249 @@
+// Package vfg implements the guarded value-flow graph at the heart of
+// Canary (PLDI 2021, §3.1). Nodes are abstract memory objects and SSA
+// variable definitions (v@ℓ); edges are value flows annotated with the
+// guard under which the flow happens. Direct edges come from copies, φs,
+// parameter bindings and operand flows; indirect edges connect a store to a
+// load through a memory object and carry, besides the alias guard, the
+// bookkeeping needed to generate the load–store order constraints Φ_ls
+// lazily at the bug-checking stage (§4.2.2).
+package vfg
+
+import (
+	"fmt"
+
+	"canary/internal/guard"
+	"canary/internal/ir"
+)
+
+// NodeID indexes a node. 0 is invalid.
+type NodeID int
+
+// NodeKind discriminates node types.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	NodeVar NodeKind = iota // an SSA variable definition v@ℓ
+	NodeObj                 // an abstract memory object
+)
+
+// Node is a VFG node.
+type Node struct {
+	ID     NodeID
+	Kind   NodeKind
+	Var    ir.VarID // for NodeVar
+	Obj    ir.ObjID // for NodeObj
+	Def    ir.Label // defining label (NoLabel for objects/parameters)
+	Thread int      // thread of the definition (-1 for objects)
+}
+
+// EdgeKind discriminates value-flow edge types.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// EdgeDirect is an intra-thread (or parameter-passing) direct flow.
+	EdgeDirect EdgeKind = iota
+	// EdgeDD is an indirect intra-thread store→load data dependence.
+	EdgeDD
+	// EdgeInterference is an indirect cross-thread store→load flow
+	// (Defn. 1's interference dependence).
+	EdgeInterference
+	// EdgeObj is the base pointed-to-by edge from an object to the
+	// variable its allocation/address-of defines.
+	EdgeObj
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeDirect:
+		return "direct"
+	case EdgeDD:
+		return "dd"
+	case EdgeInterference:
+		return "id"
+	case EdgeObj:
+		return "obj"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+}
+
+// EdgeID indexes an edge.
+type EdgeID int
+
+// Edge is a guarded value-flow edge.
+type Edge struct {
+	ID    EdgeID
+	From  NodeID
+	To    NodeID
+	Kind  EdgeKind
+	Guard *guard.Formula
+	// Store/Load/Obj/Field describe indirect edges: the flow goes from the
+	// store at Store to the load at Load through field Field of object Obj
+	// ("" = the whole cell).
+	Store ir.Label
+	Load  ir.Label
+	Obj   ir.ObjID
+	Field string
+}
+
+type edgeKey struct {
+	from, to NodeID
+	kind     EdgeKind
+	store    ir.Label
+	load     ir.Label
+	obj      ir.ObjID
+	field    string
+}
+
+// Graph is a guarded value-flow graph over one lowered program.
+type Graph struct {
+	Prog *ir.Program
+
+	nodes   []Node
+	varNode map[ir.VarID]NodeID
+	objNode map[ir.ObjID]NodeID
+	edges   []Edge
+	out     [][]EdgeID
+	in      [][]EdgeID
+	edgeIdx map[edgeKey]EdgeID
+
+	// objStores maps each location (object, field) to the stores that may
+	// define it — the superset from which the S(l) sets of Eq. 2 and the
+	// intervening-store competitors of Φ_ls are drawn at checking time.
+	objStores map[Loc][]StoreRef
+}
+
+// Loc is a field-sensitive memory location: a field of an abstract object
+// ("" = the whole cell).
+type Loc struct {
+	Obj   ir.ObjID
+	Field string
+}
+
+// StoreRef is a store that may define an object, under the given guard
+// (the store's path condition conjoined with its alias condition).
+type StoreRef struct {
+	Store ir.Label
+	Guard *guard.Formula
+}
+
+// New returns an empty graph over prog.
+func New(prog *ir.Program) *Graph {
+	return &Graph{
+		Prog:      prog,
+		varNode:   make(map[ir.VarID]NodeID),
+		objNode:   make(map[ir.ObjID]NodeID),
+		edgeIdx:   make(map[edgeKey]EdgeID),
+		objStores: make(map[Loc][]StoreRef),
+	}
+}
+
+// VarNode interns the node of SSA variable v.
+func (g *Graph) VarNode(v ir.VarID) NodeID {
+	if n, ok := g.varNode[v]; ok {
+		return n
+	}
+	info := g.Prog.Var(v)
+	def := info.Def
+	thread := -1
+	if def != ir.NoLabel && def >= 0 {
+		thread = g.Prog.Inst(def).Thread
+	}
+	n := g.addNode(Node{Kind: NodeVar, Var: v, Def: def, Thread: thread})
+	g.varNode[v] = n
+	return n
+}
+
+// ObjNode interns the node of object o.
+func (g *Graph) ObjNode(o ir.ObjID) NodeID {
+	if n, ok := g.objNode[o]; ok {
+		return n
+	}
+	n := g.addNode(Node{Kind: NodeObj, Obj: o, Def: g.Prog.Obj(o).Alloc, Thread: -1})
+	g.objNode[o] = n
+	return n
+}
+
+func (g *Graph) addNode(n Node) NodeID {
+	n.ID = NodeID(len(g.nodes) + 1)
+	g.nodes = append(g.nodes, n)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return n.ID
+}
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id-1] }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
+
+// Out returns the outgoing edge ids of n.
+func (g *Graph) Out(n NodeID) []EdgeID { return g.out[n-1] }
+
+// In returns the incoming edge ids of n.
+func (g *Graph) In(n NodeID) []EdgeID { return g.in[n-1] }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts (or widens the guard of) an edge. It reports whether the
+// edge is new. Duplicate edges (same endpoints, kind and indirect
+// bookkeeping) have their guards joined with ∨.
+func (g *Graph) AddEdge(e Edge) bool {
+	key := edgeKey{from: e.From, to: e.To, kind: e.Kind, store: e.Store, load: e.Load, obj: e.Obj, field: e.Field}
+	if id, ok := g.edgeIdx[key]; ok {
+		old := &g.edges[id]
+		old.Guard = guard.Or(old.Guard, e.Guard)
+		return false
+	}
+	e.ID = EdgeID(len(g.edges))
+	g.edges = append(g.edges, e)
+	g.edgeIdx[key] = e.ID
+	g.out[e.From-1] = append(g.out[e.From-1], e.ID)
+	g.in[e.To-1] = append(g.in[e.To-1], e.ID)
+	return true
+}
+
+// AddObjStore records that the store at ref.Store may define location l.
+// Duplicates are merged by guard disjunction.
+func (g *Graph) AddObjStore(l Loc, ref StoreRef) {
+	for i, r := range g.objStores[l] {
+		if r.Store == ref.Store {
+			g.objStores[l][i].Guard = guard.Or(r.Guard, ref.Guard)
+			return
+		}
+	}
+	g.objStores[l] = append(g.objStores[l], ref)
+}
+
+// ObjStores returns all stores that may define location l.
+func (g *Graph) ObjStores(l Loc) []StoreRef {
+	return g.objStores[l]
+}
+
+// EdgeCountByKind tallies edges per kind (for evaluation stats).
+func (g *Graph) EdgeCountByKind() map[EdgeKind]int {
+	out := make(map[EdgeKind]int)
+	for i := range g.edges {
+		out[g.edges[i].Kind]++
+	}
+	return out
+}
+
+// NodeString renders node n for reports.
+func (g *Graph) NodeString(id NodeID) string {
+	n := g.Node(id)
+	if n.Kind == NodeObj {
+		return g.Prog.Obj(n.Obj).Name
+	}
+	name := g.Prog.VarName(n.Var)
+	if n.Def == ir.NoLabel {
+		return name
+	}
+	return fmt.Sprintf("%s@ℓ%d", name, n.Def)
+}

@@ -1,0 +1,120 @@
+package workload
+
+import "math"
+
+// Project is a catalogue entry: a Spec standing in for one of the twenty
+// open-source subjects of the paper's Table 1, with the Canary-column
+// ground truth (true positives and unprunable false positives) seeded to
+// match the paper's reported #Reports and FP counts.
+type Project struct {
+	Spec
+	// PaperSaberReports / PaperFsamReports / PaperCanaryReports record the
+	// counts the paper's Table 1 lists (NA = -1), for side-by-side printing.
+	PaperSaberReports  int
+	PaperFsamReports   int
+	PaperCanaryReports int
+	PaperCanaryFPs     int
+}
+
+// table1 mirrors the paper's Table 1 rows: name, KLoC, Saber reports, Fsam
+// reports, Canary FPs, Canary reports (NA = -1).
+var table1 = []struct {
+	name    string
+	kloc    float64
+	saber   int
+	fsam    int
+	cFP     int
+	cReport int
+}{
+	{"lrzip", 16, 63, 32, 0, 2},
+	{"lwan", 20, 89, 44, 0, 1},
+	{"leveldb", 21, 0, 0, 1, 1},
+	{"darknet", 29, 3636, 144, 0, 0},
+	{"coturn", 39, 1477, 368, 0, 2},
+	{"httrack", 49, 134, -1, 1, 1},
+	{"finedb", 51, 421, -1, 0, 1},
+	{"tcpdump", 85, 0, -1, 0, 0},
+	{"transmission", 88, 299, -1, 0, 2},
+	{"celix", 107, 3782, -1, 0, 0},
+	{"redis", 219, 0, -1, 0, 0},
+	{"git", 239, -1, -1, 0, 0},
+	{"zfs", 367, -1, -1, 0, 1},
+	{"HP-Socket", 426, -1, -1, 0, 0},
+	{"openssl", 451, -1, -1, 1, 1},
+	{"poco", 705, -1, -1, 0, 0},
+	{"mariadb", 1751, -1, -1, 0, 1},
+	{"ffmpeg", 2003, -1, -1, 0, 0},
+	{"mysql", 3118, -1, -1, 0, 0},
+	{"firefox", 8938, -1, -1, 1, 2},
+}
+
+// Projects returns the twenty-subject catalogue. lineScale controls the
+// generated size: a subject of K KLoC becomes roughly 150 + K·1000·lineScale
+// generated lines (the paper's testbed sizes scaled down to laptop scale;
+// the substitution table in DESIGN.md explains why the shape survives).
+func Projects(lineScale float64) []Project {
+	if lineScale <= 0 {
+		lineScale = 0.004
+	}
+	out := make([]Project, 0, len(table1))
+	for i, row := range table1 {
+		tp := row.cReport - row.cFP
+		spec := Spec{
+			Name:          row.name,
+			KLoC:          row.kloc,
+			Lines:         150 + int(row.kloc*1000*lineScale),
+			Seed:          int64(1000 + i),
+			TruePositives: tp,
+			CanaryFPs:     row.cFP,
+			Fig2Traps:     1 + int(row.kloc/150),
+			OrderTraps:    1 + int(row.kloc/250),
+			LockTraps:     1 + int(row.kloc/400),
+			SaberTraps:    1 + int(row.kloc/120),
+			Fan:           2 + min(int(row.kloc/100), 6),
+		}
+		out = append(out, Project{
+			Spec:               spec,
+			PaperSaberReports:  row.saber,
+			PaperFsamReports:   row.fsam,
+			PaperCanaryReports: row.cReport,
+			PaperCanaryFPs:     row.cFP,
+		})
+	}
+	return out
+}
+
+// SizeSweep returns specs of increasing size for the Fig. 8 scalability
+// fit: n subjects spaced geometrically between minLines and maxLines.
+func SizeSweep(n, minLines, maxLines int) []Spec {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]Spec, 0, n)
+	ratio := math.Pow(float64(maxLines)/float64(minLines), 1/float64(n-1))
+	lines := float64(minLines)
+	for i := 0; i < n; i++ {
+		l := int(lines)
+		out = append(out, Spec{
+			Name:          "sweep",
+			KLoC:          float64(l) / 1000,
+			Lines:         l,
+			Seed:          int64(7000 + i),
+			TruePositives: 1 + l/4000,
+			CanaryFPs:     l / 12000,
+			Fig2Traps:     1 + l/3000,
+			OrderTraps:    1 + l/5000,
+			LockTraps:     1 + l/8000,
+			SaberTraps:    1 + l/6000,
+			Fan:           3,
+		})
+		lines *= ratio
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

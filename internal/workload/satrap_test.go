@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"context"
+	"testing"
+
+	"canary/internal/baseline"
+	"canary/internal/core"
+	"canary/internal/ir"
+	"canary/internal/lang"
+)
+
+// TestSaberTrapSeparatesTools verifies the sa_ pattern's tool profile:
+// reported by the flow-insensitive baseline, pruned by the flow-sensitive
+// ones.
+func TestSaberTrapSeparatesTools(t *testing.T) {
+	spec := Spec{Name: "satrap", Lines: 0, Seed: 5, SaberTraps: 2, Fan: 2}
+	src := Generate(spec)
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast, ir.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := baseline.Saber{}.BuildVFG(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(baseline.CheckReachability(sres.G, "use-after-free")); n == 0 {
+		t.Error("Saber should report the flow-order trap")
+	}
+	fres, err := baseline.Fsam{}.BuildVFG(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(baseline.CheckReachability(fres.G, "use-after-free")); n != 0 {
+		t.Errorf("flow-sensitive Fsam should prune the trap, got %d reports", n)
+	}
+	b := core.Build(prog, core.DefaultBuild())
+	opt := core.DefaultCheck()
+	opt.Checkers = []string{core.CheckUAF}
+	opt.RequireInterThread = false // the trap is sequential
+	rs, _ := b.Check(opt)
+	if len(rs) != 0 {
+		t.Errorf("Canary should prune the trap, got %v", rs)
+	}
+}

@@ -1,0 +1,379 @@
+// Package workload generates the synthetic evaluation subjects that stand
+// in for the paper's twenty open-source C/C++ projects (§7, Table 1).
+//
+// Each subject is a deterministic (seeded) program in the lang language,
+// assembled from independent modules. Modules mix plain compute/pointer
+// filler with seeded bug patterns whose ground truth is encoded in function
+// name prefixes, so the evaluation can compute true/false-positive rates
+// without manual triage:
+//
+//	tp_   — a realizable inter-thread bug (true positive for every tool)
+//	fpc_  — a semantically-infeasible bug that *no* static tool in this
+//	        comparison can prune (uncorrelated branch atoms): a deliberate
+//	        Canary false positive, modelling the paper's 26.67% FP rate
+//	fig2_ — the Fig. 2 contradictory-guard trap (Canary prunes; the
+//	        path-insensitive baselines report)
+//	ord_  — an order-infeasible trap (use strictly before fork, or free
+//	        strictly after join; Canary's MHP/Φ_po prunes)
+//	lock_ — a mutual-exclusion trap (pruned only with the lock extension)
+//
+// A report whose source site is in a tp_ function is a true positive;
+// everything else is a false positive.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Spec describes one synthetic subject.
+type Spec struct {
+	Name string
+	// KLoC is the size of the real project the subject stands in for
+	// (Table 1's Size column).
+	KLoC float64
+	// Lines is the approximate size of the generated program.
+	Lines int
+	Seed  int64
+
+	// Seeded pattern counts.
+	TruePositives int // tp_  (realizable inter-thread UAFs)
+	CanaryFPs     int // fpc_ (unprunable infeasible bugs)
+	Fig2Traps     int // fig2_
+	OrderTraps    int // ord_
+	LockTraps     int // lock_
+	SaberTraps    int // sa_  (flow-order traps only flow-insensitive tools report)
+
+	// Fan multiplies the dereference sites inside trap modules; the
+	// path-insensitive baselines report once per (free, deref) pair, so
+	// larger subjects inflate baseline report counts the way Table 1's do.
+	Fan int
+}
+
+// TruePositive reports whether a source-site function name marks a seeded
+// real bug.
+func TruePositive(fn string) bool { return strings.HasPrefix(fn, "tp_") }
+
+// Generate produces the subject's source text. The same spec always
+// generates the same program.
+func Generate(spec Spec) string {
+	r := rand.New(rand.NewSource(spec.Seed))
+	g := &gen{r: r, spec: spec}
+	return g.program()
+}
+
+type gen struct {
+	r    *rand.Rand
+	spec Spec
+	b    strings.Builder
+	// lines approximates emitted line count.
+	lines   int
+	modN    int
+	fillerN int
+}
+
+func (g *gen) pf(format string, args ...interface{}) {
+	s := fmt.Sprintf(format, args...)
+	g.b.WriteString(s)
+	g.lines += strings.Count(s, "\n")
+}
+
+// program lays out: bug-pattern modules first (fixed), then filler modules
+// until the line budget is reached, then main calling every module.
+func (g *gen) program() string {
+	var modules []string
+
+	for i := 0; i < g.spec.TruePositives; i++ {
+		modules = append(modules, g.tpModule(i))
+	}
+	for i := 0; i < g.spec.CanaryFPs; i++ {
+		modules = append(modules, g.fpcModule(i))
+	}
+	for i := 0; i < g.spec.Fig2Traps; i++ {
+		modules = append(modules, g.fig2Module(i))
+	}
+	for i := 0; i < g.spec.OrderTraps; i++ {
+		modules = append(modules, g.ordModule(i))
+	}
+	for i := 0; i < g.spec.LockTraps; i++ {
+		modules = append(modules, g.lockModule(i))
+	}
+	for i := 0; i < g.spec.SaberTraps; i++ {
+		modules = append(modules, g.saberModule(i))
+	}
+	for g.lines < g.spec.Lines {
+		modules = append(modules, g.fillerModule())
+	}
+
+	g.pf("func main() {\n")
+	for _, m := range modules {
+		g.pf("  %s();\n", m)
+	}
+	g.pf("}\n")
+	return g.b.String()
+}
+
+// fresh returns a unique module id.
+func (g *gen) fresh() int {
+	g.modN++
+	return g.modN
+}
+
+// tpModule seeds a realizable inter-thread use-after-free: the producer
+// thread publishes a heap object into a shared cell and frees it while the
+// consumer (here: the spawning context) may still load and dereference it.
+func (g *gen) tpModule(i int) string {
+	id := g.fresh()
+	mod := fmt.Sprintf("tp_uaf_mod%d", id)
+	w := fmt.Sprintf("tp_uaf_worker%d", id)
+	g.pf(`
+func %[2]s(cell) {
+  payload = malloc();
+  *cell = payload;
+  free(payload);
+}
+func %[1]s() {
+  cell%[3]d = malloc();
+  seed%[3]d = malloc();
+  *cell%[3]d = seed%[3]d;
+  fork(t%[3]d, %[2]s, cell%[3]d);
+  got = *cell%[3]d;
+  print(*got);
+}
+`, mod, w, id)
+	_ = i
+	return mod
+}
+
+// fpcModule seeds a bug that is infeasible in the modelled program (the
+// two modes are semantically exclusive) but whose branch conditions are
+// distinct atoms, so no tool in the comparison can refute it: a Canary
+// false positive by ground truth.
+func (g *gen) fpcModule(i int) string {
+	id := g.fresh()
+	mod := fmt.Sprintf("fpc_uaf_mod%d", id)
+	w := fmt.Sprintf("fpc_uaf_worker%d", id)
+	g.pf(`
+func %[2]s(cell) {
+  payload = malloc();
+  if (mode%[3]d_writer) {
+    *cell = payload;
+    free(payload);
+  }
+}
+func %[1]s() {
+  cell%[3]d = malloc();
+  seed%[3]d = malloc();
+  *cell%[3]d = seed%[3]d;
+  fork(t%[3]d, %[2]s, cell%[3]d);
+  if (mode%[3]d_reader) {
+    got = *cell%[3]d;
+    print(*got);
+  }
+}
+`, mod, w, id)
+	_ = i
+	return mod
+}
+
+// fig2Module seeds the paper's motivating false-positive trap: the store
+// and the load are guarded by complementary conditions on the same atom.
+// Fan extra dereference sites multiply the baseline reports.
+func (g *gen) fig2Module(i int) string {
+	id := g.fresh()
+	mod := fmt.Sprintf("fig2_uaf_mod%d", id)
+	w := fmt.Sprintf("fig2_uaf_worker%d", id)
+	g.pf(`
+func %[2]s(cell) {
+  payload = malloc();
+  if (!theta%[3]d) {
+    *cell = payload;
+    free(payload);
+  }
+}
+func %[1]s() {
+  cell%[3]d = malloc();
+  seed%[3]d = malloc();
+  *cell%[3]d = seed%[3]d;
+  fork(t%[3]d, %[2]s, cell%[3]d);
+  if (theta%[3]d) {
+`, mod, w, id)
+	for f := 0; f < g.fan(); f++ {
+		g.pf("    got%d = *cell%d;\n    print(*got%d);\n", f, id, f)
+	}
+	g.pf("  }\n}\n")
+	_ = i
+	return mod
+}
+
+// ordModule seeds an order-infeasible trap: the consumer is joined before
+// the free, so every use strictly precedes the free on every execution.
+func (g *gen) ordModule(i int) string {
+	id := g.fresh()
+	mod := fmt.Sprintf("ord_uaf_mod%d", id)
+	w := fmt.Sprintf("ord_uaf_reader%d", id)
+	g.pf("\nfunc %s(cell) {\n", w)
+	for f := 0; f < g.fan(); f++ {
+		g.pf("  got%d = *cell;\n  print(*got%d);\n", f, f)
+	}
+	g.pf("}\n")
+	g.pf(`func %[1]s() {
+  cell%[2]d = malloc();
+  payload%[2]d = malloc();
+  *cell%[2]d = payload%[2]d;
+  fork(t%[2]d, %[3]s, cell%[2]d);
+  join(t%[2]d);
+  free(payload%[2]d);
+}
+`, mod, id, w)
+	_ = i
+	return mod
+}
+
+// saberModule seeds a purely sequential flow-order trap: the dereference
+// happens strictly before the victim is ever stored into the cell, so any
+// flow-sensitive analysis (Fsam, Canary) sees no store→load dependence —
+// only the flow-insensitive cross product (Saber) connects them. This is
+// what makes Saber's report counts exceed Fsam's in Table 1.
+func (g *gen) saberModule(i int) string {
+	id := g.fresh()
+	mod := fmt.Sprintf("sa_uaf_mod%d", id)
+	g.pf("\nfunc %s() {\n", mod)
+	g.pf("  cell%d = malloc();\n", id)
+	g.pf("  seed%d = malloc();\n", id)
+	g.pf("  *cell%d = seed%d;\n", id, id)
+	for f := 0; f < g.fan(); f++ {
+		g.pf("  got%d = *cell%d;\n  print(*got%d);\n", f, id, f)
+	}
+	g.pf("  victim%d = malloc();\n", id)
+	g.pf("  *cell%d = victim%d;\n", id, id)
+	g.pf("  free(victim%d);\n", id)
+	g.pf("}\n")
+	_ = i
+	return mod
+}
+
+func (g *gen) fan() int {
+	if g.spec.Fan < 1 {
+		return 1
+	}
+	return g.spec.Fan
+}
+
+// lockModule seeds the mutual-exclusion trap: the freed object is only in
+// the shared cell within a critical section that also removes it, and the
+// reader locks the same mutex — only the lock/unlock extension prunes it.
+func (g *gen) lockModule(i int) string {
+	id := g.fresh()
+	mod := fmt.Sprintf("lock_uaf_mod%d", id)
+	w := fmt.Sprintf("lock_uaf_writer%d", id)
+	g.pf(`
+global lockmu%[3]d;
+func %[2]s(cell) {
+  payload = malloc();
+  fresh = malloc();
+  lock(lockmu%[3]d);
+  *cell = payload;
+  free(payload);
+  *cell = fresh;
+  unlock(lockmu%[3]d);
+}
+func %[1]s() {
+  cell%[3]d = malloc();
+  seed%[3]d = malloc();
+  *cell%[3]d = seed%[3]d;
+  fork(t%[3]d, %[2]s, cell%[3]d);
+  lock(lockmu%[3]d);
+  got = *cell%[3]d;
+  print(*got);
+  unlock(lockmu%[3]d);
+}
+`, mod, w, id)
+	_ = i
+	return mod
+}
+
+// fillerModule emits realistic non-buggy code: compute helpers, pointer
+// shuffling, branches, loops, and a benign producer/consumer pair whose
+// object is never freed. The copy chains and shared loads are what the
+// exhaustive baselines pay for.
+func (g *gen) fillerModule() string {
+	id := g.fresh()
+	mod := fmt.Sprintf("filler_mod%d", id)
+
+	// A couple of compute helpers.
+	nHelpers := g.r.Intn(3) + 1
+	var helperNames []string
+	for h := 0; h < nHelpers; h++ {
+		g.fillerN++
+		name := fmt.Sprintf("calc%d", g.fillerN)
+		helperNames = append(helperNames, name)
+		g.pf(`
+func %s(a, b) {
+  t1 = a + b;
+  t2 = t1 - a;
+  if (flag%d) {
+    t2 = t2 + t1;
+  }
+  return t2;
+}
+`, name, g.r.Intn(8))
+	}
+
+	// A benign worker: stores a fresh (never freed) object, sometimes
+	// through a record field.
+	worker := fmt.Sprintf("filler_worker%d", id)
+	if g.r.Intn(3) == 0 {
+		g.pf(`
+func %s(cell) {
+  item = malloc();
+  cell.payload = item;
+  v = cell.payload;
+  print(*v);
+  meta = malloc();
+  cell.meta = meta;
+}
+`, worker)
+	} else {
+		g.pf(`
+func %s(cell) {
+  item = malloc();
+  *cell = item;
+  v = *cell;
+  print(*v);
+}
+`, worker)
+	}
+
+	// Module body: locals, copy chains, loop, fork/join of the benign
+	// worker, a few helper calls.
+	g.pf("func %s() {\n", mod)
+	g.pf("  cell%d = malloc();\n", id)
+	g.pf("  init%d = malloc();\n", id)
+	g.pf("  *cell%d = init%d;\n", id, id)
+	chain := g.r.Intn(6) + 2
+	prev := fmt.Sprintf("cell%d", id)
+	for c := 0; c < chain; c++ {
+		cur := fmt.Sprintf("alias%d_%d", id, c)
+		g.pf("  %s = %s;\n", cur, prev)
+		prev = cur
+	}
+	g.pf("  x0 = 1;\n")
+	for c, name := range helperNames {
+		g.pf("  x%d = %s(x%d, x%d);\n", c+1, name, c, c)
+	}
+	g.pf("  i%d = 0;\n", id)
+	g.pf("  while (i%d < 4) {\n", id)
+	g.pf("    i%d = i%d + 1;\n", id, id)
+	g.pf("    probe = *%s;\n", prev)
+	g.pf("  }\n")
+	g.pf("  fork(tw%d, %s, %s);\n", id, worker, prev)
+	if g.r.Intn(2) == 0 {
+		g.pf("  join(tw%d);\n", id)
+	}
+	g.pf("  out = *cell%d;\n", id)
+	g.pf("  print(*out);\n")
+	g.pf("}\n")
+	return mod
+}
