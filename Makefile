@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+## check: the full CI gate — vet, build, and race-enabled tests.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+## bench: the quick benchmark suite (one bench per paper table/figure).
+bench:
+	$(GO) test -run - -bench . -benchmem .

@@ -317,6 +317,63 @@ func BenchmarkAblationFactPropagation(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeParallel measures the whole analysis (parallel VFG build
+// + deterministic checking pool) at several worker-pool sizes on the
+// largest bench subject. The output is identical at every size — the pool
+// is a throughput knob only — so the series is directly comparable.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	spec := workload.SizeSweep(1, 3200, 3200)[0]
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog := lowerSpec(b, spec)
+				b.StartTimer()
+				bopt := core.DefaultBuild()
+				bopt.Workers = workers
+				builder := core.Build(prog, bopt)
+				copt := core.DefaultCheck()
+				copt.Checkers = []string{core.CheckUAF}
+				copt.Workers = workers
+				builder.Check(copt)
+			}
+		})
+	}
+}
+
+// BenchmarkCheckCached measures a repeated Analysis.Check round: the first
+// round populates the shared SMT query cache, so the measured rounds replay
+// verdicts instead of re-solving. Fact propagation is disabled to route
+// every undecided path constraint through the solver (and hence the cache).
+func BenchmarkCheckCached(b *testing.B) {
+	opt := DefaultOptions()
+	opt.Checkers = []string{CheckUseAfterFree}
+	opt.FactPropagation = false
+	a, err := NewAnalysis(workload.Generate(workload.SizeSweep(1, 2000, 2000)[0]), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := a.Check(); err != nil { // cold round: fills the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var hits, misses int
+	for i := 0; i < b.N; i++ {
+		res, err := a.Check()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits = res.Check.CacheHits
+		misses = res.Check.CacheMisses
+	}
+	b.ReportMetric(float64(hits), "cachehits")
+	b.ReportMetric(float64(misses), "cachemisses")
+	if hits == 0 {
+		b.Fatal("warm Check round produced no SMT cache hits")
+	}
+}
+
 // BenchmarkSolver measures the raw SMT core on pigeonhole instances.
 func BenchmarkSolver(b *testing.B) {
 	for _, holes := range []int{5, 6, 7} {

@@ -29,10 +29,18 @@ import (
 	"time"
 
 	"canary/internal/core"
+	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/lang"
 	"canary/internal/smt"
 )
+
+// GuardInternStats returns the cumulative process-wide hit and miss counts
+// of the global guard hash-cons interner. Hits concentrate where structured
+// formulas are constructed repeatedly — lowering, Φ_ls/Φ_po encoding during
+// checking — and a repeated analysis of the same program interns with ~100%
+// hits. VFGStats.CacheHits is the per-build slice of this counter.
+func GuardInternStats() (hits, misses uint64) { return guard.InternStats() }
 
 // Checker names accepted in Options.Checkers.
 const (
@@ -83,7 +91,10 @@ type Options struct {
 	// FactPropagation enables the customized order-fact decision procedure
 	// that settles or shrinks queries before the SMT solver.
 	FactPropagation bool
-	// Workers parallelizes source–sink checking; 0/1 means sequential.
+	// Workers sizes the worker pools of both the parallel VFG build and the
+	// source–sink checking stage. 0 (the default) means one worker per
+	// logical CPU; 1 forces a fully sequential pipeline. Results are
+	// byte-identical for every worker count.
 	Workers int
 	// CubeAndConquer enables the parallel SMT strategy per query.
 	CubeAndConquer bool
@@ -104,7 +115,7 @@ func DefaultOptions() Options {
 		CondVarOrder:       true,
 		MemoryModel:        "sc",
 		FactPropagation:    true,
-		Workers:            1,
+		Workers:            0, // all CPUs
 		MaxConflicts:       200000,
 	}
 }
@@ -161,6 +172,14 @@ type VFGStats struct {
 	EscapedObjects    int
 	Iterations        int
 	BuildTime         time.Duration
+	// ParallelBuildTime is the part of BuildTime spent in the parallel
+	// regions (per-thread dependence passes, interference-guard
+	// evaluation).
+	ParallelBuildTime time.Duration
+	// CacheHits counts guard hash-cons hits during the build: formula
+	// constructions answered by the global interner instead of a fresh
+	// allocation.
+	CacheHits uint64
 }
 
 // CheckStats describes the checking stage's work.
@@ -171,8 +190,13 @@ type CheckStats struct {
 	FactDecided   int
 	SolverQueries int
 	SolverUnsat   int
-	SearchTime    time.Duration
-	SolveTime     time.Duration
+	// CacheHits / CacheMisses count SMT query-cache lookups. The cache is
+	// shared across checkers and across repeated Check rounds over one
+	// Analysis, so a second round replays most verdicts.
+	CacheHits   int
+	CacheMisses int
+	SearchTime  time.Duration
+	SolveTime   time.Duration
 }
 
 // Result is the outcome of Analyze.
@@ -213,6 +237,7 @@ func NewAnalysis(src string, opt Options) (*Analysis, error) {
 	b := core.Build(prog, core.BuildOptions{
 		EnableMHP: opt.EnableMHP,
 		GuardCap:  opt.GuardCap,
+		Workers:   opt.Workers,
 	})
 	return &Analysis{opt: opt, b: b}, nil
 }
@@ -284,6 +309,8 @@ func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result 
 			EscapedObjects:    b.Stats.EscapedObjects,
 			Iterations:        b.Stats.Iterations,
 			BuildTime:         b.Stats.BuildTime,
+			ParallelBuildTime: b.Stats.ParallelTime,
+			CacheHits:         b.Stats.GuardCacheHits,
 		},
 		Check: CheckStats{
 			Sources:       stats.Sources,
@@ -292,6 +319,8 @@ func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result 
 			FactDecided:   stats.FactDecided,
 			SolverQueries: stats.SolverQueries,
 			SolverUnsat:   stats.SolverUnsat,
+			CacheHits:     stats.CacheHits,
+			CacheMisses:   stats.CacheMisses,
 			SearchTime:    stats.SearchTime,
 			SolveTime:     stats.SolveTime,
 		},
@@ -340,6 +369,6 @@ func WriteVFGDot(src string, opt Options, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("canary: %w", err)
 	}
-	b := core.Build(prog, core.BuildOptions{EnableMHP: opt.EnableMHP, GuardCap: opt.GuardCap})
+	b := core.Build(prog, core.BuildOptions{EnableMHP: opt.EnableMHP, GuardCap: opt.GuardCap, Workers: opt.Workers})
 	return b.G.WriteDot(w)
 }

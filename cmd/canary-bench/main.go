@@ -5,13 +5,18 @@
 //	canary-bench -experiment fig7b    # VFG construction memory (Fig. 7b)
 //	canary-bench -experiment fig8     # Canary scalability + linear fits (Fig. 8)
 //	canary-bench -experiment table1   # bug-hunting comparison (Table 1)
+//	canary-bench -experiment parallel # worker-pool sweep + SMT-cache replay
 //	canary-bench -experiment all
+//
+// -json replaces the text tables with one JSON object holding the raw
+// measurements of the selected experiments.
 //
 // Subject sizes and the per-tool timeout are scaled-down stand-ins for the
 // paper's testbed (see DESIGN.md); -scale and -timeout control them.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,13 +28,15 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7a | fig7b | fig8 | table1 | all")
+		experiment = flag.String("experiment", "all", "fig7a | fig7b | fig8 | table1 | parallel | all")
 		scale      = flag.Float64("scale", 0.004, "lines per project LoC (subject size scale)")
 		subjects   = flag.Int("subjects", 20, "how many catalogue subjects to run (prefix)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-baseline timeout (the paper's 12h, scaled)")
 		sweepN     = flag.Int("sweep", 6, "number of Fig. 8 sweep points")
 		sweepMin   = flag.Int("sweep-min", 500, "smallest Fig. 8 subject (lines)")
 		sweepMax   = flag.Int("sweep-max", 16000, "largest Fig. 8 subject (lines)")
+		parLines   = flag.Int("parallel-lines", 3200, "subject size for the parallel worker sweep")
+		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -39,50 +46,95 @@ func main() {
 		e.Out = os.Stderr
 	}
 
-	needComparison := *experiment == "fig7a" || *experiment == "fig7b" ||
-		*experiment == "table1" || *experiment == "all"
-	var results []bench.SubjectResult
-	if needComparison {
+	want := func(names ...string) bool {
+		for _, n := range names {
+			if *experiment == n {
+				return true
+			}
+		}
+		return *experiment == "all"
+	}
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel")
+	if !known {
+		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+
+	// Collected measurements; only the selected experiments are non-nil.
+	out := struct {
+		Subjects []bench.SubjectResult `json:"subjects,omitempty"`
+		Fig8     *bench.Fig8Result     `json:"fig8,omitempty"`
+		Parallel *bench.ParallelResult `json:"parallel,omitempty"`
+	}{}
+
+	if want("fig7a", "fig7b", "table1") {
 		projects := workload.Projects(*scale)
 		if *subjects < len(projects) {
 			projects = projects[:*subjects]
 		}
-		var err error
-		results, err = e.RunAll(projects)
+		results, err := e.RunAll(projects)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "canary-bench:", err)
-			os.Exit(2)
+			fail(err)
 		}
+		out.Subjects = results
+	}
+	if want("fig8") {
+		res, err := e.RunFig8(workload.SizeSweep(*sweepN, *sweepMin, *sweepMax))
+		if err != nil {
+			fail(err)
+		}
+		out.Fig8 = &res
+	}
+	if want("parallel") {
+		spec := workload.SizeSweep(1, *parLines, *parLines)[0]
+		res, err := e.RunParallel(spec, []int{1, 2, 4, 8})
+		if err != nil {
+			fail(err)
+		}
+		out.Parallel = &res
 	}
 
-	switch *experiment {
-	case "fig7a":
-		bench.PrintFig7a(os.Stdout, results)
-	case "fig7b":
-		bench.PrintFig7b(os.Stdout, results)
-	case "table1":
-		bench.PrintTable1(os.Stdout, results)
-	case "fig8":
-		runFig8(e, *sweepN, *sweepMin, *sweepMax)
-	case "all":
-		bench.PrintFig7a(os.Stdout, results)
-		fmt.Println()
-		bench.PrintFig7b(os.Stdout, results)
-		fmt.Println()
-		bench.PrintTable1(os.Stdout, results)
-		fmt.Println()
-		runFig8(e, *sweepN, *sweepMin, *sweepMax)
-	default:
-		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	first := true
+	sep := func() {
+		if !first {
+			fmt.Println()
+		}
+		first = false
+	}
+	if out.Subjects != nil {
+		if want("fig7a") {
+			sep()
+			bench.PrintFig7a(os.Stdout, out.Subjects)
+		}
+		if want("fig7b") {
+			sep()
+			bench.PrintFig7b(os.Stdout, out.Subjects)
+		}
+		if want("table1") {
+			sep()
+			bench.PrintTable1(os.Stdout, out.Subjects)
+		}
+	}
+	if out.Fig8 != nil {
+		sep()
+		bench.PrintFig8(os.Stdout, *out.Fig8)
+	}
+	if out.Parallel != nil {
+		sep()
+		bench.PrintParallel(os.Stdout, *out.Parallel)
 	}
 }
 
-func runFig8(e *bench.Experiments, n, minLines, maxLines int) {
-	res, err := e.RunFig8(workload.SizeSweep(n, minLines, maxLines))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "canary-bench:", err)
-		os.Exit(2)
-	}
-	bench.PrintFig8(os.Stdout, res)
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "canary-bench:", err)
+	os.Exit(2)
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"canary"
@@ -32,7 +33,8 @@ func run() int {
 		noCond   = flag.Bool("no-condvar", false, "disable wait/notify order constraints")
 		memModel = flag.String("memory-model", "sc", "memory model: sc | tso | pso")
 		intra    = flag.Bool("intra", false, "also report intra-thread (sequential) bugs")
-		workers  = flag.Int("workers", 1, "parallel source-sink checking workers")
+		workers  = flag.Int("workers", 0, "worker pool size for the VFG build and checking (0 = all CPUs, 1 = sequential)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 		cube     = flag.Bool("cube", false, "use cube-and-conquer parallel SMT solving")
 		unroll   = flag.Int("unroll", 2, "loop unrolling depth")
 		inline   = flag.Int("inline", 6, "call inlining (context) depth")
@@ -61,6 +63,23 @@ func run() int {
 	opt.InlineDepth = *inline
 	if *checkers != "" {
 		opt.Checkers = strings.Split(*checkers, ",")
+	}
+
+	if *cpuProf != "" {
+		f, perr := os.Create(*cpuProf)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", perr)
+			return 2
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "canary:", perr)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	res, err := canary.AnalyzeFile(flag.Arg(0), opt)
@@ -127,9 +146,14 @@ func run() int {
 			res.VFG.Nodes, res.VFG.Edges, res.VFG.DirectEdges, res.VFG.DataDepEdges,
 			res.VFG.InterferenceEdges, res.VFG.FilteredEdges, res.VFG.EscapedObjects,
 			res.VFG.Iterations, res.VFG.BuildTime)
+		fmt.Printf("build: parallel regions %v, %d guard-cache hits\n",
+			res.VFG.ParallelBuildTime, res.VFG.CacheHits)
 		fmt.Printf("check: %d sources, %d paths, %d semi-decided, %d solver queries (%d unsat), search %v, solve %v\n",
 			res.Check.Sources, res.Check.PathsExamined, res.Check.SemiDecided,
 			res.Check.SolverQueries, res.Check.SolverUnsat, res.Check.SearchTime, res.Check.SolveTime)
+		fmt.Printf("smt cache: %d hits, %d misses\n", res.Check.CacheHits, res.Check.CacheMisses)
+		gh, gm := canary.GuardInternStats()
+		fmt.Printf("guard interner: %d hits, %d misses (process-wide)\n", gh, gm)
 	}
 	if len(res.Reports) > 0 {
 		return 1

@@ -1,0 +1,63 @@
+package canary
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestParallelDeterminism analyzes every corpus program with Workers: 1 and
+// Workers: 8 and requires byte-identical output: the same reports in the
+// same order, and the same VFG shape. This is the contract the parallel
+// pipeline promises — worker count is a throughput knob, never a semantics
+// knob (see internal/core/parallel.go for how it is upheld).
+func TestParallelDeterminism(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.cn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files")
+	}
+	checkers := append(AllCheckers(), ExtendedCheckers()...)
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+
+			run := func(workers int) *Result {
+				opt := DefaultOptions()
+				opt.Workers = workers
+				opt.Checkers = checkers
+				res, err := Analyze(src, opt)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res
+			}
+			seq := run(1)
+			par := run(8)
+
+			if !reflect.DeepEqual(seq.Reports, par.Reports) {
+				t.Errorf("reports differ between workers=1 and workers=8:\n  1: %+v\n  8: %+v",
+					seq.Reports, par.Reports)
+			}
+			if seq.VFG.Nodes != par.VFG.Nodes || seq.VFG.Edges != par.VFG.Edges {
+				t.Errorf("VFG shape differs: workers=1 %d nodes/%d edges, workers=8 %d nodes/%d edges",
+					seq.VFG.Nodes, seq.VFG.Edges, par.VFG.Nodes, par.VFG.Edges)
+			}
+			if seq.VFG.DataDepEdges != par.VFG.DataDepEdges ||
+				seq.VFG.InterferenceEdges != par.VFG.InterferenceEdges ||
+				seq.VFG.FilteredEdges != par.VFG.FilteredEdges {
+				t.Errorf("edge-kind counts differ: workers=1 dd=%d interf=%d filtered=%d, workers=8 dd=%d interf=%d filtered=%d",
+					seq.VFG.DataDepEdges, seq.VFG.InterferenceEdges, seq.VFG.FilteredEdges,
+					par.VFG.DataDepEdges, par.VFG.InterferenceEdges, par.VFG.FilteredEdges)
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"time"
+
+	"canary/internal/core"
+	"canary/internal/workload"
+)
+
+// ParallelPoint is one worker-count observation of the full pipeline
+// (parallel VFG build + deterministic checking pool) on one subject.
+type ParallelPoint struct {
+	Workers   int
+	BuildTime time.Duration
+	CheckTime time.Duration
+	// Speedup is the 1-worker wall time divided by this point's wall time.
+	Speedup float64
+	Reports int
+}
+
+// CacheRound is one Check round's SMT query-cache outcome.
+type CacheRound struct {
+	CheckTime     time.Duration
+	SolverQueries int
+	CacheHits     int
+	CacheMisses   int
+}
+
+// ParallelResult is the worker sweep plus the cache replay experiment.
+type ParallelResult struct {
+	Lines  int
+	Points []ParallelPoint
+	// Cold and Warm are two consecutive Check rounds over one built VFG:
+	// Cold fills the shared SMT query cache, Warm replays its verdicts.
+	Cold, Warm CacheRound
+}
+
+// RunParallel sweeps the pipeline over workerCounts on one subject and then
+// measures a cold and a warm checking round over a single VFG. Reports are
+// identical at every worker count (the pools are deterministic), so the
+// sweep compares equal work. Fact propagation is disabled for the cache
+// rounds so every undecided path constraint reaches the solver — and hence
+// the cache — rather than the order-fact closure.
+func (e *Experiments) RunParallel(spec workload.Spec, workerCounts []int) (ParallelResult, error) {
+	res := ParallelResult{Lines: spec.Lines}
+	var base time.Duration
+	for _, n := range workerCounts {
+		prog, err := lowerSubject(spec)
+		if err != nil {
+			return res, err
+		}
+		bopt := core.DefaultBuild()
+		bopt.Workers = n
+		t0 := time.Now()
+		b := core.Build(prog, bopt)
+		buildTime := time.Since(t0)
+		copt := core.DefaultCheck()
+		copt.Checkers = []string{e.checker()}
+		copt.Workers = n
+		t0 = time.Now()
+		reports, _ := b.Check(copt)
+		checkTime := time.Since(t0)
+
+		pt := ParallelPoint{
+			Workers: n, BuildTime: buildTime, CheckTime: checkTime,
+			Reports: len(reports),
+		}
+		total := buildTime + checkTime
+		if len(res.Points) == 0 {
+			base = total
+		}
+		if total > 0 {
+			pt.Speedup = float64(base) / float64(total)
+		}
+		res.Points = append(res.Points, pt)
+		e.logf("  parallel workers=%d: build=%v check=%v speedup=%.2fx reports=%d\n",
+			n, buildTime.Round(time.Millisecond), checkTime.Round(time.Millisecond),
+			pt.Speedup, len(reports))
+	}
+
+	// Cache replay: two rounds over one VFG. Each lowered program owns a
+	// fresh guard pool, so the cold round cannot hit entries left by the
+	// sweep above.
+	prog, err := lowerSubject(spec)
+	if err != nil {
+		return res, err
+	}
+	b := core.Build(prog, core.DefaultBuild())
+	copt := core.DefaultCheck()
+	copt.Checkers = []string{e.checker()}
+	copt.FactPropagation = false
+	round := func() CacheRound {
+		t0 := time.Now()
+		_, stats := b.Check(copt)
+		return CacheRound{
+			CheckTime:     time.Since(t0),
+			SolverQueries: stats.SolverQueries,
+			CacheHits:     stats.CacheHits,
+			CacheMisses:   stats.CacheMisses,
+		}
+	}
+	res.Cold = round()
+	res.Warm = round()
+	e.logf("  cache cold: %v (%d queries, %d hits) — warm: %v (%d queries, %d hits)\n",
+		res.Cold.CheckTime.Round(time.Millisecond), res.Cold.SolverQueries, res.Cold.CacheHits,
+		res.Warm.CheckTime.Round(time.Millisecond), res.Warm.SolverQueries, res.Warm.CacheHits)
+	return res, nil
+}

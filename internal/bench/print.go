@@ -75,6 +75,20 @@ func PrintFig8(w io.Writer, res Fig8Result) {
 	fmt.Fprintln(w, "paper fits: time 0.0326 min/KLoC (R²=0.83), memory 0.0193 GB/KLoC (R²=0.78)")
 }
 
+// PrintParallel renders the worker sweep and the cache replay rounds.
+func PrintParallel(w io.Writer, res ParallelResult) {
+	fmt.Fprintf(w, "Parallel pipeline — worker sweep (%d-line subject)\n", res.Lines)
+	fmt.Fprintf(w, "%8s %12s %12s %8s %8s\n", "workers", "build", "check", "speedup", "reports")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%8d %12s %12s %7.2fx %8d\n", p.Workers,
+			p.BuildTime.Round(time.Millisecond), p.CheckTime.Round(time.Millisecond),
+			p.Speedup, p.Reports)
+	}
+	fmt.Fprintf(w, "SMT cache: cold round %v (%d queries, %d hits/%d misses) — warm round %v (%d queries, %d hits/%d misses)\n",
+		res.Cold.CheckTime.Round(time.Millisecond), res.Cold.SolverQueries, res.Cold.CacheHits, res.Cold.CacheMisses,
+		res.Warm.CheckTime.Round(time.Millisecond), res.Warm.SolverQueries, res.Warm.CacheHits, res.Warm.CacheMisses)
+}
+
 // speedups returns the geometric-mean build-time speedups of Canary over
 // each baseline, counting only subjects the baseline finished.
 func speedups(rs []SubjectResult) (vsSaber, vsFsam float64) {

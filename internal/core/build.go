@@ -41,6 +41,11 @@ type BuildOptions struct {
 	GuardCap int
 	// MaxIterations bounds the outer Alg. 1/Alg. 2 fixpoint defensively.
 	MaxIterations int
+	// Workers is the size of the pool the per-thread Alg. 1 passes and the
+	// Alg. 2 interference-pair guards are partitioned over inside each
+	// fixpoint iteration. <= 0 means one worker per logical CPU. The graph
+	// produced is byte-identical for every worker count (see parallel.go).
+	Workers int
 }
 
 // DefaultBuild mirrors the paper's configuration.
@@ -70,6 +75,14 @@ type BuildStats struct {
 	FilteredEdges  int
 	EscapedObjects int
 	BuildTime      time.Duration
+	// ParallelTime is the portion of BuildTime spent inside the parallel
+	// regions (per-thread passes and interference-guard evaluation); the
+	// remainder is the sequential merge that keeps the graph deterministic.
+	ParallelTime time.Duration
+	// GuardCacheHits counts guard hash-cons hits during this build: formula
+	// constructions that returned an already-interned node instead of
+	// allocating a new one.
+	GuardCacheHits uint64
 }
 
 // Builder holds the state of the two dependence analyses and the resulting
@@ -121,25 +134,40 @@ func Build(prog *ir.Program, opt BuildOptions) *Builder {
 		useThreads: make(map[ir.VarID][]int),
 	}
 	b.indexProgram()
+	workers := workerCount(opt.Workers)
+	hits0, _ := guard.InternStats()
 	start := time.Now()
 	for iter := 0; iter < opt.MaxIterations; iter++ {
 		b.Stats.Iterations++
 		progressed := false
 		// Phase 1 (Alg. 1): intra-thread data dependence, re-running only
-		// the threads whose facts changed.
+		// the threads whose facts changed. The passes run concurrently over
+		// a frozen snapshot of the points-to graph, each logging its effects
+		// (new facts and edges) privately; the logs are then replayed in
+		// thread-ID order, so the graph is byte-identical to a sequential
+		// build for any worker count.
 		todo := b.dirty
 		b.dirty = make(map[int]bool)
+		var threads []*ir.Thread
 		for _, th := range prog.Threads {
-			if !todo[th.ID] {
-				continue
+			if todo[th.ID] {
+				threads = append(threads, th)
 			}
-			if b.dataDepPass(th) {
+		}
+		passes := make([]*passCtx, len(threads))
+		pstart := time.Now()
+		runIndexed(workers, len(threads), func(i int) {
+			passes[i] = b.dataDepPass(threads[i])
+		})
+		b.Stats.ParallelTime += time.Since(pstart)
+		for i := range passes {
+			if b.applyEffects(&passes[i].eff) {
 				progressed = true
 			}
 		}
 		// Phase 2 (Alg. 2): escape + interference dependence.
 		b.escapeAnalysis()
-		if b.interferencePass() {
+		if b.interferencePass(workers) {
 			progressed = true
 		}
 		if !progressed {
@@ -147,6 +175,8 @@ func Build(prog *ir.Program, opt BuildOptions) *Builder {
 		}
 	}
 	b.Stats.BuildTime = time.Since(start)
+	hits1, _ := guard.InternStats()
+	b.Stats.GuardCacheHits = hits1 - hits0
 	b.Stats.EscapedObjects = len(b.escaped)
 	for kind, n := range b.G.EdgeCountByKind() {
 		switch kind {

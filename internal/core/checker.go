@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"canary/internal/guard"
@@ -46,8 +45,10 @@ type CheckOptions struct {
 	// MaxConflicts bounds each SMT query (Unknown counts as a report, the
 	// soundy choice).
 	MaxConflicts int64
-	// Workers parallelizes over sources (§5.2's second optimization);
-	// <=1 means sequential.
+	// Workers sizes the fixed pool that parallelizes over sources (§5.2's
+	// second optimization). 0 (the default) means one worker per logical
+	// CPU; 1 forces a sequential run. Reports are byte-identical for every
+	// worker count.
 	Workers int
 	// SimplifyGuards applies the semi-decision filter before SMT (§5.2's
 	// first optimization).
@@ -107,7 +108,7 @@ func DefaultCheck() CheckOptions {
 		MaxDFSSteps:        200000,
 		MaxCompetitors:     24,
 		MaxConflicts:       200000,
-		Workers:            1,
+		Workers:            0, // all CPUs
 		SimplifyGuards:     true,
 		LockOrder:          true,
 		CondVarOrder:       true,
@@ -131,9 +132,6 @@ func (o CheckOptions) withDefaults() CheckOptions {
 	}
 	if o.MaxConflicts <= 0 {
 		o.MaxConflicts = 200000
-	}
-	if o.Workers <= 0 {
-		o.Workers = 1
 	}
 	if o.CubeSplit <= 0 {
 		o.CubeSplit = 3
@@ -182,8 +180,13 @@ type CheckStats struct {
 	FactDecided   int // queries settled by the order-fact closure alone
 	SolverQueries int
 	SolverUnsat   int
-	SearchTime    time.Duration
-	SolveTime     time.Duration
+	// CacheHits / CacheMisses count SMT query-cache lookups: a hit replays
+	// a previously solved verdict (and its model) instead of running the
+	// solver again.
+	CacheHits   int
+	CacheMisses int
+	SearchTime  time.Duration
+	SolveTime   time.Duration
 }
 
 func (s *CheckStats) add(o CheckStats) {
@@ -193,6 +196,8 @@ func (s *CheckStats) add(o CheckStats) {
 	s.FactDecided += o.FactDecided
 	s.SolverQueries += o.SolverQueries
 	s.SolverUnsat += o.SolverUnsat
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 	s.SearchTime += o.SearchTime
 	s.SolveTime += o.SolveTime
 }
@@ -277,72 +282,84 @@ func (b *Builder) checkKind(kind string, opt CheckOptions) ([]Report, CheckStats
 	if len(sources) == 0 || len(sinks) == 0 {
 		return nil, CheckStats{Sources: len(sources)}
 	}
-	var (
-		mu      sync.Mutex
+	var stats CheckStats
+	stats.Sources = len(sources)
+
+	// Cost-ordered queue: sources with the largest VFG fan-out (a proxy for
+	// expected DFS effort) are dispatched first so the pool never idles
+	// behind one expensive straggler scheduled last. The order affects only
+	// scheduling — results land in per-source slots and are merged in
+	// source order below, so the output is identical for any worker count.
+	order := make([]int, len(sources))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(b.G.Out(sources[order[i]].node)) > len(b.G.Out(sources[order[j]].node))
+	})
+
+	type slot struct {
 		reports []Report
 		stats   CheckStats
-	)
-	stats.Sources = len(sources)
-	pairs := &pairSet{kind: kind, done: make(map[[2]ir.Label]bool)}
-
-	run := func(src source) {
-		c := &checkCtx{b: b, kind: kind, opt: opt, sinks: sinks, pairs: pairs}
-		rs := c.searchFrom(src)
-		mu.Lock()
-		reports = append(reports, rs...)
-		stats.add(c.stats)
-		mu.Unlock()
 	}
+	slots := make([]slot, len(sources))
+	runIndexed(workerCount(opt.Workers), len(sources), func(qi int) {
+		si := order[qi]
+		c := &checkCtx{
+			b: b, kind: kind, opt: opt, sinks: sinks,
+			pairs: &pairSet{kind: kind, done: make(map[[2]ir.Label]bool)},
+		}
+		slots[si].reports = c.searchFrom(sources[si])
+		slots[si].stats = c.stats
+	})
 
-	if opt.Workers <= 1 {
-		for _, s := range sources {
-			run(s)
+	// Deterministic merge in source order. Each source deduplicated its own
+	// (source, sink) pairs during the search; across sources only unordered
+	// double-free keys can collide (free a reporting a↔z and free z
+	// reporting z↔a), and there the earliest source keeps the report — the
+	// same pair the sequential claim order used to pick.
+	var reports []Report
+	claimed := make(map[[2]ir.Label]bool)
+	for si := range slots {
+		stats.add(slots[si].stats)
+		for _, r := range slots[si].reports {
+			k := pairKey(kind, r.Source.Label, r.Sink.Label)
+			if claimed[k] {
+				continue
+			}
+			claimed[k] = true
+			reports = append(reports, r)
 		}
-	} else {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, opt.Workers)
-		for _, s := range sources {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(s source) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				run(s)
-			}(s)
-		}
-		wg.Wait()
 	}
 	return reports, stats
 }
 
-// pairSet tracks which (source, sink) pairs have already produced a
-// report. A pair is claimed only when a realizable path is found: an
-// irrealizable path must not mask a later realizable one through the same
-// endpoints.
-type pairSet struct {
-	kind string
-	mu   sync.Mutex
-	done map[[2]ir.Label]bool
-}
-
-func (p *pairSet) key(a, z ir.Label) [2]ir.Label {
-	// Double-free pairs are unordered: each unordered pair reports once.
-	if p.kind == CheckDoubleFree && a > z {
+// pairKey canonicalizes a (source, sink) label pair. Double-free pairs are
+// unordered: each unordered pair reports once.
+func pairKey(kind string, a, z ir.Label) [2]ir.Label {
+	if kind == CheckDoubleFree && a > z {
 		return [2]ir.Label{z, a}
 	}
 	return [2]ir.Label{a, z}
 }
 
+// pairSet tracks which (source, sink) pairs have already produced a
+// report within one source's search. A pair is claimed only when a
+// realizable path is found: an irrealizable path must not mask a later
+// realizable one through the same endpoints. The set is per-source (each
+// worker owns its own), so no locking is needed; cross-source duplicates
+// are dropped at the deterministic merge in checkKind.
+type pairSet struct {
+	kind string
+	done map[[2]ir.Label]bool
+}
+
 func (p *pairSet) reported(a, z ir.Label) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.done[p.key(a, z)]
+	return p.done[pairKey(p.kind, a, z)]
 }
 
 func (p *pairSet) claim(a, z ir.Label) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	k := p.key(a, z)
+	k := pairKey(p.kind, a, z)
 	if p.done[k] {
 		return false
 	}
@@ -528,25 +545,39 @@ func (c *checkCtx) validate(src source, sinkLabel ir.Label, path []vfg.EdgeID) (
 		}
 	}
 
-	var model *smt.Solver
+	var model smt.AtomValuer
 	if !factDecided {
-		t0 := time.Now()
-		c.stats.SolverQueries++
-		if c.opt.CubeAndConquer {
-			res = smt.SolveCubeAndConquer(pool, []*guard.Formula{all}, smt.CubeOptions{
-				SplitAtoms:          c.opt.CubeSplit,
-				MaxConflictsPerCube: c.opt.MaxConflicts,
-			})
-		} else {
-			s := smt.New(pool)
-			s.MaxConflicts = c.opt.MaxConflicts
-			s.Assert(all)
-			res = s.Solve()
-			if res == smt.Sat {
-				model = s
+		if cres, cmodel, ok := smt.DefaultCache.Lookup(pool, all); ok {
+			// Cache replay. The solver is deterministic, so the cached
+			// verdict and model are exactly what a fresh solve would
+			// produce — reports are identical either way.
+			c.stats.CacheHits++
+			res = cres
+			if cmodel != nil {
+				model = cmodel
 			}
+		} else {
+			c.stats.CacheMisses++
+			t0 := time.Now()
+			c.stats.SolverQueries++
+			if c.opt.CubeAndConquer {
+				res = smt.SolveCubeAndConquer(pool, []*guard.Formula{all}, smt.CubeOptions{
+					SplitAtoms:          c.opt.CubeSplit,
+					MaxConflictsPerCube: c.opt.MaxConflicts,
+				})
+				smt.DefaultCache.Store(pool, all, res, nil)
+			} else {
+				s := smt.New(pool)
+				s.MaxConflicts = c.opt.MaxConflicts
+				s.Assert(all)
+				res = s.Solve()
+				if res == smt.Sat {
+					model = s
+				}
+				smt.DefaultCache.Store(pool, all, res, s.Model())
+			}
+			c.stats.SolveTime += time.Since(t0)
 		}
-		c.stats.SolveTime += time.Since(t0)
 		if res == smt.Unsat {
 			c.stats.SolverUnsat++
 			return Report{}, false

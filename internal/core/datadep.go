@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/vfg"
@@ -96,14 +98,99 @@ func cloneStoreSet(e storeSet) storeSet {
 	return out
 }
 
+// passEffects is the deferred, ordered mutation log of one Alg. 1 pass.
+// Parallel passes never touch the shared points-to graph or the VFG
+// directly; they log their writes here, and Build replays the logs
+// sequentially in thread-ID order, which makes the resulting VFG
+// independent of worker count and scheduling.
+type passEffects struct {
+	pts       []ptsOp
+	edges     []edgeOp
+	objStores []objStoreOp
+	filtered  int
+}
+
+// ptsOp is one deferred ptsAdd(v, o, g) call.
+type ptsOp struct {
+	v ir.VarID
+	o ir.ObjID
+	g *guard.Formula
+}
+
+// edgeOp is one deferred VFG edge insertion. Node interning is deferred
+// too (VarNode/ObjNode mutate the graph), so the op carries the variable or
+// object rather than a NodeID.
+type edgeOp struct {
+	fromVar   ir.VarID
+	fromObj   ir.ObjID
+	fromIsObj bool
+	toVar     ir.VarID
+	kind      vfg.EdgeKind
+	guard     *guard.Formula
+	store     ir.Label
+	load      ir.Label
+	obj       ir.ObjID
+	field     string
+}
+
+// objStoreOp is one deferred Graph.AddObjStore call.
+type objStoreOp struct {
+	loc vfg.Loc
+	ref vfg.StoreRef
+}
+
+// passCtx is the isolated state of one Alg. 1 pass: a copy-on-write overlay
+// over the shared (frozen-for-the-phase) points-to graph, plus the effect
+// log. Same-pass reads see same-pass writes through the overlay exactly as
+// the sequential analysis did; cross-thread writes of the same iteration
+// land in the next fixpoint round instead, which only defers (never loses)
+// propagation.
+type passCtx struct {
+	b       *Builder
+	overlay map[ir.VarID]map[ir.ObjID]*guard.Formula
+	eff     passEffects
+}
+
+// pts returns the pass-visible guarded points-to set of v.
+func (p *passCtx) pts(v ir.VarID) map[ir.ObjID]*guard.Formula {
+	if m, ok := p.overlay[v]; ok {
+		return m
+	}
+	return p.b.pts[v]
+}
+
+// ptsAdd logs the addition and applies it to the overlay so later
+// instructions of the same pass observe it.
+func (p *passCtx) ptsAdd(v ir.VarID, o ir.ObjID, g *guard.Formula) {
+	if g.IsFalse() {
+		return
+	}
+	p.eff.pts = append(p.eff.pts, ptsOp{v: v, o: o, g: g})
+	m, ok := p.overlay[v]
+	if !ok {
+		base := p.b.pts[v]
+		m = make(map[ir.ObjID]*guard.Formula, len(base)+1)
+		for bo, bg := range base {
+			m[bo] = bg
+		}
+		p.overlay[v] = m
+	}
+	if old, exists := m[o]; exists {
+		m[o] = p.b.cap(guard.Or(old, g))
+	} else {
+		m[o] = p.b.cap(g)
+	}
+}
+
+func (p *passCtx) addEdge(e edgeOp) { p.eff.edges = append(p.eff.edges, e) }
+
 // dataDepPass runs one Alg. 1 pass over a thread: a single topological
 // sweep of the (acyclic) CFG computing the flow-sensitive address-taken
-// state, updating the top-level points-to graph, and emitting direct and dd
-// edges into the VFG. It reports whether any new points-to item or edge
-// appeared (the outer fixpoint's progress signal).
-func (b *Builder) dataDepPass(th *ir.Thread) bool {
-	itemsBefore := b.ptsItems
-	edgesBefore := b.G.NumEdges()
+// state, logging top-level points-to updates and direct/dd edge insertions
+// as deferred effects. Passes of different threads only read shared state,
+// so Build runs them concurrently inside each fixpoint iteration.
+func (b *Builder) dataDepPass(th *ir.Thread) *passCtx {
+	p := &passCtx{b: b, overlay: make(map[ir.VarID]map[ir.ObjID]*guard.Formula)}
 
 	// Blocks are created in topological order by the lowerer, so one
 	// sweep reaches the intra-thread dataflow fixpoint (the CFG is a DAG).
@@ -124,11 +211,46 @@ func (b *Builder) dataDepPass(th *ir.Thread) bool {
 			cur = b.mergeAtJoin(th, blk, out)
 		}
 		for _, inst := range blk.Insts {
-			b.transfer(inst, cur)
+			p.transfer(inst, cur)
 		}
 		out[bi] = cur
 	}
-	return b.ptsItems != itemsBefore || b.G.NumEdges() != edgesBefore
+	return p
+}
+
+// applyEffects replays one pass's log against the shared builder state; it
+// reports whether any new points-to item or edge appeared (the outer
+// fixpoint's progress signal). Replay order — thread-ID order across
+// passes, program order within one — fixes the edge-ID assignment and the
+// guard join order regardless of how the passes were scheduled.
+func (b *Builder) applyEffects(eff *passEffects) bool {
+	progressed := false
+	for _, op := range eff.pts {
+		if b.ptsAdd(op.v, op.o, op.g) {
+			progressed = true
+		}
+	}
+	g := b.G
+	for _, e := range eff.edges {
+		var from vfg.NodeID
+		if e.fromIsObj {
+			from = g.ObjNode(e.fromObj)
+		} else {
+			from = g.VarNode(e.fromVar)
+		}
+		if g.AddEdge(vfg.Edge{
+			From: from, To: g.VarNode(e.toVar),
+			Kind: e.kind, Guard: e.guard,
+			Store: e.store, Load: e.load, Obj: e.obj, Field: e.field,
+		}) {
+			progressed = true
+		}
+	}
+	for _, so := range eff.objStores {
+		g.AddObjStore(so.loc, so.ref)
+	}
+	b.Stats.FilteredEdges += eff.filtered
+	return progressed
 }
 
 // mergeAtJoin merges the predecessors' delta layers into their common base
@@ -189,50 +311,51 @@ func predIndex(th *ir.Thread, pred *ir.Block) int {
 	panic("core: predecessor not in thread block list")
 }
 
-// transfer applies the Alg. 1 flow functions (HandleEachInst) and emits VFG
-// edges.
-func (b *Builder) transfer(inst *ir.Inst, mem *memState) {
-	g := b.G
+// transfer applies the Alg. 1 flow functions (HandleEachInst) and logs VFG
+// edges. It reads shared state only through the pass overlay, so passes of
+// different threads can run concurrently.
+func (p *passCtx) transfer(inst *ir.Inst, mem *memState) {
+	b := p.b
 	switch inst.Op {
 	case ir.OpAlloc, ir.OpAddr, ir.OpNull:
 		// ℓ,φ: p = alloc_o  ⇒  PG_top ← {p ↣ (φ, o)}; base edge o → p.
-		b.ptsAdd(inst.Def, inst.Obj, inst.Guard)
-		g.AddEdge(vfg.Edge{
-			From: g.ObjNode(inst.Obj), To: g.VarNode(inst.Def),
-			Kind: vfg.EdgeObj, Guard: inst.Guard,
+		p.ptsAdd(inst.Def, inst.Obj, inst.Guard)
+		p.addEdge(edgeOp{
+			fromObj: inst.Obj, fromIsObj: true, toVar: inst.Def,
+			kind: vfg.EdgeObj, guard: inst.Guard,
 		})
 	case ir.OpCopy:
 		// ℓ,φ: p = q  ⇒  PG_top ← {p ↣ (γ∧φ, o)} ∀(γ,o) ∈ Pts(q).
-		for o, γ := range b.pts[inst.Val] {
-			b.ptsAdd(inst.Def, o, b.cap(guard.And(γ, inst.Guard)))
+		for o, γ := range p.pts(inst.Val) {
+			p.ptsAdd(inst.Def, o, b.cap(guard.And(γ, inst.Guard)))
 		}
-		g.AddEdge(vfg.Edge{
-			From: g.VarNode(inst.Val), To: g.VarNode(inst.Def),
-			Kind: vfg.EdgeDirect, Guard: inst.Guard,
+		p.addEdge(edgeOp{
+			fromVar: inst.Val, toVar: inst.Def,
+			kind: vfg.EdgeDirect, guard: inst.Guard,
 		})
 	case ir.OpPhi:
 		for i, op := range inst.Ops {
 			φi := inst.PhiGuards[i]
-			for o, γ := range b.pts[op] {
-				b.ptsAdd(inst.Def, o, b.cap(guard.And(γ, φi)))
+			for o, γ := range p.pts(op) {
+				p.ptsAdd(inst.Def, o, b.cap(guard.And(γ, φi)))
 			}
-			g.AddEdge(vfg.Edge{
-				From: g.VarNode(op), To: g.VarNode(inst.Def),
-				Kind: vfg.EdgeDirect, Guard: φi,
+			p.addEdge(edgeOp{
+				fromVar: op, toVar: inst.Def,
+				kind: vfg.EdgeDirect, guard: φi,
 			})
 		}
 	case ir.OpBin:
 		// Value-level flow only (taint propagation); no points-to.
 		for _, op := range inst.Ops {
-			g.AddEdge(vfg.Edge{
-				From: g.VarNode(op), To: g.VarNode(inst.Def),
-				Kind: vfg.EdgeDirect, Guard: inst.Guard,
+			p.addEdge(edgeOp{
+				fromVar: op, toVar: inst.Def,
+				kind: vfg.EdgeDirect, guard: inst.Guard,
 			})
 		}
 	case ir.OpStore:
 		// ℓ,φ: *x = q (or x.f = q). Strong update when Pts(x) is a
 		// singleton; locations are field-sensitive.
-		ptsX := b.pts[inst.Ptr]
+		ptsX := p.pts(inst.Ptr)
 		strong := len(ptsX) == 1
 		for o, α := range ptsX {
 			loc := vfg.Loc{Obj: o, Field: inst.Field}
@@ -248,26 +371,38 @@ func (b *Builder) transfer(inst *ir.Inst, mem *memState) {
 			}
 			entry[inst.Label] = gStore
 			mem.set(loc, entry)
-			b.G.AddObjStore(loc, vfg.StoreRef{Store: inst.Label, Guard: gStore})
+			p.eff.objStores = append(p.eff.objStores, objStoreOp{
+				loc: loc, ref: vfg.StoreRef{Store: inst.Label, Guard: gStore},
+			})
 		}
 	case ir.OpLoad:
 		// ℓ,φ: p = *y (or p = y.f). Link reaching stores to the load (dd
-		// edges) and propagate the stored values' points-to facts.
-		for o, β := range b.pts[inst.Ptr] {
-			for storeLabel, γ := range mem.get(vfg.Loc{Obj: o, Field: inst.Field}) {
+		// edges) and propagate the stored values' points-to facts. Reaching
+		// stores are visited in label order: several stores feeding one load
+		// Or-join into the same points-to guard, and a fixed join order keeps
+		// the formula (and everything downstream of it) deterministic.
+		for o, β := range p.pts(inst.Ptr) {
+			reaching := mem.get(vfg.Loc{Obj: o, Field: inst.Field})
+			labels := make([]ir.Label, 0, len(reaching))
+			for storeLabel := range reaching {
+				labels = append(labels, storeLabel)
+			}
+			sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+			for _, storeLabel := range labels {
+				γ := reaching[storeLabel]
 				storeInst := b.Prog.Inst(storeLabel)
 				eg := b.cap(guard.And(γ, β, inst.Guard))
 				if eg.IsFalse() {
-					b.Stats.FilteredEdges++
+					p.eff.filtered++
 					continue
 				}
-				g.AddEdge(vfg.Edge{
-					From: g.VarNode(storeInst.Val), To: g.VarNode(inst.Def),
-					Kind: vfg.EdgeDD, Guard: eg,
-					Store: storeLabel, Load: inst.Label, Obj: o, Field: inst.Field,
+				p.addEdge(edgeOp{
+					fromVar: storeInst.Val, toVar: inst.Def,
+					kind: vfg.EdgeDD, guard: eg,
+					store: storeLabel, load: inst.Label, obj: o, field: inst.Field,
 				})
-				for o2, γ2 := range b.pts[storeInst.Val] {
-					b.ptsAdd(inst.Def, o2, b.cap(guard.And(γ2, eg)))
+				for o2, γ2 := range p.pts(storeInst.Val) {
+					p.ptsAdd(inst.Def, o2, b.cap(guard.And(γ2, eg)))
 				}
 			}
 		}

@@ -96,7 +96,13 @@ func (b *Builder) Pted(o ir.ObjID) map[vfg.NodeID]*guard.Formula {
 // q@ℓ1 → p@ℓ2 with Φ_alias = φ1 ∧ φ2 ∧ α ∧ β. The load–store order part
 // Φ_ls of the guard is generated lazily from the edge bookkeeping at the
 // bug-checking stage (§4.2.2). Reports whether anything new appeared.
-func (b *Builder) interferencePass() bool {
+//
+// The store×load candidate pairs are enumerated in a deterministic order,
+// their Φ_alias guards are evaluated on the worker pool (each pair writes
+// only its own slot; all inputs are frozen), and the edges plus the cyclic
+// points-to enlargement are applied sequentially in enumeration order — so
+// the pass is byte-identical to a 1-worker run.
+func (b *Builder) interferencePass(workers int) bool {
 	itemsBefore := b.ptsItems
 	edgesBefore := b.G.NumEdges()
 
@@ -135,6 +141,13 @@ func (b *Builder) interferencePass() bool {
 		return locs[i].Field < locs[j].Field
 	})
 
+	// Enumerate the surviving candidate pairs in deterministic order.
+	type candidate struct {
+		s, l  access
+		loc   vfg.Loc
+		guard *guard.Formula // Φ_alias, filled in by the parallel phase
+	}
+	var cands []candidate
 	for _, loc := range locs {
 		loads := loadsByLoc[loc]
 		if len(loads) == 0 {
@@ -148,22 +161,36 @@ func (b *Builder) interferencePass() bool {
 				if b.opt.EnableMHP && !b.MHP.MHP(s.inst.Label, l.inst.Label) {
 					continue // §6: non-MHP pairs cannot interfere
 				}
-				φ := b.cap(guard.And(s.inst.Guard, l.inst.Guard, s.cond, l.cond))
-				if φ.IsFalse() {
-					b.Stats.FilteredEdges++
-					continue
-				}
-				b.G.AddEdge(vfg.Edge{
-					From: b.G.VarNode(s.inst.Val), To: b.G.VarNode(l.inst.Def),
-					Kind: vfg.EdgeInterference, Guard: φ,
-					Store: s.inst.Label, Load: l.inst.Label, Obj: loc.Obj, Field: loc.Field,
-				})
-				// The loaded variable may now hold anything the stored
-				// value points to (the cyclic enlargement of Alg. 2).
-				for o2, γ2 := range b.pts[s.inst.Val] {
-					b.ptsAdd(l.inst.Def, o2, b.cap(guard.And(γ2, φ)))
-				}
+				cands = append(cands, candidate{s: s, l: l, loc: loc})
 			}
+		}
+	}
+
+	// Parallel phase: Φ_alias per pair. Guard construction is the dominant
+	// cost here, and every input (instruction guards, captured α/β) is
+	// immutable during the loop, so pairs are independent.
+	runIndexed(workers, len(cands), func(i int) {
+		c := &cands[i]
+		c.guard = b.cap(guard.And(c.s.inst.Guard, c.l.inst.Guard, c.s.cond, c.l.cond))
+	})
+
+	// Sequential apply, in enumeration order.
+	for i := range cands {
+		c := &cands[i]
+		φ := c.guard
+		if φ.IsFalse() {
+			b.Stats.FilteredEdges++
+			continue
+		}
+		b.G.AddEdge(vfg.Edge{
+			From: b.G.VarNode(c.s.inst.Val), To: b.G.VarNode(c.l.inst.Def),
+			Kind: vfg.EdgeInterference, Guard: φ,
+			Store: c.s.inst.Label, Load: c.l.inst.Label, Obj: c.loc.Obj, Field: c.loc.Field,
+		})
+		// The loaded variable may now hold anything the stored value points
+		// to (the cyclic enlargement of Alg. 2).
+		for o2, γ2 := range b.pts[c.s.inst.Val] {
+			b.ptsAdd(c.l.inst.Def, o2, b.cap(guard.And(γ2, φ)))
 		}
 	}
 	return b.ptsItems != itemsBefore || b.G.NumEdges() != edgesBefore

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount resolves a Workers option: any non-positive value means one
+// worker per logical CPU (runtime.GOMAXPROCS).
+func workerCount(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// runIndexed executes f(0), ..., f(n-1) on a fixed pool of workers pulling
+// indices from a shared counter. With workers <= 1 it degenerates to a plain
+// sequential loop, so both paths run exactly the same code per index.
+//
+// Determinism contract: each f(i) must be a pure function of state frozen
+// before the call and must write only into slot i of any shared output.
+// Under that contract the result is byte-identical for every worker count
+// and every scheduling, which is what lets the parallel VFG build and the
+// checking pool keep the sequential semantics.
+func runIndexed(workers, n int, f func(int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -168,9 +168,11 @@ func (b *Builder) racePairRealizable(c *checkCtx, stats *CheckStats, i1, i2 *ir.
 			return false, nil
 		}
 		if schedule == nil {
-			model := s
-			if res != smt.Sat {
-				model = nil
+			// Assign the interface only on Sat: a typed-nil *smt.Solver
+			// would dodge buildSchedule's nil check.
+			var model smt.AtomValuer
+			if res == smt.Sat {
+				model = s
 			}
 			schedule = c.buildSchedule(labels, q.facts, model)
 		}

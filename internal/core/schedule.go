@@ -16,8 +16,9 @@ import (
 //
 // s may be nil (fact-propagation decided the query, or cube-and-conquer
 // produced no model); the facts alone still yield a valid — if less
-// constrained — witness.
-func (c *checkCtx) buildSchedule(labels []ir.Label, facts [][2]ir.Label, s *smt.Solver) []Site {
+// constrained — witness. It is either the live solver or a detached cached
+// smt.Model — both answer ValueAtom identically for the same assignment.
+func (c *checkCtx) buildSchedule(labels []ir.Label, facts [][2]ir.Label, s smt.AtomValuer) []Site {
 	pool := c.b.Prog.Pool
 	idx := make(map[ir.Label]int, len(labels))
 	for i, l := range labels {

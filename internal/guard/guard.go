@@ -15,10 +15,12 @@
 package guard
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Atom identifies an atomic proposition interned in a Pool. The zero Atom is
@@ -40,16 +42,86 @@ const (
 
 // Formula is an immutable propositional formula. The zero value is not
 // meaningful; use the package constructors. Formulas share subtrees freely.
+//
+// Formulas are hash-consed through a global, concurrency-safe interner (see
+// intern below): structurally identical formulas built through the package
+// constructors share one pointer, so pointer equality implies structural
+// equality. Downstream consumers (the Tseitin memo, the SMT query cache)
+// exploit this for O(1) canonical keys.
 type Formula struct {
 	kind Kind
 	atom Atom
+	id   uint32 // interner identity, used to key parent formulas
 	subs []*Formula
 }
 
 var (
-	trueF  = &Formula{kind: KTrue}
-	falseF = &Formula{kind: KFalse}
+	trueF  = &Formula{kind: KTrue, id: 1}
+	falseF = &Formula{kind: KFalse, id: 2}
 )
+
+// interner is the global hash-cons table. Keys encode (kind, atom, child
+// ids); values are *Formula. Children are always interned before parents
+// (constructors build bottom-up), so child ids are stable key material.
+//
+// The table is unbounded in principle; when it grows past internSoftCap
+// entries it is swapped for a fresh one. Dropping the table is safe: two
+// structurally equal formulas with distinct pointers only cost downstream
+// caches a miss, never a wrong answer.
+const internSoftCap = 1 << 21
+
+var (
+	internTable   atomic.Pointer[sync.Map]
+	internCounter atomic.Uint32
+	internHits    atomic.Uint64
+	internMisses  atomic.Uint64
+	internSize    atomic.Int64
+)
+
+func init() {
+	internTable.Store(new(sync.Map))
+	internCounter.Store(2) // 1 and 2 are ⊤ and ⊥
+}
+
+// internKey encodes the shallow identity of a formula node.
+func internKey(kind Kind, atom Atom, subs []*Formula) string {
+	buf := make([]byte, 0, 5+4*len(subs))
+	buf = append(buf, byte(kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(atom))
+	for _, s := range subs {
+		buf = binary.LittleEndian.AppendUint32(buf, s.id)
+	}
+	return string(buf)
+}
+
+// intern returns the canonical formula structurally equal to f, registering
+// f as the canonical representative if none exists yet.
+func intern(f *Formula) *Formula {
+	key := internKey(f.kind, f.atom, f.subs)
+	t := internTable.Load()
+	if v, ok := t.Load(key); ok {
+		internHits.Add(1)
+		return v.(*Formula)
+	}
+	f.id = internCounter.Add(1)
+	if v, loaded := t.LoadOrStore(key, f); loaded {
+		internHits.Add(1)
+		return v.(*Formula)
+	}
+	internMisses.Add(1)
+	if internSize.Add(1) > internSoftCap {
+		internSize.Store(0)
+		internTable.Store(new(sync.Map)) // epoch flush; see interner comment
+	}
+	return f
+}
+
+// InternStats returns the cumulative hash-cons hit and miss counts of the
+// global formula interner. Deltas around an analysis phase measure how much
+// structural sharing the phase enjoyed.
+func InternStats() (hits, misses uint64) {
+	return internHits.Load(), internMisses.Load()
+}
 
 // True returns the formula ⊤.
 func True() *Formula { return trueF }
@@ -83,7 +155,7 @@ func Var(a Atom) *Formula {
 	if a <= 0 {
 		panic("guard: Var with non-positive atom")
 	}
-	return &Formula{kind: KVar, atom: a}
+	return intern(&Formula{kind: KVar, atom: a})
 }
 
 // Not returns ¬f, simplifying double negation and constants.
@@ -96,7 +168,7 @@ func Not(f *Formula) *Formula {
 	case KNot:
 		return f.subs[0]
 	}
-	return &Formula{kind: KNot, subs: []*Formula{f}}
+	return intern(&Formula{kind: KNot, subs: []*Formula{f}})
 }
 
 // litKey returns a key identifying f if it is a literal (an atom or a
@@ -175,7 +247,7 @@ func nary(kind Kind, fs []*Formula) *Formula {
 	case 1:
 		return out[0]
 	}
-	return &Formula{kind: kind, subs: out}
+	return intern(&Formula{kind: kind, subs: out})
 }
 
 // Implies returns ¬a ∨ b.

@@ -1,0 +1,127 @@
+package smt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"canary/internal/guard"
+)
+
+// AtomValuer yields model values of guard atoms after a Sat verdict. Both
+// *Solver (the live model) and Model (a cached one) implement it.
+type AtomValuer interface {
+	ValueAtom(a guard.Atom) (val, ok bool)
+}
+
+// Model is a detached satisfying assignment: every atom the solver
+// allocated a variable for maps to its model value. Cached Sat verdicts
+// carry their Model so witness schedules are identical whether a query was
+// solved or replayed from the cache.
+type Model map[guard.Atom]bool
+
+// ValueAtom implements AtomValuer.
+func (m Model) ValueAtom(a guard.Atom) (val, ok bool) {
+	v, ok := m[a]
+	return v, ok
+}
+
+// Model extracts the last satisfying assignment as a detached Model. It
+// returns nil when no model is available.
+func (s *Solver) Model() Model {
+	if len(s.model) == 0 {
+		return nil
+	}
+	m := make(Model, len(s.varOfAtom))
+	for a, v := range s.varOfAtom {
+		if v < len(s.model) && s.model[v] != 0 {
+			m[a] = s.model[v] == 1
+		}
+	}
+	return m
+}
+
+// QueryCache memoizes solver verdicts across checkers and across repeated
+// Check rounds (§5.2's throughput concern: identical aggregated guards
+// recur constantly — the same path re-validated for another sink, or a
+// second checking round over the same VFG).
+//
+// Thanks to guard hash-consing, a formula pointer is a canonical structural
+// key. Atom ids are pool-relative, so entries are additionally keyed by the
+// owning *guard.Pool: the same formula shape over two programs' pools never
+// aliases. Only definite verdicts (Sat with its model, Unsat) are stored —
+// Unknown depends on the conflict budget and is never reused.
+type QueryCache struct {
+	mu      sync.RWMutex
+	entries map[cacheKey]cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+
+	// MaxEntries bounds the table; when full the whole table is flushed
+	// (epoch eviction — simple, and a flush only costs re-solves).
+	MaxEntries int
+}
+
+type cacheKey struct {
+	pool *guard.Pool
+	f    *guard.Formula
+}
+
+type cacheEntry struct {
+	res   Result
+	model Model
+}
+
+// NewQueryCache returns an empty cache bounded to maxEntries (<=0 means the
+// default of 1<<18).
+func NewQueryCache(maxEntries int) *QueryCache {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 18
+	}
+	return &QueryCache{
+		entries:    make(map[cacheKey]cacheEntry),
+		MaxEntries: maxEntries,
+	}
+}
+
+// DefaultCache is the process-wide query cache shared by all checkers.
+var DefaultCache = NewQueryCache(0)
+
+// Lookup returns the cached verdict of formula f over pool, if any.
+func (c *QueryCache) Lookup(pool *guard.Pool, f *guard.Formula) (Result, Model, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[cacheKey{pool, f}]
+	c.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return Unknown, nil, false
+	}
+	c.hits.Add(1)
+	return e.res, e.model, true
+}
+
+// Store records a definite verdict for formula f over pool. Unknown results
+// are ignored. Concurrent stores of the same key are idempotent: the solver
+// is deterministic, so racing workers compute identical verdicts and models.
+func (c *QueryCache) Store(pool *guard.Pool, f *guard.Formula, res Result, model Model) {
+	if res == Unknown {
+		return
+	}
+	c.mu.Lock()
+	if len(c.entries) >= c.MaxEntries {
+		c.entries = make(map[cacheKey]cacheEntry)
+	}
+	c.entries[cacheKey{pool, f}] = cacheEntry{res: res, model: model}
+	c.mu.Unlock()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *QueryCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached verdicts.
+func (c *QueryCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
