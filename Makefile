@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench serve-smoke
 
-## check: the full CI gate — vet, build, and race-enabled tests.
+## check: the full CI gate — vet, build, race-enabled tests, and the
+## end-to-end daemon smoke test.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) run scripts/serve_smoke.go
 
 build:
 	$(GO) build ./...
@@ -23,3 +25,8 @@ vet:
 ## bench: the quick benchmark suite (one bench per paper table/figure).
 bench:
 	$(GO) test -run - -bench . -benchmem .
+
+## serve-smoke: end-to-end canaryd exercise — random port, example
+## submission vs CLI, cache replay, /healthz, /metrics, SIGTERM drain.
+serve-smoke:
+	$(GO) run scripts/serve_smoke.go

@@ -22,9 +22,15 @@
 package canary
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,6 +40,20 @@ import (
 	"canary/internal/lang"
 	"canary/internal/smt"
 )
+
+// ErrCanceled is wrapped into every error returned because a context
+// passed to AnalyzeContext, NewAnalysisContext, or CheckContext was
+// canceled or hit its deadline. Callers distinguish an aborted analysis
+// from a malformed program with errors.Is(err, ErrCanceled); the
+// underlying context cause (context.Canceled or context.DeadlineExceeded)
+// stays observable through errors.Is as well.
+var ErrCanceled = errors.New("analysis canceled")
+
+// canceled wraps a context error so that both ErrCanceled and the
+// concrete context cause match errors.Is.
+func canceled(err error) error {
+	return fmt.Errorf("canary: %w: %w", ErrCanceled, err)
+}
 
 // GuardInternStats returns the cumulative process-wide hit and miss counts
 // of the global guard hash-cons interner. Hits concentrate where structured
@@ -118,6 +138,82 @@ func DefaultOptions() Options {
 		Workers:            0, // all CPUs
 		MaxConflicts:       200000,
 	}
+}
+
+// SubmissionKey returns the canonical SHA-256 content key of an analysis
+// submission: the pair (source, options) that fully determines Analyze's
+// output. Two submissions with the same key produce byte-identical
+// results, so the key addresses a result cache (canaryd's content store
+// keys on it).
+//
+// The source is canonicalized first (CRLF → LF, trailing whitespace
+// stripped per line, exactly one trailing newline) — none of these affect
+// the token stream, so cosmetically different copies of one program share
+// a key. Options are folded field by field in a fixed order with two
+// deliberate exceptions: Workers is excluded, because the determinism
+// contract guarantees the output is byte-identical for every worker count,
+// and a nil Checkers list is canonicalized to the explicit default set.
+// CubeAndConquer is included: the cube strategy does not retain solver
+// models, so witness schedules differ from the sequential solver's.
+func SubmissionKey(src string, opt Options) [32]byte {
+	h := sha256.New()
+	seg := func(b []byte) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	str := func(s string) { seg([]byte(s)) }
+	num := func(i int64) { str(strconv.FormatInt(i, 10)) }
+	flag := func(b bool) { str(strconv.FormatBool(b)) }
+
+	str("canary-submission-v1")
+	str(canonicalSource(src))
+
+	entry := opt.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	str(entry)
+	num(int64(opt.UnrollDepth))
+	num(int64(opt.InlineDepth))
+	flag(opt.EnableMHP)
+	num(int64(opt.GuardCap))
+	checkers := opt.Checkers
+	if len(checkers) == 0 {
+		checkers = core.AllCheckers
+	}
+	sorted := append([]string(nil), checkers...)
+	sort.Strings(sorted)
+	num(int64(len(sorted)))
+	for _, c := range sorted {
+		str(c)
+	}
+	flag(opt.RequireInterThread)
+	flag(opt.LockOrder)
+	flag(opt.CondVarOrder)
+	model := opt.MemoryModel
+	if model == "" {
+		model = "sc"
+	}
+	str(model)
+	flag(opt.FactPropagation)
+	flag(opt.CubeAndConquer)
+	num(opt.MaxConflicts)
+
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// canonicalSource normalizes the representation-only degrees of freedom of
+// a program text: line endings, trailing blanks, and the final newline.
+func canonicalSource(src string) string {
+	lines := strings.Split(strings.ReplaceAll(src, "\r\n", "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " \t\r")
+	}
+	return strings.TrimRight(strings.Join(lines, "\n"), "\n") + "\n"
 }
 
 // Site is one program point in a report.
@@ -219,6 +315,13 @@ type Analysis struct {
 // NewAnalysis parses and lowers src and builds the interference-aware VFG
 // once. Use Check to run (possibly several rounds of) checkers over it.
 func NewAnalysis(src string, opt Options) (*Analysis, error) {
+	return NewAnalysisContext(context.Background(), src, opt)
+}
+
+// NewAnalysisContext is NewAnalysis with cooperative cancellation: the VFG
+// fixpoint checks ctx between rounds and aborts with an error wrapping
+// ErrCanceled (and the context cause) when it is done.
+func NewAnalysisContext(ctx context.Context, src string, opt Options) (*Analysis, error) {
 	if _, err := memoryModelOf(opt); err != nil {
 		return nil, err
 	}
@@ -234,11 +337,14 @@ func NewAnalysis(src string, opt Options) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("canary: %w", err)
 	}
-	b := core.Build(prog, core.BuildOptions{
+	b, err := core.BuildContext(ctx, prog, core.BuildOptions{
 		EnableMHP: opt.EnableMHP,
 		GuardCap:  opt.GuardCap,
 		Workers:   opt.Workers,
 	})
+	if err != nil {
+		return nil, canceled(err)
+	}
 	return &Analysis{opt: opt, b: b}, nil
 }
 
@@ -257,6 +363,14 @@ func memoryModelOf(opt Options) (core.MemoryModel, error) {
 // Check runs the given checkers (nil = the Options' selection, which
 // defaults to all source–sink checkers) over the already-built VFG.
 func (a *Analysis) Check(checkers ...string) (*Result, error) {
+	return a.CheckContext(context.Background(), checkers...)
+}
+
+// CheckContext is Check with cooperative cancellation: ctx is consulted
+// between checkers and between source–sink searches. On cancellation the
+// partial reports are discarded and the returned error wraps ErrCanceled
+// and the context cause.
+func (a *Analysis) CheckContext(ctx context.Context, checkers ...string) (*Result, error) {
 	opt := a.opt
 	if len(checkers) > 0 {
 		opt.Checkers = checkers
@@ -265,7 +379,7 @@ func (a *Analysis) Check(checkers ...string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, stats := a.b.Check(core.CheckOptions{
+	reports, stats, err := a.b.CheckContext(ctx, core.CheckOptions{
 		Checkers:           opt.Checkers,
 		RequireInterThread: opt.RequireInterThread,
 		LockOrder:          opt.LockOrder,
@@ -276,6 +390,9 @@ func (a *Analysis) Check(checkers ...string) (*Result, error) {
 		CubeAndConquer:     opt.CubeAndConquer,
 		MaxConflicts:       opt.MaxConflicts,
 	})
+	if err != nil {
+		return nil, canceled(err)
+	}
 	return a.result(reports, stats), nil
 }
 
@@ -286,11 +403,19 @@ func (a *Analysis) WriteDot(w io.Writer) error { return a.b.G.WriteDot(w) }
 // selected checkers on src. For several checking rounds over one program,
 // use NewAnalysis + Check.
 func Analyze(src string, opt Options) (*Result, error) {
-	a, err := NewAnalysis(src, opt)
+	return AnalyzeContext(context.Background(), src, opt)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: both the VFG
+// fixpoint (between rounds) and the checking stage (between source–sink
+// searches) poll ctx, so a canceled or deadline-bounded analysis returns
+// promptly with an error wrapping ErrCanceled.
+func AnalyzeContext(ctx context.Context, src string, opt Options) (*Result, error) {
+	a, err := NewAnalysisContext(ctx, src, opt)
 	if err != nil {
 		return nil, err
 	}
-	return a.Check()
+	return a.CheckContext(ctx)
 }
 
 func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result {

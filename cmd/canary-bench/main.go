@@ -6,6 +6,7 @@
 //	canary-bench -experiment fig8     # Canary scalability + linear fits (Fig. 8)
 //	canary-bench -experiment table1   # bug-hunting comparison (Table 1)
 //	canary-bench -experiment parallel # worker-pool sweep + SMT-cache replay
+//	canary-bench -experiment serve    # canaryd scheduler: cold/warm phases, cache hits, queue depth
 //	canary-bench -experiment all
 //
 // -json replaces the text tables with one JSON object holding the raw
@@ -36,6 +37,9 @@ func main() {
 		sweepMin   = flag.Int("sweep-min", 500, "smallest Fig. 8 subject (lines)")
 		sweepMax   = flag.Int("sweep-max", 16000, "largest Fig. 8 subject (lines)")
 		parLines   = flag.Int("parallel-lines", 3200, "subject size for the parallel worker sweep")
+		srvClients = flag.Int("serve-clients", 8, "concurrent submitters in the serve experiment")
+		srvPerCli  = flag.Int("serve-requests", 6, "requests per submitter in the serve experiment")
+		srvLines   = flag.Int("serve-lines", 400, "subject size for the serve experiment")
 		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
@@ -54,7 +58,7 @@ func main() {
 		}
 		return *experiment == "all"
 	}
-	known := want("fig7a", "fig7b", "fig8", "table1", "parallel")
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve")
 	if !known {
 		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -65,6 +69,7 @@ func main() {
 		Subjects []bench.SubjectResult `json:"subjects,omitempty"`
 		Fig8     *bench.Fig8Result     `json:"fig8,omitempty"`
 		Parallel *bench.ParallelResult `json:"parallel,omitempty"`
+		Serve    *bench.ServeResult    `json:"serve,omitempty"`
 	}{}
 
 	if want("fig7a", "fig7b", "table1") {
@@ -92,6 +97,14 @@ func main() {
 			fail(err)
 		}
 		out.Parallel = &res
+	}
+	if want("serve") {
+		spec := workload.SizeSweep(1, *srvLines, *srvLines)[0]
+		res, err := e.RunServe(spec, *srvClients, *srvPerCli)
+		if err != nil {
+			fail(err)
+		}
+		out.Serve = &res
 	}
 
 	if *jsonOut {
@@ -131,6 +144,10 @@ func main() {
 	if out.Parallel != nil {
 		sep()
 		bench.PrintParallel(os.Stdout, *out.Parallel)
+	}
+	if out.Serve != nil {
+		sep()
+		bench.PrintServe(os.Stdout, *out.Serve)
 	}
 }
 

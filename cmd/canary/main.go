@@ -6,7 +6,20 @@
 //
 //	canary [flags] file.cn
 //
-// Exit status is 1 when bugs are reported, 2 on usage or analysis errors.
+// # Exit-code contract
+//
+// The CLI is usable as a CI gate; scripts may rely on:
+//
+//	0  the analysis ran and the gate passed: no report was emitted, or
+//	   -fail-on-report=false downgraded reports to informational output
+//	1  the analysis ran and at least one report was emitted while the
+//	   -fail-on-report gate (default on) was active
+//	2  the invocation itself failed: usage error, unreadable input,
+//	   parse/analysis error, or an unwritable -dot/-cpuprofile path
+//
+// Reports still print (and -json still carries them) with
+// -fail-on-report=false — only the exit status changes, so a pipeline can
+// collect results without tripping its failure handling.
 package main
 
 import (
@@ -42,6 +55,7 @@ func run() int {
 		trace    = flag.Bool("trace", false, "print the value-flow trace of each report")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
 		dotOut   = flag.String("dot", "", "write the value-flow graph in Graphviz DOT form to this file")
+		failOn   = flag.Bool("fail-on-report", true, "exit 1 when any report is emitted (the CI gate); =false always exits 0 on a completed analysis")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -117,7 +131,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "canary:", jerr)
 			return 2
 		}
-		if len(res.Reports) > 0 {
+		if *failOn && len(res.Reports) > 0 {
 			return 1
 		}
 		return 0
@@ -155,7 +169,7 @@ func run() int {
 		gh, gm := canary.GuardInternStats()
 		fmt.Printf("guard interner: %d hits, %d misses (process-wide)\n", gh, gm)
 	}
-	if len(res.Reports) > 0 {
+	if *failOn && len(res.Reports) > 0 {
 		return 1
 	}
 	return 0

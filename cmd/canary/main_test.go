@@ -165,3 +165,43 @@ func main() {
 		t.Errorf("output: %s", out)
 	}
 }
+
+// TestCLIFailOnReportGate pins the exit-code contract: -fail-on-report
+// (default on) exits 1 on any report; =false downgrades reports to
+// informational output and exits 0; analysis errors stay 2 either way.
+func TestCLIFailOnReportGate(t *testing.T) {
+	bin := buildCLI(t)
+	prog := writeProgram(t, buggy)
+
+	// Default: the gate trips.
+	if _, err := exec.Command(bin, prog).CombinedOutput(); err == nil {
+		t.Fatal("default -fail-on-report should exit 1 on a report")
+	}
+
+	// Disabled: reports still print, exit is 0.
+	out, err := exec.Command(bin, "-fail-on-report=false", prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-fail-on-report=false should exit 0: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1 report(s)") {
+		t.Errorf("reports must still print with the gate off:\n%s", out)
+	}
+
+	// JSON path honors the gate too.
+	out, err = exec.Command(bin, "-fail-on-report=false", "-json", prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-json -fail-on-report=false should exit 0: %v\n%s", err, out)
+	}
+	var decoded struct{ Reports []struct{ Kind string } }
+	if jerr := jsonUnmarshal(out, &decoded); jerr != nil {
+		t.Fatalf("invalid JSON: %v", jerr)
+	}
+	if len(decoded.Reports) != 1 {
+		t.Errorf("JSON reports = %+v", decoded.Reports)
+	}
+
+	// Errors are never downgraded.
+	if _, err := exec.Command(bin, "-fail-on-report=false", "missing.cn").CombinedOutput(); err == nil {
+		t.Error("analysis errors must keep exit 2 with the gate off")
+	}
+}

@@ -1,0 +1,111 @@
+// Command canaryd runs Canary as a long-running analysis service: a JSON
+// HTTP API over a bounded job queue, a fixed-size pool of concurrent
+// analyses, and a content-addressed result cache keyed by the SHA-256 of
+// (canonicalized source, options). Repeated submissions are served from
+// the cache byte-identically to their cold run; process-wide caches (the
+// guard interner, the SMT verdict cache) stay warm across requests.
+//
+// Usage:
+//
+//	canaryd [flags]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   {"source": "...", "options": {...}, "async": false, "timeout_ms": 0}
+//	GET  /v1/jobs/{id} status and result of an async job
+//	GET  /healthz      200 "ok", or 503 "draining" during shutdown
+//	GET  /metrics      plain-text counters and per-stage latency histograms
+//
+// On SIGTERM or SIGINT the daemon drains: every admitted job — queued or
+// running — completes and stays pollable until the drain finishes, new
+// submissions get 503, then the process exits 0. The first stdout line is
+// always "canaryd listening on <addr>", so wrappers can bind -addr :0 and
+// scrape the chosen port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"canary"
+	"canary/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8787", "listen address (use :0 for a random port)")
+		maxConc    = flag.Int("max-concurrent", 0, "analyses run simultaneously (0 = max(2, NumCPU/4))")
+		queueDepth = flag.Int("queue-depth", 64, "bound on admitted-but-unstarted jobs")
+		jobTimeout = flag.Duration("job-timeout", 60*time.Second, "per-job analysis deadline cap")
+		cacheSize  = flag.Int("cache-entries", 4096, "content-addressed result cache capacity")
+		workers    = flag.Int("workers", 0, "per-analysis worker pool size (0 = all CPUs)")
+		drainWait  = flag.Duration("drain-timeout", 10*time.Minute, "bound on draining in-flight jobs at shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: canaryd [flags]")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	opt := canary.DefaultOptions()
+	opt.Workers = *workers
+	srv := server.New(server.Config{
+		MaxConcurrent: *maxConc,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		CacheEntries:  *cacheSize,
+		Options:       opt,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canaryd:", err)
+		return 2
+	}
+	fmt.Printf("canaryd listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "canaryd:", err)
+		return 2
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Drain: refuse new work (503) but keep serving polls and metrics until
+	// every admitted job completes, then stop the HTTP listener.
+	fmt.Fprintln(os.Stderr, "canaryd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "canaryd: drain incomplete:", err)
+		hs.Close()
+		return 2
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "canaryd:", err)
+		return 2
+	}
+	fmt.Fprintln(os.Stderr, "canaryd: drained, exiting")
+	return 0
+}

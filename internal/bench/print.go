@@ -89,6 +89,26 @@ func PrintParallel(w io.Writer, res ParallelResult) {
 		res.Warm.CheckTime.Round(time.Millisecond), res.Warm.SolverQueries, res.Warm.CacheHits, res.Warm.CacheMisses)
 }
 
+// PrintServe renders the service-mode experiment: cold vs warm phase and
+// the queue-depth profile.
+func PrintServe(w io.Writer, res ServeResult) {
+	fmt.Fprintf(w, "Service mode — %d clients × %d requests (%d-line subjects), %d workers, queue depth %d\n",
+		res.Clients, res.PerClient, res.Lines, res.MaxConcurrent, res.QueueDepth)
+	fmt.Fprintf(w, "%6s %8s %10s %12s %12s %12s %8s %8s\n",
+		"phase", "requests", "req/s", "p50", "p95", "elapsed", "hits", "misses")
+	row := func(name string, p ServePhase) {
+		fmt.Fprintf(w, "%6s %8d %10.1f %12s %12s %12s %8d %8d\n",
+			name, p.Requests, p.Throughput,
+			p.P50.Round(time.Microsecond), p.P95.Round(time.Microsecond),
+			p.Elapsed.Round(time.Millisecond), p.CacheHits, p.CacheMisses)
+	}
+	row("cold", res.Cold)
+	row("warm", res.Warm)
+	fmt.Fprintf(w, "backpressure: %d queue-full retries cold, %d warm; queue depth max %d over %d samples\n",
+		res.Cold.Retries, res.Warm.Retries, res.MaxQueueDepth, len(res.QueueDepthSamples))
+	fmt.Fprintf(w, "content store: %d entries after warm phase\n", res.CacheEntries)
+}
+
 // speedups returns the geometric-mean build-time speedups of Canary over
 // each baseline, counting only subjects the baseline finished.
 func speedups(rs []SubjectResult) (vsSaber, vsFsam float64) {

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"canary"
+	"canary/internal/server"
+	"canary/internal/workload"
+)
+
+// ServePhase is one load phase against the daemon scheduler: every client
+// submits its whole request list and waits each job to a terminal state.
+type ServePhase struct {
+	Requests int
+	// Retries counts ErrQueueFull backoffs — each one is a backpressure
+	// event where the bounded queue made a client wait.
+	Retries    int
+	Failed     int
+	Elapsed    time.Duration
+	Throughput float64 // completed requests per second
+	// P50 and P95 are end-to-end request latencies (submit → terminal
+	// state, including queue wait and any cache fast-path).
+	P50, P95 time.Duration
+	// CacheHits and CacheMisses are the content-addressed result store's
+	// deltas over this phase.
+	CacheHits, CacheMisses uint64
+}
+
+// ServeResult is the service-mode experiment: a cold phase of distinct
+// programs (every submission misses the result store) followed by a warm
+// phase replaying the same programs (every submission should hit).
+type ServeResult struct {
+	Lines         int
+	Clients       int
+	PerClient     int
+	MaxConcurrent int
+	QueueDepth    int
+	Cold, Warm    ServePhase
+	// QueueDepthSamples is the admitted-but-unstarted backlog sampled at a
+	// fixed cadence across both phases.
+	QueueDepthSamples []int
+	MaxQueueDepth     int
+	// CacheEntries is the content store's size after the warm phase.
+	CacheEntries int
+}
+
+// RunServe measures canaryd's scheduler in-process: clients concurrent
+// submitters each push perClient distinct programs (seed-varied copies of
+// spec) through a deliberately small worker pool, then replay the same
+// programs warm. The cold phase fills the content-addressed store; the warm
+// phase must be served from it, so its hit delta equals its request count
+// and its latencies collapse to the cache fast-path.
+func (e *Experiments) RunServe(spec workload.Spec, clients, perClient int) (ServeResult, error) {
+	res := ServeResult{Lines: spec.Lines, Clients: clients, PerClient: perClient}
+	if clients <= 0 || perClient <= 0 {
+		return res, fmt.Errorf("serve experiment needs clients > 0 and requests > 0")
+	}
+
+	// Distinct programs per request: same shape, different seed.
+	srcs := make([][]string, clients)
+	for c := range srcs {
+		srcs[c] = make([]string, perClient)
+		for i := range srcs[c] {
+			s := spec
+			s.Seed = spec.Seed + int64(c*perClient+i)
+			srcs[c][i] = workload.Generate(s)
+		}
+	}
+
+	// A small pool and a queue shorter than the client count, so the cold
+	// phase actually exercises queueing and backpressure.
+	timeout := e.Timeout
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	res.MaxConcurrent = 2
+	res.QueueDepth = clients
+	srv := server.New(server.Config{
+		MaxConcurrent: res.MaxConcurrent,
+		QueueDepth:    res.QueueDepth,
+		JobTimeout:    timeout,
+	})
+	opt := canary.DefaultOptions()
+
+	// Queue-depth sampler, running across both phases.
+	stopSampler := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				d := srv.QueueDepth()
+				res.QueueDepthSamples = append(res.QueueDepthSamples, d)
+				if d > res.MaxQueueDepth {
+					res.MaxQueueDepth = d
+				}
+			}
+		}
+	}()
+
+	phase := func() ServePhase {
+		var ph ServePhase
+		h0, m0, _ := srv.CacheStats()
+		lats := make([][]time.Duration, clients)
+		retries := make([]int, clients)
+		failed := make([]int, clients)
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		wg.Add(clients)
+		for c := 0; c < clients; c++ {
+			go func(c int) {
+				defer wg.Done()
+				for _, src := range srcs[c] {
+					s0 := time.Now()
+					for {
+						job, err := srv.Submit(src, opt, 0)
+						if err == server.ErrQueueFull {
+							retries[c]++
+							time.Sleep(time.Millisecond)
+							continue
+						}
+						if err != nil {
+							failed[c]++
+							break
+						}
+						<-job.Done()
+						if job.State() == server.JobFailed {
+							failed[c]++
+						}
+						break
+					}
+					lats[c] = append(lats[c], time.Since(s0))
+				}
+			}(c)
+		}
+		wg.Wait()
+		ph.Elapsed = time.Since(t0)
+
+		var all []time.Duration
+		for c := 0; c < clients; c++ {
+			all = append(all, lats[c]...)
+			ph.Retries += retries[c]
+			ph.Failed += failed[c]
+		}
+		ph.Requests = len(all)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		ph.P50 = percentile(all, 50)
+		ph.P95 = percentile(all, 95)
+		if ph.Elapsed > 0 {
+			ph.Throughput = float64(ph.Requests) / ph.Elapsed.Seconds()
+		}
+		h1, m1, _ := srv.CacheStats()
+		ph.CacheHits = h1 - h0
+		ph.CacheMisses = m1 - m0
+		return ph
+	}
+
+	res.Cold = phase()
+	e.logf("  serve cold: %d req in %v (%.1f req/s, p95=%v, %d queue-full retries, cache %d hits/%d misses)\n",
+		res.Cold.Requests, res.Cold.Elapsed.Round(time.Millisecond), res.Cold.Throughput,
+		res.Cold.P95.Round(time.Microsecond), res.Cold.Retries, res.Cold.CacheHits, res.Cold.CacheMisses)
+	res.Warm = phase()
+	e.logf("  serve warm: %d req in %v (%.1f req/s, p95=%v, cache %d hits/%d misses)\n",
+		res.Warm.Requests, res.Warm.Elapsed.Round(time.Millisecond), res.Warm.Throughput,
+		res.Warm.P95.Round(time.Microsecond), res.Warm.CacheHits, res.Warm.CacheMisses)
+
+	close(stopSampler)
+	samplerWG.Wait()
+	_, _, res.CacheEntries = srv.CacheStats()
+	srv.BeginDrain()
+	return res, nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}

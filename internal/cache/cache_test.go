@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func keyOf(s string) Key { return Key(sha256.Sum256([]byte(s))) }
+
+func TestStoreBasics(t *testing.T) {
+	s := New(8)
+	k := keyOf("a")
+	if _, ok := s.Get(k); ok {
+		t.Fatal("empty store should miss")
+	}
+	s.Put(k, []byte("value-a"))
+	got, ok := s.Get(k)
+	if !ok || string(got) != "value-a" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if hits, misses := s.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStorePutCopiesAndKeepsFirst(t *testing.T) {
+	s := New(8)
+	k := keyOf("a")
+	buf := []byte("original")
+	s.Put(k, buf)
+	buf[0] = 'X' // caller mutation must not reach the store
+	got, _ := s.Get(k)
+	if string(got) != "original" {
+		t.Fatalf("stored value aliases the caller's buffer: %q", got)
+	}
+	// A re-put under the same key keeps the first value (content addressing
+	// guarantees they are identical; this pins the no-replace behavior).
+	s.Put(k, []byte("replacement"))
+	if got, _ := s.Get(k); string(got) != "original" {
+		t.Fatalf("re-put replaced the value: %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after re-put", s.Len())
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 3; i++ {
+		s.Put(keyOf(fmt.Sprint(i)), []byte{byte(i)})
+	}
+	// Touch 0 so 1 becomes the LRU victim.
+	if _, ok := s.Get(keyOf("0")); !ok {
+		t.Fatal("expected hit on 0")
+	}
+	s.Put(keyOf("3"), []byte{3})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if _, ok := s.Get(keyOf("1")); ok {
+		t.Error("LRU entry 1 should have been evicted")
+	}
+	for _, name := range []string{"0", "2", "3"} {
+		if _, ok := s.Get(keyOf(name)); !ok {
+			t.Errorf("entry %s should have survived", name)
+		}
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keyOf(fmt.Sprint(i % 32))
+				s.Put(k, []byte(fmt.Sprint(i%32)))
+				if v, ok := s.Get(k); ok && string(v) != fmt.Sprint(i%32) {
+					t.Errorf("goroutine %d: wrong value %q", g, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+}

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"canary/internal/guard"
@@ -122,6 +123,18 @@ type Builder struct {
 // Build runs the full thread-modular dependence analysis and returns the
 // builder holding the interference-aware VFG.
 func Build(prog *ir.Program, opt BuildOptions) *Builder {
+	b, _ := BuildContext(context.Background(), prog, opt)
+	return b
+}
+
+// BuildContext is Build with cooperative cancellation: the outer
+// Alg. 1/Alg. 2 fixpoint checks ctx between rounds and aborts with ctx's
+// error (context.Canceled or context.DeadlineExceeded) when it is done.
+// A round in flight always runs to completion — the checkpoints sit at the
+// deterministic sequential merge points, so a canceled build never leaves
+// a half-applied effect log behind; the partially built graph is simply
+// discarded (nil is returned alongside the error).
+func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Builder, error) {
 	opt = opt.withDefaults()
 	b := &Builder{
 		Prog:       prog,
@@ -138,6 +151,9 @@ func Build(prog *ir.Program, opt BuildOptions) *Builder {
 	hits0, _ := guard.InternStats()
 	start := time.Now()
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b.Stats.Iterations++
 		progressed := false
 		// Phase 1 (Alg. 1): intra-thread data dependence, re-running only
@@ -188,7 +204,7 @@ func Build(prog *ir.Program, opt BuildOptions) *Builder {
 			b.Stats.InterferenceEdges += n
 		}
 	}
-	return b
+	return b, nil
 }
 
 // cap widens oversized guards to true (sound for may-analyses).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -211,10 +212,25 @@ type source struct {
 
 // Check runs the selected source–sink checkers over the built VFG.
 func (b *Builder) Check(opt CheckOptions) ([]Report, CheckStats) {
+	reports, stats, _ := b.CheckContext(context.Background(), opt)
+	return reports, stats
+}
+
+// CheckContext is Check with cooperative cancellation: ctx is consulted
+// between checkers and between source–sink searches (each pool worker
+// checks it before claiming the next source, and a running DFS aborts at
+// its next step-budget checkpoint). On cancellation the partial reports
+// are discarded and ctx's error (context.Canceled or
+// context.DeadlineExceeded) is returned; the stats gathered so far are
+// still returned for observability.
+func (b *Builder) CheckContext(ctx context.Context, opt CheckOptions) ([]Report, CheckStats, error) {
 	opt = opt.withDefaults()
 	var reports []Report
 	var stats CheckStats
 	for _, kind := range opt.Checkers {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		var rs []Report
 		var st CheckStats
 		switch kind {
@@ -223,10 +239,13 @@ func (b *Builder) Check(opt CheckOptions) ([]Report, CheckStats) {
 		case CheckDeadlock:
 			rs, st = b.checkDeadlocks(opt)
 		default:
-			rs, st = b.checkKind(kind, opt)
+			rs, st = b.checkKind(ctx, kind, opt)
 		}
 		reports = append(reports, rs...)
 		stats.add(st)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	sort.Slice(reports, func(i, j int) bool {
 		if reports[i].Kind != reports[j].Kind {
@@ -237,7 +256,7 @@ func (b *Builder) Check(opt CheckOptions) ([]Report, CheckStats) {
 		}
 		return reports[i].Sink.Label < reports[j].Sink.Label
 	})
-	return reports, stats
+	return reports, stats, nil
 }
 
 // sourcesAndSinks yields the source events and sink map of one checker.
@@ -277,7 +296,7 @@ func (b *Builder) sourcesAndSinks(kind string) ([]source, map[ir.VarID][]ir.Labe
 	return sources, sinks
 }
 
-func (b *Builder) checkKind(kind string, opt CheckOptions) ([]Report, CheckStats) {
+func (b *Builder) checkKind(ctx context.Context, kind string, opt CheckOptions) ([]Report, CheckStats) {
 	sources, sinks := b.sourcesAndSinks(kind)
 	if len(sources) == 0 || len(sinks) == 0 {
 		return nil, CheckStats{Sources: len(sources)}
@@ -304,9 +323,16 @@ func (b *Builder) checkKind(kind string, opt CheckOptions) ([]Report, CheckStats
 	}
 	slots := make([]slot, len(sources))
 	runIndexed(workerCount(opt.Workers), len(sources), func(qi int) {
+		// Cancellation checkpoint between source–sink searches: once ctx is
+		// done the pool drains without claiming further sources. The partial
+		// slots are never surfaced — CheckContext discards them and returns
+		// ctx's error.
+		if ctx.Err() != nil {
+			return
+		}
 		si := order[qi]
 		c := &checkCtx{
-			b: b, kind: kind, opt: opt, sinks: sinks,
+			b: b, kind: kind, opt: opt, ctx: ctx, sinks: sinks,
 			pairs: &pairSet{kind: kind, done: make(map[[2]ir.Label]bool)},
 		}
 		slots[si].reports = c.searchFrom(sources[si])
@@ -372,6 +398,7 @@ type checkCtx struct {
 	b     *Builder
 	kind  string
 	opt   CheckOptions
+	ctx   context.Context
 	sinks map[ir.VarID][]ir.Label
 	pairs *pairSet
 	stats CheckStats
@@ -395,6 +422,12 @@ func (c *checkCtx) searchFrom(src source) []Report {
 	var visit func(n vfg.NodeID)
 	visit = func(n vfg.NodeID) {
 		if c.steps >= c.opt.MaxDFSSteps {
+			return
+		}
+		// A long-running DFS polls ctx every 256 steps; on cancellation it
+		// exhausts its step budget so the whole search unwinds promptly.
+		if c.steps&0xff == 0 && c.ctx != nil && c.ctx.Err() != nil {
+			c.steps = c.opt.MaxDFSSteps
 			return
 		}
 		c.steps++

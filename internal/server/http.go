@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"canary"
+)
+
+// maxRequestBytes bounds an /v1/analyze body (sources are small programs,
+// not binaries).
+const maxRequestBytes = 16 << 20
+
+// AnalyzeRequest is the POST /v1/analyze body.
+type AnalyzeRequest struct {
+	// Source is the program text in the canary input language. Required.
+	Source string `json:"source"`
+	// Async makes the call return 202 immediately with a job ID to poll
+	// at GET /v1/jobs/{id}; the default waits for the verdict inline.
+	Async bool `json:"async,omitempty"`
+	// TimeoutMS bounds this job's analysis; 0 (and anything above the
+	// server's job-timeout cap) means the cap.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Options patches the server's base analysis options field by field.
+	Options *OptionsPatch `json:"options,omitempty"`
+}
+
+// OptionsPatch is a partial canary.Options: nil fields keep the server's
+// base configuration. Field names mirror the library options.
+type OptionsPatch struct {
+	Entry              *string  `json:"entry,omitempty"`
+	UnrollDepth        *int     `json:"unroll_depth,omitempty"`
+	InlineDepth        *int     `json:"inline_depth,omitempty"`
+	EnableMHP          *bool    `json:"enable_mhp,omitempty"`
+	GuardCap           *int     `json:"guard_cap,omitempty"`
+	Checkers           []string `json:"checkers,omitempty"`
+	RequireInterThread *bool    `json:"require_inter_thread,omitempty"`
+	LockOrder          *bool    `json:"lock_order,omitempty"`
+	CondVarOrder       *bool    `json:"cond_var_order,omitempty"`
+	MemoryModel        *string  `json:"memory_model,omitempty"`
+	FactPropagation    *bool    `json:"fact_propagation,omitempty"`
+	Workers            *int     `json:"workers,omitempty"`
+	CubeAndConquer     *bool    `json:"cube_and_conquer,omitempty"`
+	MaxConflicts       *int64   `json:"max_conflicts,omitempty"`
+}
+
+func (p *OptionsPatch) apply(opt canary.Options) canary.Options {
+	if p == nil {
+		return opt
+	}
+	if p.Entry != nil {
+		opt.Entry = *p.Entry
+	}
+	if p.UnrollDepth != nil {
+		opt.UnrollDepth = *p.UnrollDepth
+	}
+	if p.InlineDepth != nil {
+		opt.InlineDepth = *p.InlineDepth
+	}
+	if p.EnableMHP != nil {
+		opt.EnableMHP = *p.EnableMHP
+	}
+	if p.GuardCap != nil {
+		opt.GuardCap = *p.GuardCap
+	}
+	if len(p.Checkers) > 0 {
+		opt.Checkers = p.Checkers
+	}
+	if p.RequireInterThread != nil {
+		opt.RequireInterThread = *p.RequireInterThread
+	}
+	if p.LockOrder != nil {
+		opt.LockOrder = *p.LockOrder
+	}
+	if p.CondVarOrder != nil {
+		opt.CondVarOrder = *p.CondVarOrder
+	}
+	if p.MemoryModel != nil {
+		opt.MemoryModel = *p.MemoryModel
+	}
+	if p.FactPropagation != nil {
+		opt.FactPropagation = *p.FactPropagation
+	}
+	if p.Workers != nil {
+		opt.Workers = *p.Workers
+	}
+	if p.CubeAndConquer != nil {
+		opt.CubeAndConquer = *p.CubeAndConquer
+	}
+	if p.MaxConflicts != nil {
+		opt.MaxConflicts = *p.MaxConflicts
+	}
+	return opt
+}
+
+// JobResponse is the JSON rendering of a job for both /v1/analyze and
+// /v1/jobs/{id}.
+type JobResponse struct {
+	JobID    string          `json:"job_id"`
+	Status   JobState        `json:"status"`
+	CacheKey string          `json:"cache_key"`
+	Cached   bool            `json:"cached,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Elapsed  float64         `json:"elapsed_ms,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+func responseOf(v jobView) JobResponse {
+	resp := JobResponse{
+		JobID:    v.ID,
+		Status:   v.State,
+		CacheKey: v.Key.String(),
+		Cached:   v.Cached,
+		Error:    v.ErrMsg,
+	}
+	if v.Elapsed > 0 {
+		resp.Elapsed = float64(v.Elapsed.Microseconds()) / 1000
+	}
+	if len(v.Result) > 0 {
+		resp.Result = json.RawMessage(v.Result)
+	}
+	return resp
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/analyze   submit a program (sync by default, async opt-in)
+//	GET  /v1/jobs/{id} status/result of a submitted job
+//	GET  /healthz      liveness — 200 "ok", 503 "draining"
+//	GET  /metrics      plain-text counters and histograms
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing required field: source")
+		return
+	}
+	opt := req.Options.apply(s.cfg.Options)
+	timeout := s.cfg.JobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	job, err := s.Submit(req.Source, opt, timeout)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, responseOf(job.view()))
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client gave up; the job keeps running and stays pollable.
+		writeJSON(w, http.StatusAccepted, responseOf(job.view()))
+		return
+	}
+	v := job.view()
+	status := http.StatusOK
+	if v.State == JobFailed {
+		status = http.StatusUnprocessableEntity
+		if v.TimedOut {
+			status = http.StatusGatewayTimeout
+		}
+	}
+	writeJSON(w, status, responseOf(v))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, responseOf(job.view()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.writeMetrics(w)
+}

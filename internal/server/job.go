@@ -1,0 +1,125 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"canary"
+	"canary/internal/cache"
+)
+
+// JobState enumerates a job's lifecycle: queued → running → done | failed.
+// A cache-served job goes straight to done at submission time.
+type JobState string
+
+// Job states, as rendered in the JSON API's status field.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one accepted analysis submission. The immutable submission fields
+// are set at creation; the mutable lifecycle fields are guarded by mu and
+// published through snapshot (the HTTP layer) and Done (sync waiters).
+type Job struct {
+	id      string
+	key     cache.Key
+	src     string
+	opt     canary.Options
+	timeout time.Duration
+
+	mu         sync.Mutex
+	state      JobState
+	cached     bool
+	timedOut   bool
+	result     []byte // canonical JSON encoding of canary.Result
+	errMsg     string
+	queuedAt   time.Time
+	finishedAt time.Time
+	done       chan struct{}
+}
+
+// ID returns the job's identifier ("job-N").
+func (j *Job) ID() string { return j.id }
+
+// Key returns the submission's content-address (see canary.SubmissionKey).
+func (j *Job) Key() cache.Key { return j.key }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the terminal outcome: the canonical result bytes (nil
+// until done), whether they came from the content store, and the error
+// message of a failed job.
+func (j *Job) Result() (result []byte, cached bool, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.cached, j.errMsg
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+func (j *Job) complete(result []byte, cached bool) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.result = result
+	j.cached = cached
+	j.finishedAt = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) fail(msg string, timedOut bool) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.errMsg = msg
+	j.timedOut = timedOut
+	j.finishedAt = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// jobView is a consistent copy of a job's observable state for the HTTP
+// layer.
+type jobView struct {
+	ID       string
+	Key      cache.Key
+	State    JobState
+	Cached   bool
+	TimedOut bool
+	Result   []byte
+	ErrMsg   string
+	Elapsed  time.Duration // queue admission to terminal state; 0 while live
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID: j.id, Key: j.key, State: j.state, Cached: j.cached,
+		TimedOut: j.timedOut, Result: j.result, ErrMsg: j.errMsg,
+	}
+	if !j.finishedAt.IsZero() {
+		v.Elapsed = j.finishedAt.Sub(j.queuedAt)
+	}
+	return v
+}
+
+func (j *Job) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == JobDone || j.state == JobFailed
+}

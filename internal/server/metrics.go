@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a fixed-bucket cumulative latency histogram in the
+// Prometheus text exposition style: bucket counters are monotonically
+// increasing and keyed by an inclusive upper bound ("le"), with a +Inf
+// overflow bucket, a sum, and a count. All operations are lock-free.
+type histogram struct {
+	bounds []float64       // upper bounds in seconds, ascending
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sumUS  atomic.Uint64   // sum of observations in microseconds
+	count  atomic.Uint64
+}
+
+// stageBuckets covers the daemon's expected latency range: sub-millisecond
+// cache hits up to multi-second whole-program analyses.
+func stageBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := len(h.bounds)
+	for j, b := range h.bounds {
+		if secs <= b {
+			i = j
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumUS.Add(uint64(d.Microseconds()))
+	h.count.Add(1)
+}
+
+// writeTo emits the histogram as name_bucket{stage="...",le="..."} lines
+// plus the _sum and _count series.
+func (h *histogram) writeTo(w io.Writer, name, stage string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", name, stage, fmt.Sprintf("%g", b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, stage, cum)
+	fmt.Fprintf(w, "%s_sum{stage=%q} %.6f\n", name, stage, float64(h.sumUS.Load())/1e6)
+	fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, h.count.Load())
+}
+
+// metrics aggregates the daemon's observable state. Job counters are
+// owned here; cache and interner counters are read from their sources at
+// scrape time (see Server.writeMetrics).
+type metrics struct {
+	accepted    atomic.Uint64 // submissions admitted (queued or cache-served)
+	completed   atomic.Uint64 // jobs finished with a result (incl. cache-served)
+	failed      atomic.Uint64 // jobs finished with an error (incl. deadline)
+	rejected    atomic.Uint64 // submissions refused (queue full or draining)
+	cacheServed atomic.Uint64 // completions answered by the content store
+	running     atomic.Int64  // jobs currently inside the analysis pipeline
+
+	// Per-stage latency histograms: "build" is VFGStats.BuildTime, "check"
+	// is CheckStats.SearchTime+SolveTime, "total" is the job's wall time
+	// inside the worker (parse + build + check + encode).
+	build, check, total *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		build: newHistogram(stageBuckets()),
+		check: newHistogram(stageBuckets()),
+		total: newHistogram(stageBuckets()),
+	}
+}

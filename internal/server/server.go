@@ -1,0 +1,335 @@
+// Package server implements canaryd's long-running analysis service: a
+// bounded job queue feeding a fixed-size scheduler of concurrent analyses,
+// fronted by a content-addressed result cache and exposed over a small
+// JSON HTTP API with plain-text metrics.
+//
+// The daemon is the deployment shape that lets the process-wide caches
+// built for the one-shot pipeline — the guard hash-cons interner and the
+// SMT verdict cache — actually amortize across requests: a warm repeat of
+// a submission is answered from the content store byte-identically to its
+// cold run (the determinism contract makes the cached bytes exact), and
+// even a novel program re-interns most of its guard formulas.
+//
+// Lifecycle: New starts the worker pool immediately; Submit admits work
+// until BeginDrain (SIGTERM in canaryd) flips the server into draining
+// mode, after which new submissions are refused with ErrDraining while
+// every already-admitted job — queued or running — completes before
+// Shutdown returns.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"canary"
+	"canary/internal/cache"
+	"canary/internal/smt"
+)
+
+// Submission rejections. The HTTP layer maps both to 503.
+var (
+	// ErrDraining is returned by Submit after BeginDrain.
+	ErrDraining = errors.New("server is draining")
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity (backpressure: the client should retry later).
+	ErrQueueFull = errors.New("job queue full")
+)
+
+// Config sizes the service. The zero value of any field selects its
+// default.
+type Config struct {
+	// MaxConcurrent is the number of analyses run simultaneously (the
+	// scheduler's worker count). Each analysis internally uses the
+	// pipeline's own worker pools (Options.Workers), so the default keeps
+	// this small rather than one per CPU.
+	MaxConcurrent int
+	// QueueDepth bounds the number of admitted-but-unstarted jobs.
+	QueueDepth int
+	// JobTimeout caps every job's analysis deadline. A request may ask for
+	// less via timeout_ms, never for more.
+	JobTimeout time.Duration
+	// CacheEntries bounds the content-addressed result store.
+	CacheEntries int
+	// MaxJobRecords bounds the finished-job history kept for GET
+	// /v1/jobs/{id}; the oldest finished records are pruned first.
+	MaxJobRecords int
+	// Options is the base analysis configuration; per-request options
+	// patch it.
+	Options canary.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+		if n := runtime.GOMAXPROCS(0) / 4; n > c.MaxConcurrent {
+			c.MaxConcurrent = n
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.MaxJobRecords <= 0 {
+		c.MaxJobRecords = 4096
+	}
+	if c.Options.Entry == "" {
+		c.Options = canary.DefaultOptions()
+	}
+	return c
+}
+
+// Server is the analysis service. Create with New; it is ready (workers
+// running) on return.
+type Server struct {
+	cfg     Config
+	cache   *cache.Store
+	metrics *metrics
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	jobOrder []string // admission order, for bounded history pruning
+	nextID   uint64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// jobStartHook, when non-nil, runs at the start of every job on the
+	// worker goroutine. Tests use it to hold workers busy deterministically
+	// (set it after New, before the first Submit).
+	jobStartHook func(*Job)
+}
+
+// New builds a Server from cfg and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache.New(cfg.CacheEntries),
+		metrics: newMetrics(),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.MaxConcurrent)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Submit admits one analysis of src under opt with the given deadline
+// (0, or anything above Config.JobTimeout, means Config.JobTimeout).
+//
+// Repeat submissions are answered from the content-addressed store: the
+// returned job is already done, flagged cached, and carries the exact
+// bytes of the cold run. A miss enqueues the job; ErrQueueFull and
+// ErrDraining reject it without a job record.
+func (s *Server) Submit(src string, opt canary.Options, timeout time.Duration) (*Job, error) {
+	if timeout <= 0 || timeout > s.cfg.JobTimeout {
+		timeout = s.cfg.JobTimeout
+	}
+	job := &Job{
+		key:      canary.SubmissionKey(src, opt),
+		src:      src,
+		opt:      opt,
+		timeout:  timeout,
+		state:    JobQueued,
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	if cached, ok := s.cache.Get(job.key); ok {
+		s.admitLocked(job)
+		s.mu.Unlock()
+		job.complete(cached, true)
+		s.metrics.accepted.Add(1)
+		s.metrics.completed.Add(1)
+		s.metrics.cacheServed.Add(1)
+		return job, nil
+	}
+	select {
+	case s.queue <- job:
+		// Sent while holding mu: BeginDrain closes the queue under the same
+		// lock, so a send can never race the close.
+		s.admitLocked(job)
+		s.mu.Unlock()
+		s.metrics.accepted.Add(1)
+		return job, nil
+	default:
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// admitLocked assigns the job its ID and records it, pruning the oldest
+// finished records beyond the history bound. Caller holds s.mu.
+func (s *Server) admitLocked(job *Job) {
+	s.nextID++
+	job.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[job.id] = job
+	s.jobOrder = append(s.jobOrder, job.id)
+	for len(s.jobs) > s.cfg.MaxJobRecords {
+		pruned := false
+		for i, id := range s.jobOrder {
+			if j, ok := s.jobs[id]; ok && j.finished() {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			break // everything live; let the map exceed the bound briefly
+		}
+	}
+}
+
+// Job returns the record of id, if still retained.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// QueueDepth returns the number of admitted-but-unstarted jobs.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// CacheStats returns the content store's cumulative hit/miss counters and
+// current size.
+func (s *Server) CacheStats() (hits, misses uint64, entries int) {
+	h, m := s.cache.Stats()
+	return h, m, s.cache.Len()
+}
+
+// BeginDrain flips the server into draining mode: subsequent Submits fail
+// with ErrDraining, /healthz turns 503, and the queue is closed so workers
+// exit once the already-admitted jobs finish. Idempotent.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+}
+
+// Shutdown drains the server: it rejects new work, then waits — bounded by
+// ctx — for every admitted job to reach a terminal state. It returns
+// ctx.Err() if the deadline expires first (jobs keep running; call again
+// to keep waiting).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one analysis under the job's deadline and publishes the
+// outcome to the job record, the content store, and the metrics.
+func (s *Server) runJob(job *Job) {
+	job.setRunning()
+	s.metrics.running.Add(1)
+	defer s.metrics.running.Add(-1)
+	if s.jobStartHook != nil {
+		s.jobStartHook(job)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), job.timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := canary.AnalyzeContext(ctx, job.src, job.opt)
+	wall := time.Since(start)
+	if err != nil {
+		s.metrics.failed.Add(1)
+		job.fail(err.Error(), errors.Is(err, canary.ErrCanceled))
+		return
+	}
+	buf, err := json.Marshal(res)
+	if err != nil {
+		s.metrics.failed.Add(1)
+		job.fail(fmt.Sprintf("encoding result: %v", err), false)
+		return
+	}
+	s.cache.Put(job.key, buf)
+	s.metrics.build.observe(res.VFG.BuildTime)
+	s.metrics.check.observe(res.Check.SearchTime + res.Check.SolveTime)
+	s.metrics.total.observe(wall)
+	s.metrics.completed.Add(1)
+	job.complete(buf, false)
+}
+
+// writeMetrics renders the plain-text metrics exposition: job counters,
+// queue gauges, the three cache layers (result store, SMT verdicts, guard
+// interner), and the per-stage latency histograms.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := s.metrics
+	fmt.Fprintf(w, "canaryd_jobs_accepted_total %d\n", m.accepted.Load())
+	fmt.Fprintf(w, "canaryd_jobs_completed_total %d\n", m.completed.Load())
+	fmt.Fprintf(w, "canaryd_jobs_failed_total %d\n", m.failed.Load())
+	fmt.Fprintf(w, "canaryd_jobs_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "canaryd_jobs_cache_served_total %d\n", m.cacheServed.Load())
+	fmt.Fprintf(w, "canaryd_jobs_running %d\n", m.running.Load())
+	fmt.Fprintf(w, "canaryd_queue_depth %d\n", s.QueueDepth())
+	fmt.Fprintf(w, "canaryd_queue_capacity %d\n", s.cfg.QueueDepth)
+	drain := 0
+	if s.Draining() {
+		drain = 1
+	}
+	fmt.Fprintf(w, "canaryd_draining %d\n", drain)
+
+	hits, misses, entries := s.CacheStats()
+	fmt.Fprintf(w, "canaryd_result_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "canaryd_result_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "canaryd_result_cache_entries %d\n", entries)
+	sh, sm := smt.DefaultCache.Stats()
+	fmt.Fprintf(w, "canaryd_smt_cache_hits_total %d\n", sh)
+	fmt.Fprintf(w, "canaryd_smt_cache_misses_total %d\n", sm)
+	gh, gm := canary.GuardInternStats()
+	fmt.Fprintf(w, "canaryd_guard_intern_hits_total %d\n", gh)
+	fmt.Fprintf(w, "canaryd_guard_intern_misses_total %d\n", gm)
+
+	m.build.writeTo(w, "canaryd_stage_latency_seconds", "build")
+	m.check.writeTo(w, "canaryd_stage_latency_seconds", "check")
+	m.total.writeTo(w, "canaryd_stage_latency_seconds", "total")
+}

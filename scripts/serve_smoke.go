@@ -1,0 +1,232 @@
+//go:build ignore
+
+// serve_smoke.go is the `make serve-smoke` gate: an end-to-end exercise of
+// the real canaryd binary over real HTTP. It builds canaryd and canary,
+// starts the daemon on a random port, submits examples/service/program.cn,
+// asserts the daemon's reports equal the CLI's on the same file, replays
+// the submission to prove it is served from the content-addressed cache,
+// checks /healthz and /metrics, and SIGTERMs the daemon expecting a clean
+// drain and exit 0.
+//
+// Run from the repository root: go run scripts/serve_smoke.go
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const examplePath = "examples/service/program.cn"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: ok")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "canary-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	daemonBin := filepath.Join(tmp, "canaryd")
+	cliBin := filepath.Join(tmp, "canary")
+	for bin, pkg := range map[string]string{daemonBin: "./cmd/canaryd", cliBin: "./cmd/canary"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			return fmt.Errorf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Start the daemon on a random port and scrape the announced address.
+	daemon := exec.Command(daemonBin, "-addr", "127.0.0.1:0")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return err
+	}
+	exited := false
+	defer func() {
+		if !exited {
+			daemon.Process.Kill()
+			daemon.Wait()
+		}
+	}()
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		return fmt.Errorf("daemon exited before announcing its address")
+	}
+	addr := strings.TrimPrefix(sc.Text(), "canaryd listening on ")
+	if addr == sc.Text() {
+		return fmt.Errorf("unexpected first stdout line %q", sc.Text())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	base := "http://" + addr
+	fmt.Println("serve-smoke: daemon at", base)
+
+	if body, err := get(base + "/healthz"); err != nil {
+		return err
+	} else if strings.TrimSpace(body) != "ok" {
+		return fmt.Errorf("/healthz = %q, want ok", body)
+	}
+
+	// Submit the example synchronously.
+	src, err := os.ReadFile(examplePath)
+	if err != nil {
+		return err
+	}
+	first, err := analyze(base, string(src))
+	if err != nil {
+		return err
+	}
+	if first.Status != "done" {
+		return fmt.Errorf("cold submission status %q (error %q)", first.Status, first.Error)
+	}
+	if first.Cached {
+		return fmt.Errorf("cold submission claims to be cached")
+	}
+
+	// The daemon's reports must equal the CLI's on the same file.
+	cliOut, err := exec.Command(cliBin, "-json", "-fail-on-report=false", examplePath).Output()
+	if err != nil {
+		return fmt.Errorf("canary CLI: %v", err)
+	}
+	daemonReports, err := reportsOf(first.Result)
+	if err != nil {
+		return err
+	}
+	cliReports, err := reportsOf(cliOut)
+	if err != nil {
+		return err
+	}
+	list, ok := daemonReports.([]any)
+	if !ok || len(list) == 0 {
+		return fmt.Errorf("the example produced no report")
+	}
+	if !reflect.DeepEqual(daemonReports, cliReports) {
+		return fmt.Errorf("daemon and CLI reports differ:\ndaemon: %v\ncli: %v", daemonReports, cliReports)
+	}
+	fmt.Printf("serve-smoke: %d report(s), daemon == CLI\n", len(list))
+
+	// A repeat submission must be served from the content-addressed store,
+	// byte-identical to the cold run.
+	second, err := analyze(base, string(src))
+	if err != nil {
+		return err
+	}
+	if !second.Cached {
+		return fmt.Errorf("repeat submission not served from cache")
+	}
+	if !bytes.Equal(second.Result, first.Result) {
+		return fmt.Errorf("cached result differs from the cold run")
+	}
+
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"canaryd_jobs_accepted_total 2",
+		"canaryd_jobs_completed_total 2",
+		"canaryd_jobs_cache_served_total 1",
+		"canaryd_result_cache_hits_total 1",
+		"canaryd_stage_latency_seconds_count{stage=\"total\"} 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	fmt.Println("serve-smoke: cache replay and metrics ok")
+
+	// Clean shutdown: SIGTERM must drain and exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- daemon.Wait() }()
+	select {
+	case err := <-waitErr:
+		exited = true
+		if err != nil {
+			return fmt.Errorf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	fmt.Println("serve-smoke: clean shutdown")
+	return nil
+}
+
+type jobResponse struct {
+	JobID  string          `json:"job_id"`
+	Status string          `json:"status"`
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+func analyze(base, src string) (jobResponse, error) {
+	var jr jobResponse
+	body, err := json.Marshal(map[string]any{"source": src})
+	if err != nil {
+		return jr, err
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jr, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return jr, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return jr, fmt.Errorf("POST /v1/analyze: %s: %s", resp.Status, buf)
+	}
+	return jr, json.Unmarshal(buf, &jr)
+}
+
+// reportsOf extracts the Reports field of a canary.Result encoding in a
+// timing-insensitive form (the wall-clock stats fields are ignored).
+func reportsOf(result []byte) (any, error) {
+	var res struct {
+		Reports any `json:"Reports"`
+	}
+	if err := json.Unmarshal(result, &res); err != nil {
+		return nil, fmt.Errorf("decoding result: %w", err)
+	}
+	return res.Reports, nil
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}
