@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: check build test race vet bench serve-smoke
+.PHONY: check build test race vet bench bench-json serve-smoke
 
-## check: the full CI gate — vet, build, race-enabled tests, and the
-## end-to-end daemon smoke test.
+## check: the full CI gate — vet, build, race-enabled tests (includes the
+## corpus-wide incremental determinism test), the end-to-end daemon smoke
+## test, and a one-iteration smoke of the incremental benchmark.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) run scripts/serve_smoke.go
+	$(GO) run ./cmd/canary-bench -experiment incremental -incr-iters 1 -incr-lines 600 -json > /dev/null
 
 build:
 	$(GO) build ./...
@@ -25,6 +27,10 @@ vet:
 ## bench: the quick benchmark suite (one bench per paper table/figure).
 bench:
 	$(GO) test -run - -bench . -benchmem .
+
+## bench-json: regenerate the checked-in incremental benchmark snapshot.
+bench-json:
+	$(GO) run ./cmd/canary-bench -experiment incremental -json > BENCH_incremental.json
 
 ## serve-smoke: end-to-end canaryd exercise — random port, example
 ## submission vs CLI, cache replay, /healthz, /metrics, SIGTERM drain.

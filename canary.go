@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"canary/internal/core"
+	"canary/internal/digest"
 	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/lang"
@@ -146,10 +147,14 @@ func DefaultOptions() Options {
 // results, so the key addresses a result cache (canaryd's content store
 // keys on it).
 //
-// The source is canonicalized first (CRLF → LF, trailing whitespace
-// stripped per line, exactly one trailing newline) — none of these affect
-// the token stream, so cosmetically different copies of one program share
-// a key. Options are folded field by field in a fixed order with two
+// The source is canonicalized first (CRLF → LF, "//" comment text blanked,
+// trailing whitespace stripped per line, exactly one trailing newline) —
+// none of these affect the token stream, so cosmetically different copies
+// of one program share a key. The canonicalizer is digest.CanonicalSource,
+// the same one the incremental function digests build on: an edit that
+// misses one cache misses both for the same reason. Note comment blanking
+// preserves line structure, so the line numbers in a cached result replay
+// exactly. Options are folded field by field in a fixed order with two
 // deliberate exceptions: Workers is excluded, because the determinism
 // contract guarantees the output is byte-identical for every worker count,
 // and a nil Checkers list is canonicalized to the explicit default set.
@@ -167,8 +172,8 @@ func SubmissionKey(src string, opt Options) [32]byte {
 	num := func(i int64) { str(strconv.FormatInt(i, 10)) }
 	flag := func(b bool) { str(strconv.FormatBool(b)) }
 
-	str("canary-submission-v1")
-	str(canonicalSource(src))
+	str("canary-submission-v2")
+	str(digest.CanonicalSource(src))
 
 	entry := opt.Entry
 	if entry == "" {
@@ -204,16 +209,6 @@ func SubmissionKey(src string, opt Options) [32]byte {
 	var key [32]byte
 	h.Sum(key[:0])
 	return key
-}
-
-// canonicalSource normalizes the representation-only degrees of freedom of
-// a program text: line endings, trailing blanks, and the final newline.
-func canonicalSource(src string) string {
-	lines := strings.Split(strings.ReplaceAll(src, "\r\n", "\n"), "\n")
-	for i, l := range lines {
-		lines[i] = strings.TrimRight(l, " \t\r")
-	}
-	return strings.TrimRight(strings.Join(lines, "\n"), "\n") + "\n"
 }
 
 // Site is one program point in a report.
@@ -276,6 +271,13 @@ type VFGStats struct {
 	// constructions answered by the global interner instead of a fresh
 	// allocation.
 	CacheHits uint64
+	// SummaryHits / FuncsReanalyzed report the incremental summarize step
+	// when the analysis ran inside a Session: how many functions' transfer
+	// summaries were loaded from the digest-keyed store and how many were
+	// recomputed (hits + reanalyzed = total functions). A session-less
+	// analysis reanalyzes every function.
+	SummaryHits     int
+	FuncsReanalyzed int
 }
 
 // CheckStats describes the checking stage's work.
@@ -291,8 +293,18 @@ type CheckStats struct {
 	// Analysis, so a second round replays most verdicts.
 	CacheHits   int
 	CacheMisses int
-	SearchTime  time.Duration
-	SolveTime   time.Duration
+	// TrivialSolves counts queries decided by the pre-CNF fast path
+	// (constant folding + unit propagation) without the solver or a cache.
+	TrivialSolves int
+	// VerdictHits counts queries replayed from a Session's cross-run
+	// structural verdict store; zero for session-less analyses.
+	VerdictHits int
+	// PairsRechecked counts the (source, sink) pairs whose realizability
+	// decision was actually recomputed this run rather than replayed from
+	// the warm verdict store.
+	PairsRechecked int
+	SearchTime     time.Duration
+	SolveTime      time.Duration
 }
 
 // Result is the outcome of Analyze.
@@ -308,8 +320,9 @@ type Result struct {
 // configurations can run over one program without re-running the
 // dependence analyses.
 type Analysis struct {
-	opt Options
-	b   *core.Builder
+	opt     Options
+	b       *core.Builder
+	session *Session
 }
 
 // NewAnalysis parses and lowers src and builds the interference-aware VFG
@@ -322,30 +335,8 @@ func NewAnalysis(src string, opt Options) (*Analysis, error) {
 // fixpoint checks ctx between rounds and aborts with an error wrapping
 // ErrCanceled (and the context cause) when it is done.
 func NewAnalysisContext(ctx context.Context, src string, opt Options) (*Analysis, error) {
-	if _, err := memoryModelOf(opt); err != nil {
-		return nil, err
-	}
-	ast, err := lang.Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("canary: %w", err)
-	}
-	prog, err := ir.Lower(ast, ir.Options{
-		UnrollDepth: opt.UnrollDepth,
-		InlineDepth: opt.InlineDepth,
-		Entry:       opt.Entry,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("canary: %w", err)
-	}
-	b, err := core.BuildContext(ctx, prog, core.BuildOptions{
-		EnableMHP: opt.EnableMHP,
-		GuardCap:  opt.GuardCap,
-		Workers:   opt.Workers,
-	})
-	if err != nil {
-		return nil, canceled(err)
-	}
-	return &Analysis{opt: opt, b: b}, nil
+	var s *Session
+	return s.NewAnalysisContext(ctx, src, opt)
 }
 
 func memoryModelOf(opt Options) (core.MemoryModel, error) {
@@ -389,6 +380,7 @@ func (a *Analysis) CheckContext(ctx context.Context, checkers ...string) (*Resul
 		Workers:            opt.Workers,
 		CubeAndConquer:     opt.CubeAndConquer,
 		MaxConflicts:       opt.MaxConflicts,
+		Verdicts:           a.session.verdictStore(),
 	})
 	if err != nil {
 		return nil, canceled(err)
@@ -436,18 +428,23 @@ func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result 
 			BuildTime:         b.Stats.BuildTime,
 			ParallelBuildTime: b.Stats.ParallelTime,
 			CacheHits:         b.Stats.GuardCacheHits,
+			SummaryHits:       b.Stats.SummaryHits,
+			FuncsReanalyzed:   b.Stats.FuncsReanalyzed,
 		},
 		Check: CheckStats{
-			Sources:       stats.Sources,
-			PathsExamined: stats.PathsExamined,
-			SemiDecided:   stats.SemiDecided,
-			FactDecided:   stats.FactDecided,
-			SolverQueries: stats.SolverQueries,
-			SolverUnsat:   stats.SolverUnsat,
-			CacheHits:     stats.CacheHits,
-			CacheMisses:   stats.CacheMisses,
-			SearchTime:    stats.SearchTime,
-			SolveTime:     stats.SolveTime,
+			Sources:        stats.Sources,
+			PathsExamined:  stats.PathsExamined,
+			SemiDecided:    stats.SemiDecided,
+			FactDecided:    stats.FactDecided,
+			SolverQueries:  stats.SolverQueries,
+			SolverUnsat:    stats.SolverUnsat,
+			CacheHits:      stats.CacheHits,
+			CacheMisses:    stats.CacheMisses,
+			TrivialSolves:  stats.TrivialSolves,
+			VerdictHits:    stats.VerdictHits,
+			PairsRechecked: stats.PairsRechecked,
+			SearchTime:     stats.SearchTime,
+			SolveTime:      stats.SolveTime,
 		},
 	}
 	for _, r := range reports {

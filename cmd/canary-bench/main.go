@@ -7,6 +7,7 @@
 //	canary-bench -experiment table1   # bug-hunting comparison (Table 1)
 //	canary-bench -experiment parallel # worker-pool sweep + SMT-cache replay
 //	canary-bench -experiment serve    # canaryd scheduler: cold/warm phases, cache hits, queue depth
+//	canary-bench -experiment incremental # one-edit re-analysis: cold vs warm session latency and reuse rates
 //	canary-bench -experiment all
 //
 // -json replaces the text tables with one JSON object holding the raw
@@ -40,6 +41,8 @@ func main() {
 		srvClients = flag.Int("serve-clients", 8, "concurrent submitters in the serve experiment")
 		srvPerCli  = flag.Int("serve-requests", 6, "requests per submitter in the serve experiment")
 		srvLines   = flag.Int("serve-lines", 400, "subject size for the serve experiment")
+		incrLines  = flag.Int("incr-lines", 2600, "subject size for the incremental experiment")
+		incrIters  = flag.Int("incr-iters", 3, "cold/warm repetitions in the incremental experiment (best-of)")
 		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
@@ -58,7 +61,7 @@ func main() {
 		}
 		return *experiment == "all"
 	}
-	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve")
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental")
 	if !known {
 		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -66,10 +69,11 @@ func main() {
 
 	// Collected measurements; only the selected experiments are non-nil.
 	out := struct {
-		Subjects []bench.SubjectResult `json:"subjects,omitempty"`
-		Fig8     *bench.Fig8Result     `json:"fig8,omitempty"`
-		Parallel *bench.ParallelResult `json:"parallel,omitempty"`
-		Serve    *bench.ServeResult    `json:"serve,omitempty"`
+		Subjects    []bench.SubjectResult    `json:"subjects,omitempty"`
+		Fig8        *bench.Fig8Result        `json:"fig8,omitempty"`
+		Parallel    *bench.ParallelResult    `json:"parallel,omitempty"`
+		Serve       *bench.ServeResult       `json:"serve,omitempty"`
+		Incremental *bench.IncrementalResult `json:"incremental,omitempty"`
 	}{}
 
 	if want("fig7a", "fig7b", "table1") {
@@ -105,6 +109,14 @@ func main() {
 			fail(err)
 		}
 		out.Serve = &res
+	}
+	if want("incremental") {
+		spec := workload.SizeSweep(1, *incrLines, *incrLines)[0]
+		res, err := e.RunIncremental(spec, *incrIters)
+		if err != nil {
+			fail(err)
+		}
+		out.Incremental = &res
 	}
 
 	if *jsonOut {
@@ -148,6 +160,10 @@ func main() {
 	if out.Serve != nil {
 		sep()
 		bench.PrintServe(os.Stdout, *out.Serve)
+	}
+	if out.Incremental != nil {
+		sep()
+		bench.PrintIncremental(os.Stdout, *out.Incremental)
 	}
 }
 

@@ -52,6 +52,7 @@ func run() int {
 		unroll   = flag.Int("unroll", 2, "loop unrolling depth")
 		inline   = flag.Int("inline", 6, "call inlining (context) depth")
 		stats    = flag.Bool("stats", false, "print analysis statistics")
+		incr     = flag.Bool("incremental-stats", false, "rerun the analysis through a warm in-process session and print the incremental reuse statistics (text output only)")
 		trace    = flag.Bool("trace", false, "print the value-flow trace of each report")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
 		dotOut   = flag.String("dot", "", "write the value-flow graph in Graphviz DOT form to this file")
@@ -96,24 +97,24 @@ func run() int {
 		}()
 	}
 
-	res, err := canary.AnalyzeFile(flag.Arg(0), opt)
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canary:", err)
+		return 2
+	}
+	res, err := canary.Analyze(string(data), opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "canary:", err)
 		return 2
 	}
 
 	if *dotOut != "" {
-		src, rerr := os.ReadFile(flag.Arg(0))
-		if rerr != nil {
-			fmt.Fprintln(os.Stderr, "canary:", rerr)
-			return 2
-		}
 		f, ferr := os.Create(*dotOut)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, "canary:", ferr)
 			return 2
 		}
-		if derr := canary.WriteVFGDot(string(src), opt, f); derr != nil {
+		if derr := canary.WriteVFGDot(string(data), opt, f); derr != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, "canary:", derr)
 			return 2
@@ -165,9 +166,30 @@ func run() int {
 		fmt.Printf("check: %d sources, %d paths, %d semi-decided, %d solver queries (%d unsat), search %v, solve %v\n",
 			res.Check.Sources, res.Check.PathsExamined, res.Check.SemiDecided,
 			res.Check.SolverQueries, res.Check.SolverUnsat, res.Check.SearchTime, res.Check.SolveTime)
-		fmt.Printf("smt cache: %d hits, %d misses\n", res.Check.CacheHits, res.Check.CacheMisses)
+		fmt.Printf("smt cache: %d hits, %d misses, %d trivial solves\n",
+			res.Check.CacheHits, res.Check.CacheMisses, res.Check.TrivialSolves)
 		gh, gm := canary.GuardInternStats()
 		fmt.Printf("guard interner: %d hits, %d misses (process-wide)\n", gh, gm)
+	}
+	if *incr {
+		// Prime a fresh session with one cold run, then rerun warm: the
+		// second run's stats show exactly how much work the digest-keyed
+		// summary store and the structural verdict store can absorb.
+		sess := canary.NewSession()
+		if _, ierr := sess.Analyze(string(data), opt); ierr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", ierr)
+			return 2
+		}
+		warm, ierr := sess.Analyze(string(data), opt)
+		if ierr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", ierr)
+			return 2
+		}
+		total := warm.VFG.SummaryHits + warm.VFG.FuncsReanalyzed
+		fmt.Printf("incremental (warm rerun): %d/%d function summaries reused, %d reanalyzed\n",
+			warm.VFG.SummaryHits, total, warm.VFG.FuncsReanalyzed)
+		fmt.Printf("incremental (warm rerun): %d verdict hits, %d pairs rechecked, %d trivial solves\n",
+			warm.Check.VerdictHits, warm.Check.PairsRechecked, warm.Check.TrivialSolves)
 	}
 	if *failOn && len(res.Reports) > 0 {
 		return 1

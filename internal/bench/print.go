@@ -109,6 +109,23 @@ func PrintServe(w io.Writer, res ServeResult) {
 	fmt.Fprintf(w, "content store: %d entries after warm phase\n", res.CacheEntries)
 }
 
+// PrintIncremental renders the one-edit incremental re-analysis experiment.
+func PrintIncremental(w io.Writer, res IncrementalResult) {
+	fmt.Fprintf(w, "Incremental analysis — one-statement edit (%d-line subject, %d functions, best of %d)\n",
+		res.Lines, res.Funcs, res.Iters)
+	fmt.Fprintf(w, "%6s %12s %18s %14s %16s %14s\n",
+		"run", "latency", "summaries reused", "verdict hits", "pairs rechecked", "trivial solves")
+	fmt.Fprintf(w, "%6s %12s %18s %14s %16s %14s\n",
+		"cold", res.ColdTime.Round(time.Millisecond).String(),
+		fmt.Sprintf("0/%d", res.Funcs), "0", "all", "-")
+	fmt.Fprintf(w, "%6s %12s %18s %14d %16d %14d\n",
+		"warm", res.WarmTime.Round(time.Millisecond).String(),
+		fmt.Sprintf("%d/%d", res.SummaryHits, res.Funcs),
+		res.VerdictHits, res.PairsRechecked, res.TrivialSolves)
+	fmt.Fprintf(w, "speedup: %.2fx; %d/%d functions reanalyzed; outputs byte-identical: %v\n",
+		res.Speedup, res.FuncsReanalyzed, res.Funcs, res.Identical)
+}
+
 // speedups returns the geometric-mean build-time speedups of Canary over
 // each baseline, counting only subjects the baseline finished.
 func speedups(rs []SubjectResult) (vsSaber, vsFsam float64) {

@@ -47,6 +47,15 @@ type BuildOptions struct {
 	// fixpoint iteration. <= 0 means one worker per logical CPU. The graph
 	// produced is byte-identical for every worker count (see parallel.go).
 	Workers int
+	// SummaryHits and FuncsReanalyzed report the delta path taken by the
+	// summarize step that preceded lowering (canary.Session's digest-keyed
+	// summary store): how many functions' Trans(F) summaries were loaded
+	// unchanged, and how many re-entered the fixpoint. The builder copies
+	// them into BuildStats; a cold (session-less) build reanalyzes every
+	// function. They do not alter the build itself — the graph is
+	// byte-identical either way.
+	SummaryHits     int
+	FuncsReanalyzed int
 }
 
 // DefaultBuild mirrors the paper's configuration.
@@ -84,6 +93,10 @@ type BuildStats struct {
 	// constructions that returned an already-interned node instead of
 	// allocating a new one.
 	GuardCacheHits uint64
+	// SummaryHits / FuncsReanalyzed mirror BuildOptions: the incremental
+	// summarize step's reuse split (hits + reanalyzed = total functions).
+	SummaryHits     int
+	FuncsReanalyzed int
 }
 
 // Builder holds the state of the two dependence analyses and the resulting
@@ -147,6 +160,8 @@ func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Bui
 		useThreads: make(map[ir.VarID][]int),
 	}
 	b.indexProgram()
+	b.Stats.SummaryHits = opt.SummaryHits
+	b.Stats.FuncsReanalyzed = opt.FuncsReanalyzed
 	workers := workerCount(opt.Workers)
 	hits0, _ := guard.InternStats()
 	start := time.Now()

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"canary/internal/cache"
+	"canary/internal/guard"
+	"canary/internal/smt"
+)
+
+// verdictCoder bridges one assembled query to the cross-run verdict store
+// (CheckOptions.Verdicts). It serializes the formula DAG into a portable
+// structural key and, along the way, builds the atom translation maps that
+// rebase stored models onto the current pool:
+//
+//   - boolean atoms encode by their condition text ("b:" + name), which is
+//     their interning identity;
+//   - order atoms encode by the structural coordinates of their two labels
+//     ("o:" + sid(from) + ">" + sid(to), see ir.StructLabels), which survive
+//     the global label shifts any one-function edit introduces.
+//
+// Two queries with equal keys therefore have isomorphic constraint systems,
+// and since the solver's verdict and model depend only on that structure
+// (Tseitin allocates variables in deterministic traversal order), replaying
+// a stored verdict is byte-identical to re-solving. CubeAndConquer is folded
+// into the key because cube verdicts carry no model.
+type verdictCoder struct {
+	vs  *smt.VerdictStore
+	key cache.Key
+	// enc/dec translate between this pool's atoms and their portable
+	// encodings, covering exactly the atoms of the keyed formula.
+	enc map[guard.Atom]string
+	dec map[string]guard.Atom
+}
+
+// verdictCoder keys the assembled formula; it returns nil (a valid, inert
+// coder) when no verdict store is configured, so callers need no nil checks.
+func (c *checkCtx) verdictCoder(all *guard.Formula) *verdictCoder {
+	if c.opt.Verdicts == nil {
+		return nil
+	}
+	pool := c.b.Prog.Pool
+	sids := c.b.Prog.StructLabels()
+	vc := &verdictCoder{
+		vs:  c.opt.Verdicts,
+		enc: make(map[guard.Atom]string),
+		dec: make(map[string]guard.Atom),
+	}
+	h := sha256.New()
+	var num [binary.MaxVarintLen64]byte
+	writeUint := func(u uint64) {
+		n := binary.PutUvarint(num[:], u)
+		h.Write(num[:n])
+	}
+	// Every variable-length segment is length-prefixed, so distinct
+	// serializations can never collide by concatenation ambiguity.
+	seg := func(s string) {
+		writeUint(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	seg("canary-verdict-v1")
+	if c.opt.CubeAndConquer {
+		seg("cube")
+	} else {
+		seg("seq")
+	}
+	atomEnc := func(a guard.Atom) string {
+		if e, ok := vc.enc[a]; ok {
+			return e
+		}
+		var e string
+		if from, to, ok := pool.OrderAtom(a); ok &&
+			from >= 0 && from < len(sids) && to >= 0 && to < len(sids) {
+			e = "o:" + sids[from] + ">" + sids[to]
+		} else {
+			e = "b:" + pool.Name(a)
+		}
+		vc.enc[a] = e
+		vc.dec[e] = a
+		return e
+	}
+	// Serialize the hash-consed DAG with subtree sharing: revisited nodes
+	// emit a back-reference instead of re-expanding, so the key cost is
+	// linear in the DAG (not the tree) and sharing structure is part of the
+	// identity.
+	memo := make(map[*guard.Formula]uint64)
+	var walk func(f *guard.Formula)
+	walk = func(f *guard.Formula) {
+		if id, ok := memo[f]; ok {
+			h.Write([]byte{'R'})
+			writeUint(id)
+			return
+		}
+		memo[f] = uint64(len(memo))
+		switch f.Kind() {
+		case guard.KTrue:
+			h.Write([]byte{'T'})
+		case guard.KFalse:
+			h.Write([]byte{'F'})
+		case guard.KVar:
+			h.Write([]byte{'v'})
+			seg(atomEnc(f.Atom()))
+		case guard.KNot:
+			h.Write([]byte{'!'})
+			walk(f.Subs()[0])
+		case guard.KAnd, guard.KOr:
+			if f.Kind() == guard.KAnd {
+				h.Write([]byte{'&'})
+			} else {
+				h.Write([]byte{'|'})
+			}
+			writeUint(uint64(len(f.Subs())))
+			for _, s := range f.Subs() {
+				walk(s)
+			}
+		}
+	}
+	walk(all)
+	h.Sum(vc.key[:0])
+	return vc
+}
+
+// lookup returns the stored verdict for the keyed formula with its model
+// rebased onto the current pool. A model atom with no counterpart in the
+// current formula means the stored entry cannot be replayed faithfully
+// (hash collision or encoding drift) and is treated as a miss.
+func (vc *verdictCoder) lookup() (smt.Result, smt.Model, bool) {
+	if vc == nil {
+		return smt.Unknown, nil, false
+	}
+	res, portable, ok := vc.vs.Lookup(vc.key)
+	if !ok {
+		return smt.Unknown, nil, false
+	}
+	if len(portable) == 0 {
+		return res, nil, true
+	}
+	m := make(smt.Model, len(portable))
+	for _, pa := range portable {
+		a, ok := vc.dec[pa.Atom]
+		if !ok {
+			return smt.Unknown, nil, false
+		}
+		m[a] = pa.Val
+	}
+	return res, m, true
+}
+
+// put records a freshly solved verdict under the structural key. Models are
+// translated atom-by-atom; a model atom outside the formula (impossible for
+// the CDCL solver, which only allocates variables for asserted atoms) aborts
+// the store rather than record an unreplayable model.
+func (vc *verdictCoder) put(res smt.Result, m smt.Model) {
+	if vc == nil {
+		return
+	}
+	portable := make([]smt.PortableAssign, 0, len(m))
+	for a, v := range m {
+		e, ok := vc.enc[a]
+		if !ok {
+			return
+		}
+		portable = append(portable, smt.PortableAssign{Atom: e, Val: v})
+	}
+	vc.vs.Store(vc.key, res, portable)
+}

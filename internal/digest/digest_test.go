@@ -1,0 +1,186 @@
+package digest
+
+import (
+	"strings"
+	"testing"
+
+	"canary/internal/lang"
+)
+
+func TestCanonicalSourceRepresentationOnly(t *testing.T) {
+	base := "func main() {\n  x = malloc();\n  print(*x);\n}\n"
+	variants := []string{
+		"func main() {\r\n  x = malloc();\r\n  print(*x);\r\n}\r\n",          // CRLF
+		"func main() {  \n  x = malloc();\t\n  print(*x);\n}\n\n\n",          // trailing blanks
+		"func main() { // entry\n  x = malloc();\n  print(*x); // show\n}\n", // comment text
+		"func main() {\n  x = malloc(); // fresh cell\n  print(*x);\n}",      // no final newline
+	}
+	want := CanonicalSource(base)
+	for i, v := range variants {
+		if got := CanonicalSource(v); got != want {
+			t.Errorf("variant %d canonicalizes differently:\n%q\nvs\n%q", i, got, want)
+		}
+	}
+	// A real edit must change the canonical text.
+	if CanonicalSource(strings.Replace(base, "print(*x)", "free(x)", 1)) == want {
+		t.Error("semantic edit did not change the canonical source")
+	}
+}
+
+func TestCanonicalSourcePreservesLineStructure(t *testing.T) {
+	src := "func main() { // c1\n\n  x = malloc();\r\n  print(*x);\n}\n"
+	canon := CanonicalSource(src)
+	// No line is added or removed (modulo the normalized final newline), so
+	// positions inside a cached result stay valid for every alias source.
+	srcLines := strings.Split(strings.TrimRight(strings.ReplaceAll(src, "\r\n", "\n"), "\n"), "\n")
+	canonLines := strings.Split(strings.TrimRight(canon, "\n"), "\n")
+	if len(srcLines) != len(canonLines) {
+		t.Fatalf("canonicalization changed the line count: %d -> %d", len(srcLines), len(canonLines))
+	}
+}
+
+func mustParse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func funcByName(t *testing.T, prog *lang.Program, name string) *lang.FuncDecl {
+	t.Helper()
+	for _, f := range prog.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+func TestFuncStructLocalRenameInsensitive(t *testing.T) {
+	a := mustParse(t, `
+func worker(cell) {
+  v = malloc();
+  *cell = v;
+}
+func main() {
+  c = malloc();
+  fork(t, worker, c);
+}
+`)
+	b := mustParse(t, `
+func worker(slot) {
+  fresh = malloc();
+  *slot = fresh;
+}
+func main() {
+  box = malloc();
+  fork(handle, worker, box);
+}
+`)
+	for _, name := range []string{"worker", "main"} {
+		ka := FuncStruct(a, funcByName(t, a, name))
+		kb := FuncStruct(b, funcByName(t, b, name))
+		if ka != kb {
+			t.Errorf("%s: local rename changed the structural digest", name)
+		}
+	}
+	// A structural edit must change the digest.
+	c := mustParse(t, `
+func worker(cell) {
+  v = malloc();
+  *cell = v;
+  free(v);
+}
+func main() {
+  c = malloc();
+  fork(t, worker, c);
+}
+`)
+	if FuncStruct(a, funcByName(t, a, "worker")) == FuncStruct(c, funcByName(t, c, "worker")) {
+		t.Error("worker: structural edit kept the digest")
+	}
+}
+
+// TestSummaryKeysInvalidation checks the dependency rule on the chain
+// main -> mid -> leaf: editing leaf invalidates every key, editing main
+// invalidates only main.
+func TestSummaryKeysInvalidation(t *testing.T) {
+	src := `
+func leaf(p) {
+  q = p;
+  return q;
+}
+func mid(p) {
+  rv = leaf(p);
+  return rv;
+}
+func main() {
+  x = malloc();
+  y = mid(x);
+  print(*y);
+}
+`
+	orig := SummaryKeys(mustParse(t, src))
+
+	leafEdit := SummaryKeys(mustParse(t, strings.Replace(src, "q = p;", "q = p;\n  print(*q);", 1)))
+	for _, name := range []string{"leaf", "mid", "main"} {
+		if orig[name] == leafEdit[name] {
+			t.Errorf("leaf edit did not invalidate %s", name)
+		}
+	}
+
+	mainEdit := SummaryKeys(mustParse(t, strings.Replace(src, "print(*y);", "print(*y);\n  print(*x);", 1)))
+	if orig["main"] == mainEdit["main"] {
+		t.Error("main edit did not invalidate main")
+	}
+	for _, name := range []string{"leaf", "mid"} {
+		if orig[name] != mainEdit[name] {
+			t.Errorf("main edit invalidated %s (it should not)", name)
+		}
+	}
+
+	// Renaming a local anywhere invalidates nothing.
+	renamed := SummaryKeys(mustParse(t, strings.ReplaceAll(src, "rv", "res")))
+	for _, name := range []string{"leaf", "mid", "main"} {
+		if orig[name] != renamed[name] {
+			t.Errorf("local rename invalidated %s", name)
+		}
+	}
+}
+
+// TestSummaryKeysRecursion checks that mutually recursive functions get
+// stable, distinct keys and that an edit inside the cycle invalidates every
+// member of the cycle.
+func TestSummaryKeysRecursion(t *testing.T) {
+	src := `
+func ping(p) {
+  r = pong(p);
+  return r;
+}
+func pong(p) {
+  r = ping(p);
+  return r;
+}
+func main() {
+  x = malloc();
+  y = ping(x);
+  print(*y);
+}
+`
+	orig := SummaryKeys(mustParse(t, src))
+	again := SummaryKeys(mustParse(t, src))
+	for name, k := range orig {
+		if again[name] != k {
+			t.Errorf("%s: key not deterministic across parses", name)
+		}
+	}
+	edit := SummaryKeys(mustParse(t, strings.Replace(src, "r = ping(p);", "r = ping(p);\n  print(*r);", 1)))
+	for _, name := range []string{"ping", "pong", "main"} {
+		if orig[name] == edit[name] {
+			t.Errorf("cycle edit did not invalidate %s", name)
+		}
+	}
+}

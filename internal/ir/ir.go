@@ -193,6 +193,46 @@ type Program struct {
 	blockIndex []int // per label: index of inst within its block
 	reach      map[*Block][]uint64
 	reachMu    sync.Mutex
+
+	// structural label coordinates (built lazily by StructLabels).
+	structOnce sync.Once
+	structIDs  []string
+}
+
+// StructLabels returns, for every label, a structural coordinate
+// "<thread-path>:<rank>" that is stable across unrelated edits. The thread
+// path identifies a thread by its chain of fork ordinals from main ("m",
+// "m.0", "m.0.1", ...); the rank is the instruction's index within its
+// thread, in label order. Plain labels are global — inserting one statement
+// anywhere shifts every later label in the program — whereas a structural
+// coordinate moves only when its own thread's instruction sequence changes
+// at or before it. The cross-run SMT verdict store keys constraint systems
+// on these coordinates, so an edit in one function leaves the verdicts of
+// untouched threads' queries addressable.
+func (p *Program) StructLabels() []string {
+	p.structOnce.Do(func() {
+		// Thread paths. Threads are appended parent-before-child during
+		// lowering and Thread.ID equals the slice index, so one forward pass
+		// resolves every parent path before its children need it.
+		paths := make([]string, len(p.Threads))
+		childN := make([]int, len(p.Threads))
+		for _, th := range p.Threads {
+			if th.Parent < 0 {
+				paths[th.ID] = "m"
+				continue
+			}
+			paths[th.ID] = paths[th.Parent] + "." + fmt.Sprint(childN[th.Parent])
+			childN[th.Parent]++
+		}
+		ids := make([]string, len(p.insts))
+		rank := make([]int, len(p.Threads))
+		for l, in := range p.insts {
+			ids[l] = paths[in.Thread] + ":" + fmt.Sprint(rank[in.Thread])
+			rank[in.Thread]++
+		}
+		p.structIDs = ids
+	})
+	return p.structIDs
 }
 
 // NumInsts returns the number of instructions (labels run 0..NumInsts-1).

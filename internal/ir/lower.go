@@ -18,6 +18,12 @@ type Options struct {
 	InlineDepth int
 	// Entry is the entry function name; defaults to "main".
 	Entry string
+	// Summaries optionally supplies precomputed Trans(F) summaries keyed by
+	// function name (the incremental path: canary.Session loads unchanged
+	// functions' summaries from its digest-keyed store and injects them
+	// here). nil means Lower computes them from scratch. The injected map
+	// must cover every function of src, as pta.Summaries would.
+	Summaries map[string]*pta.Summary
 }
 
 // DefaultOptions mirrors the paper's configuration.
@@ -48,12 +54,16 @@ func Lower(src *lang.Program, opt Options) (*Program, error) {
 	if entry == nil {
 		return nil, fmt.Errorf("ir: no entry function %q", opt.Entry)
 	}
+	summaries := opt.Summaries
+	if summaries == nil {
+		summaries = pta.Summaries(src)
+	}
 	l := &lowerer{
 		src:       src,
 		opt:       opt,
 		p:         &Program{Pool: guard.NewPool()},
 		steens:    pta.AnalyzeFuncPointers(src),
-		summaries: pta.Summaries(src),
+		summaries: summaries,
 		globals:   make(map[string]ObjID),
 		funcObj:   make(map[string]ObjID),
 		heapN:     0,

@@ -1,0 +1,17 @@
+package lang
+
+import "strings"
+
+// StripLineComment removes a trailing "//" line comment from one source
+// line, returning the code part. It is the textual twin of the lexer's
+// skipSpaceAndComments rule — the input language has no string or character
+// literals, so "//" unconditionally starts a comment wherever it appears.
+// Text-level canonicalizers (canary.SubmissionKey's shared canonicalizer in
+// internal/digest) use this helper so their notion of "comment" can never
+// drift from the tokenizer's.
+func StripLineComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}

@@ -1,0 +1,87 @@
+package pta
+
+import (
+	"encoding/binary"
+
+	"canary/internal/cache"
+)
+
+// Store is a bounded, concurrency-safe summary store: content keys
+// (digest.SummaryKeys) map to serialized Summary values. Because the key is
+// a content address over the function's structure and its transitive
+// callees' structures, entries never need invalidation — an edit anywhere
+// in a function's call cone simply produces a different key — and the
+// store can be shared freely across programs, jobs, and goroutines: two
+// submissions that agree on a key agree on the summary.
+//
+// Summaries are option-independent (Trans(F) is computed on the AST before
+// any bounding options apply), so one store serves every Options
+// configuration.
+type Store struct {
+	s *cache.Store
+}
+
+// NewStore returns an empty summary store bounded to maxEntries
+// (<= 0 selects cache.DefaultMaxEntries).
+func NewStore(maxEntries int) *Store {
+	return &Store{s: cache.New(maxEntries)}
+}
+
+// Stats returns the cumulative hit and miss counts of summary lookups.
+func (st *Store) Stats() (hits, misses uint64) { return st.s.Stats() }
+
+// Len returns the number of stored summaries.
+func (st *Store) Len() int { return st.s.Len() }
+
+func (st *Store) get(k cache.Key) (*Summary, bool) {
+	b, ok := st.s.Get(k)
+	if !ok {
+		return nil, false
+	}
+	return decodeSummary(b)
+}
+
+func (st *Store) put(k cache.Key, s *Summary) {
+	st.s.Put(k, encodeSummary(s))
+}
+
+// encodeSummary serializes s: flag byte (bit0 RetAlloc, bit1 RetTaint),
+// then a uvarint count and uvarint parameter indices.
+func encodeSummary(s *Summary) []byte {
+	buf := make([]byte, 0, 2+len(s.RetParams)*2)
+	var flags byte
+	if s.RetAlloc {
+		flags |= 1
+	}
+	if s.RetTaint {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(s.RetParams)))
+	for _, p := range s.RetParams {
+		buf = binary.AppendUvarint(buf, uint64(p))
+	}
+	return buf
+}
+
+func decodeSummary(b []byte) (*Summary, bool) {
+	if len(b) < 2 {
+		return nil, false
+	}
+	s := &Summary{RetAlloc: b[0]&1 != 0, RetTaint: b[0]&2 != 0}
+	rest := b[1:]
+	n, used := binary.Uvarint(rest)
+	if used <= 0 || n > uint64(maxParam)+1 {
+		return nil, false
+	}
+	rest = rest[used:]
+	for i := uint64(0); i < n; i++ {
+		p, used := binary.Uvarint(rest)
+		if used <= 0 || p > maxParam {
+			return nil, false
+		}
+		rest = rest[used:]
+		s.RetParams = append(s.RetParams, int(p))
+	}
+	return s, true
+}

@@ -1,6 +1,9 @@
 package pta
 
-import "canary/internal/lang"
+import (
+	"canary/internal/cache"
+	"canary/internal/lang"
+)
 
 // Summary is the procedural transfer function Trans(F) of the paper's
 // Alg. 1 (lines 21–22), restricted to the return-value interface: which
@@ -34,14 +37,39 @@ const (
 // across stores and loads, and call sites apply callee summaries. The
 // global iteration handles mutual recursion.
 func Summaries(prog *lang.Program) map[string]*Summary {
-	sums := make(map[string]*Summary, len(prog.Funcs))
+	sums, _, _ := SummariesKeyed(prog, nil, nil)
+	return sums
+}
+
+// SummariesKeyed is the incremental variant of Summaries: functions whose
+// content key (digest.SummaryKeys — the function's structural digest folded
+// with its transitive callees') hits the store load their converged summary
+// and are pinned; the fixpoint then runs only over the misses, with the
+// loaded values held fixed. hits and misses report the split — misses is
+// the FuncsReanalyzed of the analysis stats.
+//
+// Loading is exact, not approximate: a stored summary is the least fixpoint
+// over the function's reachable call subgraph, which the content key
+// identifies up to alpha-renaming, so pinning it and iterating the rest
+// reaches the same least fixpoint a cold run computes. Passing nil keys or
+// a nil store degenerates to the cold computation.
+func SummariesKeyed(prog *lang.Program, keys map[string]cache.Key, store *Store) (sums map[string]*Summary, hits, misses int) {
+	sums = make(map[string]*Summary, len(prog.Funcs))
 	retTags := make(map[string]uint64, len(prog.Funcs))
+	pending := make(map[string]bool, len(prog.Funcs))
 	for _, f := range prog.Funcs {
+		if store != nil && keys != nil {
+			if k, ok := keys[f.Name]; ok {
+				if s, ok := store.get(k); ok {
+					sums[f.Name] = s
+					hits++
+					continue
+				}
+			}
+		}
 		sums[f.Name] = &Summary{}
-	}
-	decl := make(map[string]*lang.FuncDecl)
-	for _, f := range prog.Funcs {
-		decl[f.Name] = f
+		pending[f.Name] = true
+		misses++
 	}
 
 	analyzeOnce := func(f *lang.FuncDecl) uint64 {
@@ -121,9 +149,17 @@ func Summaries(prog *lang.Program) map[string]*Summary {
 		return ret
 	}
 
-	for round := 0; round < 12; round++ {
+	// Kleene iteration to convergence over the pending functions only.
+	// Summaries live in a finite monotone lattice (≤62 tag bits per
+	// function), so the chain stabilizes; the cap is a defensive bound far
+	// above the lattice height, never the expected exit.
+	maxRounds := 64*len(prog.Funcs) + 2
+	for round := 0; round < maxRounds && len(pending) > 0; round++ {
 		changed := false
 		for _, f := range prog.Funcs {
+			if !pending[f.Name] {
+				continue
+			}
 			ret := analyzeOnce(f)
 			if ret != retTags[f.Name] {
 				retTags[f.Name] = ret
@@ -143,5 +179,15 @@ func Summaries(prog *lang.Program) map[string]*Summary {
 			break
 		}
 	}
-	return sums
+	if store != nil && keys != nil {
+		for _, f := range prog.Funcs {
+			if !pending[f.Name] {
+				continue
+			}
+			if k, ok := keys[f.Name]; ok {
+				store.put(k, sums[f.Name])
+			}
+		}
+	}
+	return sums, hits, misses
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"canary/internal/digest"
 	"canary/internal/lang"
 )
 
@@ -104,5 +105,84 @@ func TestSummaryVoid(t *testing.T) {
 	s := summaries(t, `func nothing(a) { b = a; }`)["nothing"]
 	if len(s.RetParams) != 0 || s.RetAlloc || s.RetTaint {
 		t.Fatalf("void summary must be empty: %+v", s)
+	}
+}
+
+const keyedSubject = `
+func id(x) { return x; }
+func mk() { p = malloc(); return p; }
+func secret() { s = taint(); return s; }
+func outer(y) {
+  r = id(y);
+  m = mk();
+  return r;
+}
+func main() {
+  a = malloc();
+  b = outer(a);
+  c = secret();
+  print(*b);
+  print(*c);
+}
+`
+
+// TestSummariesKeyedMatchesCold pins the incremental contract at the unit
+// level: a keyed run against an empty store (all misses), and a second run
+// against the now-populated store (all hits), must both equal the cold
+// fixpoint.
+func TestSummariesKeyedMatchesCold(t *testing.T) {
+	prog, err := lang.Parse(keyedSubject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := Summaries(prog)
+	keys := digest.SummaryKeys(prog)
+	store := NewStore(0)
+
+	warm, hits, misses := SummariesKeyed(prog, keys, store)
+	if hits != 0 || misses != len(prog.Funcs) {
+		t.Fatalf("first keyed run: hits=%d misses=%d, want 0/%d", hits, misses, len(prog.Funcs))
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("first keyed run differs from cold:\n%v\nvs\n%v", warm, cold)
+	}
+	if store.Len() != len(prog.Funcs) {
+		t.Fatalf("store holds %d summaries, want %d", store.Len(), len(prog.Funcs))
+	}
+
+	warm2, hits2, misses2 := SummariesKeyed(prog, keys, store)
+	if hits2 != len(prog.Funcs) || misses2 != 0 {
+		t.Fatalf("second keyed run: hits=%d misses=%d, want %d/0", hits2, misses2, len(prog.Funcs))
+	}
+	if !reflect.DeepEqual(cold, warm2) {
+		t.Fatalf("store-served run differs from cold:\n%v\nvs\n%v", warm2, cold)
+	}
+}
+
+// TestSummaryRoundtrip exercises the store's wire encoding on every summary
+// of the keyed subject plus hand-built edge cases, and rejects corrupt input.
+func TestSummaryRoundtrip(t *testing.T) {
+	cases := []*Summary{
+		{},
+		{RetAlloc: true, RetTaint: true},
+		{RetParams: []int{0, 7, 59}, RetTaint: true},
+	}
+	for _, s := range summaries(t, keyedSubject) {
+		cases = append(cases, s)
+	}
+	for i, s := range cases {
+		got, ok := decodeSummary(encodeSummary(s))
+		if !ok {
+			t.Fatalf("case %d: decode failed", i)
+		}
+		if got.RetAlloc != s.RetAlloc || got.RetTaint != s.RetTaint ||
+			!reflect.DeepEqual(append([]int{}, got.RetParams...), append([]int{}, s.RetParams...)) {
+			t.Errorf("case %d: roundtrip %+v -> %+v", i, s, got)
+		}
+	}
+	for _, b := range [][]byte{nil, {0}, {0, 200}, {3, 1}} {
+		if _, ok := decodeSummary(b); ok {
+			t.Errorf("decodeSummary(%v) accepted corrupt input", b)
+		}
 	}
 }

@@ -67,6 +67,12 @@ type metrics struct {
 	cacheServed atomic.Uint64 // completions answered by the content store
 	running     atomic.Int64  // jobs currently inside the analysis pipeline
 
+	// trivialSolves accumulates CheckStats.TrivialSolves across jobs: SMT
+	// queries settled by the pre-CNF constant-folding/unit-propagation fast
+	// path. (Summary and verdict store counters live on the shared Session
+	// and are read at scrape time.)
+	trivialSolves atomic.Uint64
+
 	// Per-stage latency histograms: "build" is VFGStats.BuildTime, "check"
 	// is CheckStats.SearchTime+SolveTime, "total" is the job's wall time
 	// inside the worker (parse + build + check + encode).

@@ -92,6 +92,12 @@ type Server struct {
 	cfg     Config
 	cache   *cache.Store
 	metrics *metrics
+	// session is the warm incremental state shared by every job: the
+	// digest-keyed per-function summary store and the structural SMT
+	// verdict store. A resubmission that misses the result cache (an edited
+	// program) still reuses everything its unchanged functions and
+	// source–sink pairs established on earlier jobs.
+	session *canary.Session
 
 	mu       sync.Mutex
 	draining bool
@@ -115,6 +121,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		cache:   cache.New(cfg.CacheEntries),
 		metrics: newMetrics(),
+		session: canary.NewSession(),
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueDepth),
 	}
@@ -278,7 +285,7 @@ func (s *Server) runJob(job *Job) {
 	ctx, cancel := context.WithTimeout(context.Background(), job.timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := canary.AnalyzeContext(ctx, job.src, job.opt)
+	res, err := s.session.AnalyzeContext(ctx, job.src, job.opt)
 	wall := time.Since(start)
 	if err != nil {
 		s.metrics.failed.Add(1)
@@ -292,6 +299,7 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	s.cache.Put(job.key, buf)
+	s.metrics.trivialSolves.Add(uint64(res.Check.TrivialSolves))
 	s.metrics.build.observe(res.VFG.BuildTime)
 	s.metrics.check.observe(res.Check.SearchTime + res.Check.SolveTime)
 	s.metrics.total.observe(wall)
@@ -325,6 +333,13 @@ func (s *Server) writeMetrics(w io.Writer) {
 	sh, sm := smt.DefaultCache.Stats()
 	fmt.Fprintf(w, "canaryd_smt_cache_hits_total %d\n", sh)
 	fmt.Fprintf(w, "canaryd_smt_cache_misses_total %d\n", sm)
+	suh, sum := s.session.SummaryStats()
+	fmt.Fprintf(w, "canaryd_summary_hits_total %d\n", suh)
+	fmt.Fprintf(w, "canaryd_summary_misses_total %d\n", sum)
+	vh, vm := s.session.VerdictStats()
+	fmt.Fprintf(w, "canaryd_verdict_hits_total %d\n", vh)
+	fmt.Fprintf(w, "canaryd_verdict_misses_total %d\n", vm)
+	fmt.Fprintf(w, "canaryd_trivial_solves_total %d\n", s.metrics.trivialSolves.Load())
 	gh, gm := canary.GuardInternStats()
 	fmt.Fprintf(w, "canaryd_guard_intern_hits_total %d\n", gh)
 	fmt.Fprintf(w, "canaryd_guard_intern_misses_total %d\n", gm)

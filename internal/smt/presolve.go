@@ -1,0 +1,192 @@
+package smt
+
+import "canary/internal/guard"
+
+// Presolve is the pre-Tseitin fast path: constant folding plus unit
+// propagation over the aggregated guard formula, consulting the order
+// theory only on the propagated unit literals. It returns (verdict, model,
+// true) when the formula is decided without building CNF or running the
+// CDCL loop, and (Unknown, nil, false) when the full solver is needed.
+//
+// Both verdicts are exact, never heuristic:
+//
+//   - Unsat is claimed when propagation folds the formula to ⊥ (unit
+//     substitution preserves equivalence), or when the formula folds to ⊤
+//     but the forced order literals are themselves theory-inconsistent —
+//     every model must satisfy the units, so a cyclic edge set refutes the
+//     whole formula.
+//   - Sat is claimed only when the formula folds to ⊤ AND the forced order
+//     literals are acyclic under the solver's total-order semantics
+//     (an atom O_i<O_j assigned false contributes the reverse edge j→i,
+//     mirroring ¬(i<j) ⟺ j<i): a topological extension then witnesses a
+//     model, with all unassigned atoms free.
+//
+// The returned Sat model carries exactly the forced units. It is partial —
+// downstream schedule reconstruction treats missing atoms as unconstrained,
+// the same contract cached cube verdicts already rely on.
+func Presolve(pool *guard.Pool, f *guard.Formula) (Result, Model, bool) {
+	asn := make(map[guard.Atom]bool)
+	cur := f
+	for {
+		if cur.IsFalse() {
+			return Unsat, nil, true
+		}
+		if cur.IsTrue() {
+			break
+		}
+		units := unitLiterals(cur)
+		if len(units) == 0 {
+			return Unknown, nil, false
+		}
+		progress := false
+		for a, v := range units {
+			if old, ok := asn[a]; ok {
+				if old != v {
+					return Unsat, nil, true
+				}
+				continue
+			}
+			asn[a] = v
+			progress = true
+		}
+		if !progress {
+			return Unknown, nil, false
+		}
+		cur = substitute(cur, asn, make(map[*guard.Formula]*guard.Formula))
+	}
+	if !orderConsistent(pool, asn) {
+		return Unsat, nil, true
+	}
+	if len(asn) == 0 {
+		return Sat, nil, true
+	}
+	return Sat, Model(asn), true
+}
+
+// unitLiterals collects the literals the formula forces at the top level: f
+// itself when it is a literal, or the literal conjuncts of a top-level
+// conjunction. Hash-consed And construction already folds complementary
+// literal pairs to ⊥, so the collected set is conflict-free by
+// construction (Presolve still cross-checks against earlier rounds).
+func unitLiterals(f *guard.Formula) map[guard.Atom]bool {
+	units := make(map[guard.Atom]bool)
+	collect := func(g *guard.Formula) {
+		switch g.Kind() {
+		case guard.KVar:
+			units[g.Atom()] = true
+		case guard.KNot:
+			if sub := g.Subs()[0]; sub.Kind() == guard.KVar {
+				units[sub.Atom()] = false
+			}
+		}
+	}
+	if f.Kind() == guard.KAnd {
+		for _, s := range f.Subs() {
+			collect(s)
+		}
+	} else {
+		collect(f)
+	}
+	return units
+}
+
+// substitute rewrites f under the partial assignment asn, folding constants
+// through the simplifying guard constructors. memo deduplicates shared
+// subtrees within one rewrite.
+func substitute(f *guard.Formula, asn map[guard.Atom]bool, memo map[*guard.Formula]*guard.Formula) *guard.Formula {
+	if out, ok := memo[f]; ok {
+		return out
+	}
+	var out *guard.Formula
+	switch f.Kind() {
+	case guard.KTrue, guard.KFalse:
+		out = f
+	case guard.KVar:
+		if v, ok := asn[f.Atom()]; ok {
+			if v {
+				out = guard.True()
+			} else {
+				out = guard.False()
+			}
+		} else {
+			out = f
+		}
+	case guard.KNot:
+		out = guard.Not(substitute(f.Subs()[0], asn, memo))
+	case guard.KAnd, guard.KOr:
+		subs := make([]*guard.Formula, len(f.Subs()))
+		for i, s := range f.Subs() {
+			subs[i] = substitute(s, asn, memo)
+		}
+		if f.Kind() == guard.KAnd {
+			out = guard.And(subs...)
+		} else {
+			out = guard.Or(subs...)
+		}
+	default:
+		out = f
+	}
+	memo[f] = out
+	return out
+}
+
+// orderConsistent checks the forced order literals against the theory of a
+// strict total execution order: true O_i<O_j contributes edge i→j, false
+// contributes the reverse edge j→i (totality), a reflexive true atom is an
+// immediate contradiction, and the set is consistent iff the edge graph is
+// acyclic.
+func orderConsistent(pool *guard.Pool, asn map[guard.Atom]bool) bool {
+	adj := make(map[int][]int)
+	for a, v := range asn {
+		from, to, ok := pool.OrderAtom(a)
+		if !ok {
+			continue
+		}
+		if from == to {
+			if v {
+				return false
+			}
+			continue
+		}
+		if !v {
+			from, to = to, from
+		}
+		adj[from] = append(adj[from], to)
+	}
+	// Iterative 3-color DFS for a directed cycle.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(adj))
+	for start := range adj {
+		if color[start] != white {
+			continue
+		}
+		type frame struct {
+			node int
+			next int
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.next < len(adj[top.node]) {
+				n := adj[top.node][top.next]
+				top.next++
+				switch color[n] {
+				case gray:
+					return false
+				case white:
+					color[n] = gray
+					stack = append(stack, frame{node: n})
+				}
+				continue
+			}
+			color[top.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package smt
+
+import (
+	"testing"
+
+	"canary/internal/guard"
+)
+
+func TestPresolveConstants(t *testing.T) {
+	pool := guard.NewPool()
+	if res, _, ok := Presolve(pool, guard.True()); !ok || res != Sat {
+		t.Fatalf("⊤: got (%v, %v)", res, ok)
+	}
+	if res, _, ok := Presolve(pool, guard.False()); !ok || res != Unsat {
+		t.Fatalf("⊥: got (%v, %v)", res, ok)
+	}
+}
+
+func TestPresolveUnitConjunction(t *testing.T) {
+	pool := guard.NewPool()
+	a, b := pool.Bool("a"), pool.Bool("b")
+	f := guard.And(guard.Var(a), guard.Not(guard.Var(b)))
+	res, m, ok := Presolve(pool, f)
+	if !ok || res != Sat {
+		t.Fatalf("a ∧ ¬b: got (%v, %v)", res, ok)
+	}
+	if v, set := m[a]; !set || !v {
+		t.Errorf("model must force a=true: %v", m)
+	}
+	if v, set := m[b]; !set || v {
+		t.Errorf("model must force b=false: %v", m)
+	}
+}
+
+func TestPresolveUnitPropagationUnsat(t *testing.T) {
+	pool := guard.NewPool()
+	a, b := pool.Bool("a"), pool.Bool("b")
+	// a ∧ (¬a ∨ b) ∧ ¬b: propagating a forces b, contradicting ¬b.
+	f := guard.And(
+		guard.Var(a),
+		guard.Or(guard.Not(guard.Var(a)), guard.Var(b)),
+		guard.Not(guard.Var(b)),
+	)
+	if res, _, ok := Presolve(pool, f); !ok || res != Unsat {
+		t.Fatalf("got (%v, %v), want exact Unsat", res, ok)
+	}
+}
+
+func TestPresolveOrderCycleUnsat(t *testing.T) {
+	pool := guard.NewPool()
+	o01, o12, o20 := pool.Order(0, 1), pool.Order(1, 2), pool.Order(2, 0)
+	f := guard.And(guard.Var(o01), guard.Var(o12), guard.Var(o20))
+	if res, _, ok := Presolve(pool, f); !ok || res != Unsat {
+		t.Fatalf("order 3-cycle: got (%v, %v), want Unsat", res, ok)
+	}
+	// Negated atoms contribute reverse edges under totality: ¬(1<0) means
+	// 0<1, so {0<1 via negation, 1<0} is again a cycle.
+	o10 := pool.Order(1, 0)
+	g := guard.And(guard.Not(guard.Var(o01)), guard.Not(guard.Var(o10)))
+	if res, _, ok := Presolve(pool, g); !ok || res != Unsat {
+		t.Fatalf("¬(0<1) ∧ ¬(1<0): got (%v, %v), want Unsat", res, ok)
+	}
+}
+
+func TestPresolveOrderChainSat(t *testing.T) {
+	pool := guard.NewPool()
+	f := guard.And(
+		guard.Var(pool.Order(0, 1)),
+		guard.Var(pool.Order(1, 2)),
+		guard.Var(pool.Order(0, 2)),
+	)
+	if res, _, ok := Presolve(pool, f); !ok || res != Sat {
+		t.Fatalf("acyclic chain: got (%v, %v), want Sat", res, ok)
+	}
+}
+
+func TestPresolveReflexiveOrderUnsat(t *testing.T) {
+	pool := guard.NewPool()
+	if res, _, ok := Presolve(pool, guard.Var(pool.Order(3, 3))); !ok || res != Unsat {
+		t.Fatalf("O_3<3: got (%v, %v), want Unsat", res, ok)
+	}
+}
+
+func TestPresolveDeclinesNonUnit(t *testing.T) {
+	pool := guard.NewPool()
+	a, b := pool.Bool("a"), pool.Bool("b")
+	// A bare disjunction forces nothing; presolve must hand off to the
+	// solver rather than guess.
+	f := guard.Or(guard.Var(a), guard.Var(b))
+	if res, _, ok := Presolve(pool, f); ok {
+		t.Fatalf("a ∨ b decided by presolve as %v; must decline", res)
+	}
+}
+
+// TestPresolveAgreesWithSolver cross-checks every presolve verdict that
+// does fire against the full CDCL solver on a mix of formula shapes.
+func TestPresolveAgreesWithSolver(t *testing.T) {
+	pool := guard.NewPool()
+	a, b, c := pool.Bool("a"), pool.Bool("b"), pool.Bool("c")
+	o01, o12, o20 := pool.Order(0, 1), pool.Order(1, 2), pool.Order(2, 0)
+	formulas := []*guard.Formula{
+		guard.True(),
+		guard.False(),
+		guard.Var(a),
+		guard.Not(guard.Var(a)),
+		guard.And(guard.Var(a), guard.Var(b), guard.Not(guard.Var(c))),
+		guard.And(guard.Var(a), guard.Or(guard.Not(guard.Var(a)), guard.Var(b))),
+		guard.And(guard.Var(o01), guard.Var(o12), guard.Var(o20)),
+		guard.And(guard.Var(o01), guard.Var(o12)),
+		guard.And(guard.Not(guard.Var(o01)), guard.Var(o12)),
+	}
+	for i, f := range formulas {
+		res, _, ok := Presolve(pool, f)
+		if !ok {
+			continue
+		}
+		s := New(pool)
+		s.Assert(f)
+		if want := s.Solve(); res != want {
+			t.Errorf("formula %d: presolve says %v, solver says %v", i, res, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package smt
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"canary/internal/cache"
+)
+
+// PortableAssign is one atom assignment of a cached model, keyed by the
+// atom's pool-independent structural encoding (boolean atoms by their
+// condition text, order atoms by the structural coordinates of their two
+// labels — see core's verdict coder). Portable models survive re-parsing:
+// a warm run rebases them onto its own pool by matching encodings against
+// the atoms of the freshly assembled formula.
+type PortableAssign struct {
+	Atom string
+	Val  bool
+}
+
+// VerdictStore caches SMT verdicts across runs and across programs,
+// content-addressed by a structural serialization of the assembled
+// constraint system (pool-relative atom ids and global instruction labels
+// replaced by their portable encodings). Two queries with the same key have
+// isomorphic constraint systems, and the solver's result — verdict and,
+// through Tseitin's deterministic traversal-order variable allocation, the
+// model — depends only on that structure, so replaying a stored verdict is
+// byte-identical to re-solving.
+//
+// This is the layer that makes checking incremental: after a one-function
+// edit shifts every instruction label in the program, the pointer-keyed
+// QueryCache (per-pool, per-run) can not help, but the structural keys of
+// all untouched threads' queries are unchanged and hit here. Only Sat
+// (with model) and Unsat verdicts are stored; Unknown depends on the
+// conflict budget and is never reused.
+type VerdictStore struct {
+	s *cache.Store
+}
+
+// NewVerdictStore returns an empty store bounded to maxEntries (<= 0
+// selects a default sized for daemon use).
+func NewVerdictStore(maxEntries int) *VerdictStore {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	return &VerdictStore{s: cache.New(maxEntries)}
+}
+
+// Stats returns the cumulative hit and miss counts of Lookup.
+func (v *VerdictStore) Stats() (hits, misses uint64) { return v.s.Stats() }
+
+// Len returns the number of stored verdicts.
+func (v *VerdictStore) Len() int { return v.s.Len() }
+
+// Lookup returns the verdict stored under the structural key, with its
+// portable model (nil for Unsat or model-free verdicts).
+func (v *VerdictStore) Lookup(key cache.Key) (Result, []PortableAssign, bool) {
+	b, ok := v.s.Get(key)
+	if !ok {
+		return Unknown, nil, false
+	}
+	res, model, ok := decodeVerdict(b)
+	if !ok {
+		return Unknown, nil, false
+	}
+	return res, model, true
+}
+
+// Store records a definite verdict under the structural key; Unknown is
+// ignored. The model is canonicalized (sorted by atom encoding) before
+// serialization so concurrent stores of one key are byte-identical.
+func (v *VerdictStore) Store(key cache.Key, res Result, model []PortableAssign) {
+	if res != Sat && res != Unsat {
+		return
+	}
+	v.s.Put(key, encodeVerdict(res, model))
+}
+
+func encodeVerdict(res Result, model []PortableAssign) []byte {
+	sorted := append([]PortableAssign(nil), model...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Atom < sorted[j].Atom })
+	buf := []byte{byte(res)}
+	buf = binary.AppendUvarint(buf, uint64(len(sorted)))
+	for _, a := range sorted {
+		buf = binary.AppendUvarint(buf, uint64(len(a.Atom)))
+		buf = append(buf, a.Atom...)
+		if a.Val {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+func decodeVerdict(b []byte) (Result, []PortableAssign, bool) {
+	if len(b) < 2 {
+		return Unknown, nil, false
+	}
+	res := Result(b[0])
+	if res != Sat && res != Unsat {
+		return Unknown, nil, false
+	}
+	rest := b[1:]
+	n, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return Unknown, nil, false
+	}
+	rest = rest[used:]
+	var model []PortableAssign
+	for i := uint64(0); i < n; i++ {
+		l, used := binary.Uvarint(rest)
+		if used <= 0 || uint64(len(rest)-used) < l+1 {
+			return Unknown, nil, false
+		}
+		rest = rest[used:]
+		model = append(model, PortableAssign{
+			Atom: string(rest[:l]),
+			Val:  rest[l] == 1,
+		})
+		rest = rest[l+1:]
+	}
+	return res, model, true
+}

@@ -1,0 +1,151 @@
+package canary
+
+import (
+	"context"
+	"fmt"
+
+	"canary/internal/cache"
+	"canary/internal/core"
+	"canary/internal/digest"
+	"canary/internal/ir"
+	"canary/internal/lang"
+	"canary/internal/pta"
+	"canary/internal/smt"
+)
+
+// Session holds the warm state that makes repeated analyses incremental:
+//
+//   - a digest-keyed per-function summary store: each function's points-to
+//     transfer summary is cached under a structural content digest of the
+//     function and its transitive callees, so after an edit only the
+//     functions whose behavior could have changed (the reverse dependency
+//     cone of the edit) re-enter the summary fixpoint;
+//   - a cross-run SMT verdict store: each source–sink query's verdict and
+//     model are cached under a structural serialization of its constraint
+//     system, portable across the instruction-label shifts a re-parse
+//     introduces, so unchanged pairs replay instead of re-solving.
+//
+// Both stores are content-addressed — a key changes exactly when the input
+// it digests changes — so they never need invalidation and are safe to
+// share across unrelated programs. The determinism contract is preserved:
+// an analysis through a warm Session returns byte-identical reports,
+// guards, traces, and schedules to a cold one; only the stats describing
+// the work performed differ.
+//
+// A Session is safe for concurrent use by multiple goroutines (canaryd
+// shares one across jobs). The zero-value *Session (nil) is valid and
+// means "no warm state": every package-level entry point runs through it.
+type Session struct {
+	summaries *pta.Store
+	verdicts  *smt.VerdictStore
+}
+
+// NewSession returns an empty warm store with default bounds.
+func NewSession() *Session {
+	return &Session{
+		summaries: pta.NewStore(0),
+		verdicts:  smt.NewVerdictStore(0),
+	}
+}
+
+// verdictStore returns the verdict store, or nil for a nil session.
+func (s *Session) verdictStore() *smt.VerdictStore {
+	if s == nil {
+		return nil
+	}
+	return s.verdicts
+}
+
+// SummaryStats returns the cumulative hit/miss counts of the per-function
+// summary store (zero for a nil session).
+func (s *Session) SummaryStats() (hits, misses uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.summaries.Stats()
+}
+
+// VerdictStats returns the cumulative hit/miss counts of the SMT verdict
+// store (zero for a nil session).
+func (s *Session) VerdictStats() (hits, misses uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.verdicts.Stats()
+}
+
+// Analyze is Analyze running against the session's warm stores.
+func (s *Session) Analyze(src string, opt Options) (*Result, error) {
+	return s.AnalyzeContext(context.Background(), src, opt)
+}
+
+// AnalyzeContext is AnalyzeContext running against the session's warm
+// stores.
+func (s *Session) AnalyzeContext(ctx context.Context, src string, opt Options) (*Result, error) {
+	a, err := s.NewAnalysisContext(ctx, src, opt)
+	if err != nil {
+		return nil, err
+	}
+	return a.CheckContext(ctx)
+}
+
+// NewAnalysis is NewAnalysis running against the session's warm stores.
+func (s *Session) NewAnalysis(src string, opt Options) (*Analysis, error) {
+	return s.NewAnalysisContext(context.Background(), src, opt)
+}
+
+// NewAnalysisContext parses and lowers src and builds the VFG, loading the
+// transfer summaries of digest-unchanged functions from the session's
+// store instead of recomputing them. The checking stage of the returned
+// Analysis consults the session's verdict store. A nil receiver degrades
+// to the cold path (every function analyzed, every query solved).
+func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Options) (*Analysis, error) {
+	if _, err := memoryModelOf(opt); err != nil {
+		return nil, err
+	}
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("canary: %w", err)
+	}
+	// Summarize here (rather than inside ir.Lower) so the digest-keyed
+	// store can satisfy unchanged functions. With no session this computes
+	// exactly what Lower would have: all functions count as reanalyzed.
+	sums, hits, reanalyzed := pta.SummariesKeyed(ast, digestKeysFor(s, ast), s.summaryStore())
+	prog, err := ir.Lower(ast, ir.Options{
+		UnrollDepth: opt.UnrollDepth,
+		InlineDepth: opt.InlineDepth,
+		Entry:       opt.Entry,
+		Summaries:   sums,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("canary: %w", err)
+	}
+	b, err := core.BuildContext(ctx, prog, core.BuildOptions{
+		EnableMHP:       opt.EnableMHP,
+		GuardCap:        opt.GuardCap,
+		Workers:         opt.Workers,
+		SummaryHits:     hits,
+		FuncsReanalyzed: reanalyzed,
+	})
+	if err != nil {
+		return nil, canceled(err)
+	}
+	return &Analysis{opt: opt, b: b, session: s}, nil
+}
+
+// summaryStore returns the summary store, or nil for a nil session.
+func (s *Session) summaryStore() *pta.Store {
+	if s == nil {
+		return nil
+	}
+	return s.summaries
+}
+
+// digestKeysFor computes the per-function summary keys, skipping the digest
+// pass entirely when there is no store to hit.
+func digestKeysFor(s *Session, ast *lang.Program) map[string]cache.Key {
+	if s == nil {
+		return nil
+	}
+	return digest.SummaryKeys(ast)
+}
