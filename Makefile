@@ -1,14 +1,17 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json serve-smoke
+.PHONY: check build test race vet bench bench-json serve-smoke fuzz-smoke fuzz
 
 ## check: the full CI gate — vet, build, race-enabled tests (includes the
-## corpus-wide incremental determinism test), the end-to-end daemon smoke
-## test, and a one-iteration smoke of the incremental benchmark.
+## corpus-wide determinism tests and the 16-goroutine fault/budget
+## hammer), short fuzzer smokes, the end-to-end daemon smoke test, and a
+## one-iteration smoke of the incremental benchmark.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/lang
+	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=5s .
 	$(GO) run scripts/serve_smoke.go
 	$(GO) run ./cmd/canary-bench -experiment incremental -incr-iters 1 -incr-lines 600 -json > /dev/null
 
@@ -33,6 +36,17 @@ bench-json:
 	$(GO) run ./cmd/canary-bench -experiment incremental -json > BENCH_incremental.json
 
 ## serve-smoke: end-to-end canaryd exercise — random port, example
-## submission vs CLI, cache replay, /healthz, /metrics, SIGTERM drain.
+## submission vs CLI, cache replay, /healthz, /metrics, 413, queue-full
+## backpressure with Retry-After, SIGTERM drain.
 serve-smoke:
 	$(GO) run scripts/serve_smoke.go
+
+## fuzz-smoke: the short fuzzer passes run by check.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/lang
+	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=5s .
+
+## fuzz: longer exploratory fuzzing of the parser and the full pipeline.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=2m ./internal/lang
+	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=2m .

@@ -1,0 +1,145 @@
+package canary
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// tinyBudgets starves every governed stage so the corpus exercises the
+// degradation paths: the fixpoint bound bites on larger programs, the DFS
+// step budget on anything with more than a handful of paths, and the
+// formula budget on any non-trivial guard.
+func tinyBudgets() Budgets {
+	return Budgets{MaxFixpointRounds: 2, MaxDFSSteps: 40, MaxFormulaNodes: 12}
+}
+
+// renderGoverned is the byte-comparison form of a governed result: the
+// reports (verdicts, reasons, guards, traces, schedules included) and the
+// degradation summary, with the timing stats excluded.
+func renderGoverned(res *Result) string {
+	return fmt.Sprintf("%#v\ndegraded=%v", res.Reports, res.Degraded)
+}
+
+// TestBudgetDeterminism is the corpus-wide governor contract: with fixed
+// step budgets, two runs — and a parallel vs. sequential pair — produce
+// byte-identical results, including which pairs went inconclusive.
+// Budgets are step-counted, never wall-clock, so exhaustion is a pure
+// function of the input.
+func TestBudgetDeterminism(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.cn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files")
+	}
+	degradedSomewhere := false
+	inconclusiveSomewhere := false
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+			run := func(workers int) string {
+				opt := DefaultOptions()
+				opt.Workers = workers
+				opt.Checkers = append(AllCheckers(), ExtendedCheckers()...)
+				opt.Budgets = tinyBudgets()
+				res, err := Analyze(src, opt)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if len(res.Degraded) > 0 {
+					degradedSomewhere = true
+				}
+				for _, r := range res.Reports {
+					if r.Verdict == VerdictInconclusive {
+						inconclusiveSomewhere = true
+					}
+				}
+				return renderGoverned(res)
+			}
+			seq1 := run(1)
+			seq2 := run(1)
+			par1 := run(8)
+			par2 := run(8)
+			if seq1 != seq2 {
+				t.Errorf("two sequential runs differ under fixed budgets:\n--- run 1:\n%s\n--- run 2:\n%s", seq1, seq2)
+			}
+			if par1 != par2 {
+				t.Errorf("two parallel runs differ under fixed budgets:\n--- run 1:\n%s\n--- run 2:\n%s", par1, par2)
+			}
+			if seq1 != par1 {
+				t.Errorf("sequential and parallel runs differ under fixed budgets:\n--- workers=1:\n%s\n--- workers=8:\n%s", seq1, par1)
+			}
+		})
+	}
+	if !degradedSomewhere {
+		t.Error("tiny budgets never degraded any corpus program; the governors are not engaging")
+	}
+	if !inconclusiveSomewhere {
+		t.Error("tiny budgets never produced an inconclusive verdict on the corpus")
+	}
+}
+
+// TestGenerousBudgetsAreInvisible pins the other half of the contract:
+// budgets large enough to never bite leave the output byte-identical to
+// an unbudgeted run — the governors only observe until they must act.
+func TestGenerousBudgetsAreInvisible(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.cn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+			base := DefaultOptions()
+			base.Checkers = append(AllCheckers(), ExtendedCheckers()...)
+			plain, err := Analyze(src, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			generous := base
+			generous.Budgets = Budgets{
+				MaxFixpointRounds: 1 << 20,
+				MaxDFSSteps:       1 << 30,
+				MaxFormulaNodes:   1 << 30,
+			}
+			governed, err := Analyze(src, generous)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain.Reports, governed.Reports) {
+				t.Errorf("generous budgets changed the reports:\n--- unbudgeted: %+v\n--- budgeted: %+v",
+					plain.Reports, governed.Reports)
+			}
+			if len(governed.Degraded) > 0 {
+				t.Errorf("generous budgets reported degradation: %v", governed.Degraded)
+			}
+		})
+	}
+}
+
+// TestBudgetsChangeSubmissionKey: budgets affect analysis output, so they
+// must be part of the content address — otherwise a daemon could serve a
+// degraded cached result for an unbudgeted request.
+func TestBudgetsChangeSubmissionKey(t *testing.T) {
+	src := "fn main() { }"
+	a := DefaultOptions()
+	b := DefaultOptions()
+	b.Budgets.MaxDFSSteps = 100
+	if SubmissionKey(src, a) == SubmissionKey(src, b) {
+		t.Error("SubmissionKey ignores Budgets; degraded results could be served for unbudgeted requests")
+	}
+}

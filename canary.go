@@ -56,6 +56,24 @@ func canceled(err error) error {
 	return fmt.Errorf("canary: %w: %w", ErrCanceled, err)
 }
 
+// ErrInternal is wrapped into every error produced by a recovered panic
+// inside the pipeline: the analysis aborted because of a defect (or an
+// injected fault), not because of the input program or the caller's
+// context. The session that ran the analysis has already quarantined the
+// per-function summaries the panicking run may have poisoned.
+var ErrInternal = errors.New("internal analysis error")
+
+// wrapAbort classifies an error escaping a pipeline stage: context
+// cancellation keeps the ErrCanceled contract, everything else (injected
+// faults, internal errors) passes through with only the package prefix so
+// errors.Is still reaches the typed cause.
+func wrapAbort(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return canceled(err)
+	}
+	return fmt.Errorf("canary: %w", err)
+}
+
 // GuardInternStats returns the cumulative process-wide hit and miss counts
 // of the global guard hash-cons interner. Hits concentrate where structured
 // formulas are constructed repeatedly — lowering, Φ_ls/Φ_po encoding during
@@ -121,6 +139,40 @@ type Options struct {
 	CubeAndConquer bool
 	// MaxConflicts bounds each SMT query.
 	MaxConflicts int64
+	// Budgets bounds the expensive stages; exhaustion degrades the result
+	// (inconclusive verdicts, Result.Degraded) instead of aborting it.
+	Budgets Budgets
+}
+
+// Budgets is the resource-governance block: step-counted bounds on the
+// expensive pipeline stages. Every budget is deterministic — counted in
+// analysis steps, never wall-clock — so a budget-limited run still honors
+// the byte-identical-output contract for any worker count. The zero value
+// means "defensive defaults only" (the generous built-in caps): no
+// inconclusive entries are emitted for the fixpoint or search stages
+// unless the corresponding budget is explicitly set.
+//
+// Exhaustion never aborts the analysis. The affected scope degrades:
+//
+//   - MaxFixpointRounds: the VFG is used as-built after that many
+//     Alg. 1/Alg. 2 rounds; Result.Degraded lists "fixpoint".
+//   - MaxDFSSteps: each source whose search is truncated contributes one
+//     inconclusive report ("budget-exhausted: search") naming the source.
+//   - MaxFormulaNodes: a source–sink pair whose assembled constraint
+//     system exceeds the bound gets an inconclusive report
+//     ("budget-exhausted: formula") instead of a solver query.
+//
+// The solver's own conflict budget stays Options.MaxConflicts; a query it
+// leaves undecided becomes an inconclusive report ("budget-exhausted:
+// solve"). Wall-clock budgets exist only in canaryd (per-stage timeouts),
+// where determinism is traded explicitly for liveness.
+type Budgets struct {
+	// MaxFixpointRounds caps the outer VFG fixpoint (<= 0: default 32).
+	MaxFixpointRounds int
+	// MaxDFSSteps caps the per-source DFS (<= 0: default 200000).
+	MaxDFSSteps int
+	// MaxFormulaNodes caps each assembled SMT formula (<= 0: unbounded).
+	MaxFormulaNodes int
 }
 
 // DefaultOptions mirrors the paper's configuration.
@@ -172,7 +224,7 @@ func SubmissionKey(src string, opt Options) [32]byte {
 	num := func(i int64) { str(strconv.FormatInt(i, 10)) }
 	flag := func(b bool) { str(strconv.FormatBool(b)) }
 
-	str("canary-submission-v2")
+	str("canary-submission-v3")
 	str(digest.CanonicalSource(src))
 
 	entry := opt.Entry
@@ -205,6 +257,9 @@ func SubmissionKey(src string, opt Options) [32]byte {
 	flag(opt.FactPropagation)
 	flag(opt.CubeAndConquer)
 	num(opt.MaxConflicts)
+	num(int64(opt.Budgets.MaxFixpointRounds))
+	num(int64(opt.Budgets.MaxDFSSteps))
+	num(int64(opt.Budgets.MaxFormulaNodes))
 
 	var key [32]byte
 	h.Sum(key[:0])
@@ -238,16 +293,42 @@ type Report struct {
 	Schedule []string
 	// Guard is the aggregated execution constraint of the path.
 	Guard string
-	// Decided is false when the SMT budget ran out and the report is kept
-	// as a potential bug (the soundy choice).
+	// Decided is false when the report is inconclusive: a budget ran out
+	// or an internal error was recovered, and the report is kept as a
+	// potential bug (the soundy choice). Verdict and Reason carry the
+	// structured form of the same information.
 	Decided bool
+	// Verdict is VerdictRealizable for a decided report and
+	// VerdictInconclusive otherwise.
+	Verdict Verdict
+	// Reason is empty for a decided report; an inconclusive one names its
+	// cause: "budget-exhausted: <fixpoint|search|formula|solve>" or
+	// "internal-error: <detail>" (a recovered panic or injected fault).
+	Reason string
 }
+
+// Verdict classifies a report's decision status.
+type Verdict string
+
+// Report verdicts. A realizable report carries a solver-confirmed witness
+// interleaving; an inconclusive one marks a source–sink pair (or a whole
+// truncated source search) the analysis could not decide within its
+// budgets — kept as a potential bug rather than dropped, so exhaustion
+// degrades the answer instead of silently shrinking it.
+const (
+	VerdictRealizable   Verdict = "realizable"
+	VerdictInconclusive Verdict = "inconclusive"
+)
 
 func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "[%s] source: %s\n         sink: %s", r.Kind, r.Source, r.Sink)
 	if !r.Decided {
-		b.WriteString("\n         (solver budget exhausted; potential bug)")
+		reason := r.Reason
+		if reason == "" {
+			reason = "budget-exhausted: solve"
+		}
+		fmt.Fprintf(&b, "\n         (inconclusive: %s; potential bug)", reason)
 	}
 	return b.String()
 }
@@ -278,6 +359,10 @@ type VFGStats struct {
 	// analysis reanalyzes every function.
 	SummaryHits     int
 	FuncsReanalyzed int
+	// FixpointBudgetExhausted reports that the outer VFG fixpoint stopped
+	// at its round cap while still making progress; the graph (and every
+	// report derived from it) is a sound under-approximation.
+	FixpointBudgetExhausted bool
 }
 
 // CheckStats describes the checking stage's work.
@@ -305,6 +390,14 @@ type CheckStats struct {
 	PairsRechecked int
 	SearchTime     time.Duration
 	SolveTime      time.Duration
+	// The degradation observables: per-source searches that ran out of
+	// DFS steps, assembled formulas over the node budget, solver queries
+	// left Unknown by the conflict budget, and panics recovered into
+	// internal-error reports instead of crashing the process.
+	SearchBudgetExhausted  int
+	FormulaBudgetExhausted int
+	SolveBudgetExhausted   int
+	PanicsRecovered        int
 }
 
 // Result is the outcome of Analyze.
@@ -314,6 +407,13 @@ type Result struct {
 	Check        CheckStats
 	Threads      int
 	Instructions int
+	// Degraded lists the stages whose budgets were exhausted during this
+	// analysis, in pipeline order: "fixpoint", "search", "formula",
+	// "solve". Empty means every answer is as complete as the options
+	// allow. The fixpoint and search entries appear only when the
+	// corresponding Budgets field was explicitly set — the built-in
+	// defensive caps do not count as caller-chosen budgets.
+	Degraded []string
 }
 
 // Analysis holds a built interference-aware VFG so that several checker
@@ -323,6 +423,9 @@ type Analysis struct {
 	opt     Options
 	b       *core.Builder
 	session *Session
+	// src is kept so that a panic recovered during checking can
+	// quarantine this program's per-function summaries from the session.
+	src string
 }
 
 // NewAnalysis parses and lowers src and builds the interference-aware VFG
@@ -360,30 +463,41 @@ func (a *Analysis) Check(checkers ...string) (*Result, error) {
 // CheckContext is Check with cooperative cancellation: ctx is consulted
 // between checkers and between source–sink searches. On cancellation the
 // partial reports are discarded and the returned error wraps ErrCanceled
-// and the context cause.
-func (a *Analysis) CheckContext(ctx context.Context, checkers ...string) (*Result, error) {
+// and the context cause. A panic escaping the checking stage is recovered
+// into an error wrapping ErrInternal, after quarantining the program's
+// per-function summaries from the session.
+func (a *Analysis) CheckContext(ctx context.Context, checkers ...string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.session.recordPanic(a.src)
+			res, err = nil, fmt.Errorf("canary: %w: %v", ErrInternal, r)
+		}
+	}()
 	opt := a.opt
 	if len(checkers) > 0 {
 		opt.Checkers = checkers
 	}
-	model, err := memoryModelOf(opt)
-	if err != nil {
-		return nil, err
+	model, merr := memoryModelOf(opt)
+	if merr != nil {
+		return nil, merr
 	}
 	reports, stats, err := a.b.CheckContext(ctx, core.CheckOptions{
-		Checkers:           opt.Checkers,
-		RequireInterThread: opt.RequireInterThread,
-		LockOrder:          opt.LockOrder,
-		CondVarOrder:       opt.CondVarOrder,
-		MemoryModel:        model,
-		FactPropagation:    opt.FactPropagation,
-		Workers:            opt.Workers,
-		CubeAndConquer:     opt.CubeAndConquer,
-		MaxConflicts:       opt.MaxConflicts,
-		Verdicts:           a.session.verdictStore(),
+		Checkers:             opt.Checkers,
+		RequireInterThread:   opt.RequireInterThread,
+		LockOrder:            opt.LockOrder,
+		CondVarOrder:         opt.CondVarOrder,
+		MemoryModel:          model,
+		FactPropagation:      opt.FactPropagation,
+		Workers:              opt.Workers,
+		CubeAndConquer:       opt.CubeAndConquer,
+		MaxConflicts:         opt.MaxConflicts,
+		MaxDFSSteps:          opt.Budgets.MaxDFSSteps,
+		ExplicitSearchBudget: opt.Budgets.MaxDFSSteps > 0,
+		MaxFormulaNodes:      opt.Budgets.MaxFormulaNodes,
+		Verdicts:             a.session.verdictStore(),
 	})
 	if err != nil {
-		return nil, canceled(err)
+		return nil, wrapAbort(err)
 	}
 	return a.result(reports, stats), nil
 }
@@ -428,24 +542,45 @@ func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result 
 			BuildTime:         b.Stats.BuildTime,
 			ParallelBuildTime: b.Stats.ParallelTime,
 			CacheHits:         b.Stats.GuardCacheHits,
-			SummaryHits:       b.Stats.SummaryHits,
-			FuncsReanalyzed:   b.Stats.FuncsReanalyzed,
+			SummaryHits:             b.Stats.SummaryHits,
+			FuncsReanalyzed:         b.Stats.FuncsReanalyzed,
+			FixpointBudgetExhausted: b.Stats.FixpointExhausted,
 		},
 		Check: CheckStats{
-			Sources:        stats.Sources,
-			PathsExamined:  stats.PathsExamined,
-			SemiDecided:    stats.SemiDecided,
-			FactDecided:    stats.FactDecided,
-			SolverQueries:  stats.SolverQueries,
-			SolverUnsat:    stats.SolverUnsat,
-			CacheHits:      stats.CacheHits,
-			CacheMisses:    stats.CacheMisses,
-			TrivialSolves:  stats.TrivialSolves,
-			VerdictHits:    stats.VerdictHits,
-			PairsRechecked: stats.PairsRechecked,
-			SearchTime:     stats.SearchTime,
-			SolveTime:      stats.SolveTime,
+			Sources:                stats.Sources,
+			PathsExamined:          stats.PathsExamined,
+			SemiDecided:            stats.SemiDecided,
+			FactDecided:            stats.FactDecided,
+			SolverQueries:          stats.SolverQueries,
+			SolverUnsat:            stats.SolverUnsat,
+			CacheHits:              stats.CacheHits,
+			CacheMisses:            stats.CacheMisses,
+			TrivialSolves:          stats.TrivialSolves,
+			VerdictHits:            stats.VerdictHits,
+			PairsRechecked:         stats.PairsRechecked,
+			SearchTime:             stats.SearchTime,
+			SolveTime:              stats.SolveTime,
+			SearchBudgetExhausted:  stats.SearchBudgetExhausted,
+			FormulaBudgetExhausted: stats.FormulaBudgetExhausted,
+			SolveBudgetExhausted:   stats.SolveBudgetExhausted,
+			PanicsRecovered:        stats.PanicsRecovered,
 		},
+	}
+	// Degraded lists exhausted stages in pipeline order. Fixpoint and
+	// search appear only under an explicit Budgets setting: their built-in
+	// defensive caps predate the governance layer and tripping them is not
+	// a caller-chosen degradation.
+	if b.Stats.FixpointExhausted && a.opt.Budgets.MaxFixpointRounds > 0 {
+		res.Degraded = append(res.Degraded, "fixpoint")
+	}
+	if stats.SearchBudgetExhausted > 0 && a.opt.Budgets.MaxDFSSteps > 0 {
+		res.Degraded = append(res.Degraded, "search")
+	}
+	if stats.FormulaBudgetExhausted > 0 {
+		res.Degraded = append(res.Degraded, "formula")
+	}
+	if stats.SolveBudgetExhausted > 0 {
+		res.Degraded = append(res.Degraded, "solve")
 	}
 	for _, r := range reports {
 		pub := Report{
@@ -454,6 +589,15 @@ func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result 
 			Sink:    Site{Fn: r.Sink.Fn, Line: r.Sink.Line, Thread: r.Sink.Thread, Desc: r.Sink.Desc},
 			Guard:   r.Guard,
 			Decided: r.Result == smt.Sat,
+			Reason:  r.Reason,
+		}
+		if pub.Decided {
+			pub.Verdict = VerdictRealizable
+		} else {
+			pub.Verdict = VerdictInconclusive
+			if pub.Reason == "" {
+				pub.Reason = "budget-exhausted: solve"
+			}
 		}
 		for _, p := range r.Path {
 			pub.Trace = append(pub.Trace, p.Desc)

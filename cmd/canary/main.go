@@ -39,24 +39,27 @@ func main() {
 
 func run() int {
 	var (
-		entry    = flag.String("entry", "main", "entry function")
-		checkers = flag.String("checkers", "", "comma-separated checkers (default: all); one of: "+strings.Join(canary.AllCheckers(), ", "))
-		noMHP    = flag.Bool("no-mhp", false, "disable may-happen-in-parallel pruning")
-		noLock   = flag.Bool("no-lock-order", false, "disable lock/unlock mutual-exclusion constraints")
-		noCond   = flag.Bool("no-condvar", false, "disable wait/notify order constraints")
-		memModel = flag.String("memory-model", "sc", "memory model: sc | tso | pso")
-		intra    = flag.Bool("intra", false, "also report intra-thread (sequential) bugs")
-		workers  = flag.Int("workers", 0, "worker pool size for the VFG build and checking (0 = all CPUs, 1 = sequential)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
-		cube     = flag.Bool("cube", false, "use cube-and-conquer parallel SMT solving")
-		unroll   = flag.Int("unroll", 2, "loop unrolling depth")
-		inline   = flag.Int("inline", 6, "call inlining (context) depth")
-		stats    = flag.Bool("stats", false, "print analysis statistics")
-		incr     = flag.Bool("incremental-stats", false, "rerun the analysis through a warm in-process session and print the incremental reuse statistics (text output only)")
-		trace    = flag.Bool("trace", false, "print the value-flow trace of each report")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
-		dotOut   = flag.String("dot", "", "write the value-flow graph in Graphviz DOT form to this file")
-		failOn   = flag.Bool("fail-on-report", true, "exit 1 when any report is emitted (the CI gate); =false always exits 0 on a completed analysis")
+		entry     = flag.String("entry", "main", "entry function")
+		checkers  = flag.String("checkers", "", "comma-separated checkers (default: all); one of: "+strings.Join(canary.AllCheckers(), ", "))
+		noMHP     = flag.Bool("no-mhp", false, "disable may-happen-in-parallel pruning")
+		noLock    = flag.Bool("no-lock-order", false, "disable lock/unlock mutual-exclusion constraints")
+		noCond    = flag.Bool("no-condvar", false, "disable wait/notify order constraints")
+		memModel  = flag.String("memory-model", "sc", "memory model: sc | tso | pso")
+		intra     = flag.Bool("intra", false, "also report intra-thread (sequential) bugs")
+		workers   = flag.Int("workers", 0, "worker pool size for the VFG build and checking (0 = all CPUs, 1 = sequential)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+		cube      = flag.Bool("cube", false, "use cube-and-conquer parallel SMT solving")
+		unroll    = flag.Int("unroll", 2, "loop unrolling depth")
+		inline    = flag.Int("inline", 6, "call inlining (context) depth")
+		stats     = flag.Bool("stats", false, "print analysis statistics")
+		incr      = flag.Bool("incremental-stats", false, "rerun the analysis through a warm in-process session and print the incremental reuse statistics (text output only)")
+		trace     = flag.Bool("trace", false, "print the value-flow trace of each report")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		maxRounds = flag.Int("max-fixpoint-rounds", 0, "step budget: VFG fixpoint rounds before degrading to inconclusive (0 = unlimited)")
+		maxSteps  = flag.Int("max-dfs-steps", 0, "step budget: source-sink DFS steps per checker (0 = unlimited)")
+		maxNodes  = flag.Int("max-formula-nodes", 0, "step budget: guard formula nodes per query before eliding (0 = unlimited)")
+		dotOut    = flag.String("dot", "", "write the value-flow graph in Graphviz DOT form to this file")
+		failOn    = flag.Bool("fail-on-report", true, "exit 1 when any report is emitted (the CI gate); =false always exits 0 on a completed analysis")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,6 +81,11 @@ func run() int {
 	opt.InlineDepth = *inline
 	if *checkers != "" {
 		opt.Checkers = strings.Split(*checkers, ",")
+	}
+	opt.Budgets = canary.Budgets{
+		MaxFixpointRounds: *maxRounds,
+		MaxDFSSteps:       *maxSteps,
+		MaxFormulaNodes:   *maxNodes,
 	}
 
 	if *cpuProf != "" {
@@ -154,6 +162,10 @@ func run() int {
 		}
 	}
 	fmt.Printf("%d report(s)\n", len(res.Reports))
+	if len(res.Degraded) > 0 {
+		fmt.Printf("degraded: budget exhausted in stage(s): %s (affected pairs are inconclusive, not dropped)\n",
+			strings.Join(res.Degraded, ", "))
+	}
 
 	if *stats {
 		fmt.Printf("program: %d threads, %d instructions\n", res.Threads, res.Instructions)
@@ -170,6 +182,12 @@ func run() int {
 			res.Check.CacheHits, res.Check.CacheMisses, res.Check.TrivialSolves)
 		gh, gm := canary.GuardInternStats()
 		fmt.Printf("guard interner: %d hits, %d misses (process-wide)\n", gh, gm)
+		if res.Check.SearchBudgetExhausted+res.Check.FormulaBudgetExhausted+res.Check.SolveBudgetExhausted > 0 ||
+			res.VFG.FixpointBudgetExhausted {
+			fmt.Printf("budgets: fixpoint exhausted=%v, search exhausted=%d, formula exhausted=%d, solve exhausted=%d\n",
+				res.VFG.FixpointBudgetExhausted, res.Check.SearchBudgetExhausted,
+				res.Check.FormulaBudgetExhausted, res.Check.SolveBudgetExhausted)
+		}
 	}
 	if *incr {
 		// Prime a fresh session with one cold run, then rerun warm: the

@@ -51,6 +51,11 @@ func run() int {
 		cacheSize  = flag.Int("cache-entries", 4096, "content-addressed result cache capacity")
 		workers    = flag.Int("workers", 0, "per-analysis worker pool size (0 = all CPUs)")
 		drainWait  = flag.Duration("drain-timeout", 10*time.Minute, "bound on draining in-flight jobs at shutdown")
+		maxBody    = flag.Int64("max-request-bytes", 0, "largest accepted /v1/analyze body in bytes (0 = 16 MiB); oversized requests get 413")
+		stageWait  = flag.Duration("stage-timeout", 0, "wall-clock bound per analysis stage (build, check); 0 disables (daemon-only; step budgets stay deterministic)")
+		maxRounds  = flag.Int("max-fixpoint-rounds", 0, "step budget: VFG fixpoint rounds before degrading to inconclusive (0 = unlimited)")
+		maxSteps   = flag.Int("max-dfs-steps", 0, "step budget: source-sink DFS steps per checker (0 = unlimited)")
+		maxNodes   = flag.Int("max-formula-nodes", 0, "step budget: guard formula nodes per query before eliding (0 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,12 +66,19 @@ func run() int {
 
 	opt := canary.DefaultOptions()
 	opt.Workers = *workers
+	opt.Budgets = canary.Budgets{
+		MaxFixpointRounds: *maxRounds,
+		MaxDFSSteps:       *maxSteps,
+		MaxFormulaNodes:   *maxNodes,
+	}
 	srv := server.New(server.Config{
-		MaxConcurrent: *maxConc,
-		QueueDepth:    *queueDepth,
-		JobTimeout:    *jobTimeout,
-		CacheEntries:  *cacheSize,
-		Options:       opt,
+		MaxConcurrent:   *maxConc,
+		QueueDepth:      *queueDepth,
+		JobTimeout:      *jobTimeout,
+		CacheEntries:    *cacheSize,
+		MaxRequestBytes: *maxBody,
+		StageTimeout:    *stageWait,
+		Options:         opt,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -76,6 +76,47 @@ func TestCheckContextCanceled(t *testing.T) {
 	}
 }
 
+// TestWarmSessionCancellation covers the warm-path checkpoints the cold
+// tests above cannot reach: a canceled build observes the summary-store
+// fixpoint's context check, a canceled recheck observes the verdict
+// replay path's, and after both aborts the session still produces output
+// byte-identical to its cold run.
+func TestWarmSessionCancellation(t *testing.T) {
+	sess := NewSession()
+	cold, err := sess.Analyze(ctxTestProgram, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := sess.AnalyzeContext(ctx, ctxTestProgram, DefaultOptions()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("warm build: want ErrCanceled, got %v", err)
+	}
+	a, err := sess.NewAnalysis(ctxTestProgram, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CheckContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("warm recheck: want ErrCanceled, got %v", err)
+	}
+
+	warm, err := sess.Analyze(ctxTestProgram, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Reports) != len(cold.Reports) {
+		t.Fatalf("canceled rounds changed the warm output: cold %d reports, warm %d",
+			len(cold.Reports), len(warm.Reports))
+	}
+	for i := range warm.Reports {
+		if warm.Reports[i].String() != cold.Reports[i].String() {
+			t.Errorf("report %d differs after canceled rounds:\ncold: %s\nwarm: %s",
+				i, cold.Reports[i], warm.Reports[i])
+		}
+	}
+}
+
 // TestAnalyzeContextBackground asserts the context-free path is unchanged:
 // Analyze delegates to AnalyzeContext with context.Background().
 func TestAnalyzeContextBackground(t *testing.T) {

@@ -12,6 +12,8 @@ import (
 	"encoding/hex"
 	"sync"
 	"sync/atomic"
+
+	"canary/internal/failpoint"
 )
 
 // Key is a SHA-256 content address.
@@ -58,6 +60,12 @@ func New(maxEntries int) *Store {
 // must not be modified; a content-addressed value is immutable by
 // construction. The lookup is counted as a hit or a miss.
 func (s *Store) Get(k Key) ([]byte, bool) {
+	// An injected read fault degrades to a miss: content addressing makes
+	// a miss always safe (the value is recomputed), never wrong.
+	if failpoint.Inject(failpoint.SiteCacheRead) != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
 	s.mu.Lock()
 	el, ok := s.entries[k]
 	if ok {
@@ -78,6 +86,11 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 // byte-identical, and keeping the first preserves any slice already handed
 // out by Get.
 func (s *Store) Put(k Key, v []byte) {
+	// An injected write fault skips the store: the entry simply stays
+	// cold, which a content-addressed cache tolerates by construction.
+	if failpoint.Inject(failpoint.SiteCacheWrite) != nil {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[k]; ok {
@@ -91,6 +104,21 @@ func (s *Store) Put(k Key, v []byte) {
 		s.lru.Remove(oldest)
 		delete(s.entries, oldest.Value.(*entry).key)
 	}
+}
+
+// Delete removes the value stored under k, reporting whether it was
+// present. Quarantine uses this to evict per-function summaries that a
+// recovered panic may have left half-built.
+func (s *Store) Delete(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		return false
+	}
+	s.lru.Remove(el)
+	delete(s.entries, k)
+	return true
 }
 
 // Stats returns the cumulative hit and miss counts of Get.

@@ -26,6 +26,7 @@ import (
 	"context"
 	"time"
 
+	"canary/internal/failpoint"
 	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/mhp"
@@ -97,6 +98,11 @@ type BuildStats struct {
 	// summarize step's reuse split (hits + reanalyzed = total functions).
 	SummaryHits     int
 	FuncsReanalyzed int
+	// FixpointExhausted reports that the outer fixpoint stopped at
+	// MaxIterations while still making progress — the graph is a sound
+	// under-approximation of the converged one, and results derived from
+	// it are flagged degraded rather than silently final.
+	FixpointExhausted bool
 }
 
 // Builder holds the state of the two dependence analyses and the resulting
@@ -165,9 +171,13 @@ func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Bui
 	workers := workerCount(opt.Workers)
 	hits0, _ := guard.InternStats()
 	start := time.Now()
+	converged := false
 	for iter := 0; iter < opt.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if ferr := failpoint.Inject(failpoint.SiteBuildFixpoint); ferr != nil {
+			return nil, ferr
 		}
 		b.Stats.Iterations++
 		progressed := false
@@ -202,9 +212,11 @@ func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Bui
 			progressed = true
 		}
 		if !progressed {
+			converged = true
 			break
 		}
 	}
+	b.Stats.FixpointExhausted = !converged
 	b.Stats.BuildTime = time.Since(start)
 	hits1, _ := guard.InternStats()
 	b.Stats.GuardCacheHits = hits1 - hits0

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"canary/internal/failpoint"
 	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/smt"
@@ -40,6 +41,16 @@ type CheckOptions struct {
 	MaxPathLen int
 	// MaxDFSSteps bounds the search effort per source.
 	MaxDFSSteps int
+	// ExplicitSearchBudget marks MaxDFSSteps as a caller-chosen budget
+	// (canary.Budgets) rather than the defensive default: an exhausted
+	// explicit budget emits a per-source inconclusive report
+	// ("budget-exhausted: search") instead of truncating silently.
+	ExplicitSearchBudget bool
+	// MaxFormulaNodes bounds the size of each assembled SMT formula; a
+	// larger system yields an inconclusive report ("budget-exhausted:
+	// formula") for its pair instead of an unbounded solver query.
+	// <= 0 disables the bound.
+	MaxFormulaNodes int
 	// MaxCompetitors bounds the intervening-store disjuncts encoded per
 	// indirect edge (skipping extras over-approximates, never misses).
 	MaxCompetitors int
@@ -170,6 +181,10 @@ type Report struct {
 	Guard string
 	// Result is the SMT verdict (Sat, or Unknown when the budget ran out).
 	Result smt.Result
+	// Reason is empty for a decided report; an undecided one carries the
+	// degradation cause: "budget-exhausted: <search|formula|solve>" or
+	// "internal-error: <detail>" (a recovered panic or injected fault).
+	Reason string
 }
 
 func (r Report) String() string {
@@ -209,6 +224,15 @@ type CheckStats struct {
 	PairsRechecked int
 	SearchTime     time.Duration
 	SolveTime      time.Duration
+	// The degradation observables of the governance layer: how many
+	// per-source searches ran out of DFS steps, how many assembled
+	// formulas exceeded MaxFormulaNodes, how many solver verdicts came
+	// back Unknown (conflict budget), and how many panics were converted
+	// into internal-error reports instead of crashing the process.
+	SearchBudgetExhausted  int
+	FormulaBudgetExhausted int
+	SolveBudgetExhausted   int
+	PanicsRecovered        int
 }
 
 func (s *CheckStats) add(o CheckStats) {
@@ -225,6 +249,10 @@ func (s *CheckStats) add(o CheckStats) {
 	s.PairsRechecked += o.PairsRechecked
 	s.SearchTime += o.SearchTime
 	s.SolveTime += o.SolveTime
+	s.SearchBudgetExhausted += o.SearchBudgetExhausted
+	s.FormulaBudgetExhausted += o.FormulaBudgetExhausted
+	s.SolveBudgetExhausted += o.SolveBudgetExhausted
+	s.PanicsRecovered += o.PanicsRecovered
 }
 
 // source is a source event: the value node to chase and the statement that
@@ -255,16 +283,7 @@ func (b *Builder) CheckContext(ctx context.Context, opt CheckOptions) ([]Report,
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
-		var rs []Report
-		var st CheckStats
-		switch kind {
-		case CheckDataRace:
-			rs, st = b.checkRaces(opt)
-		case CheckDeadlock:
-			rs, st = b.checkDeadlocks(opt)
-		default:
-			rs, st = b.checkKind(ctx, kind, opt)
-		}
+		rs, st := b.runChecker(ctx, kind, opt)
 		reports = append(reports, rs...)
 		stats.add(st)
 	}
@@ -281,6 +300,36 @@ func (b *Builder) CheckContext(ctx context.Context, opt CheckOptions) ([]Report,
 		return reports[i].Sink.Label < reports[j].Sink.Label
 	})
 	return reports, stats, nil
+}
+
+// runChecker dispatches one checker kind under panic isolation: a panic
+// anywhere inside the checker (including one re-raised from a pool
+// worker by runIndexed) is converted into a single internal-error report
+// for the whole checker instead of crashing the process. Finer-grained
+// per-source isolation inside checkKind usually catches the panic first;
+// this is the outer net.
+func (b *Builder) runChecker(ctx context.Context, kind string, opt CheckOptions) (rs []Report, st CheckStats) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.PanicsRecovered++
+			rs = []Report{{
+				Kind:   kind,
+				Source: Site{Desc: "checker " + kind},
+				Sink:   Site{Desc: "checker " + kind},
+				Result: smt.Unknown,
+				Reason: fmt.Sprintf("internal-error: %v", r),
+			}}
+		}
+	}()
+	switch kind {
+	case CheckDataRace:
+		return b.checkRaces(opt)
+	case CheckDeadlock:
+		return b.checkDeadlocks(opt)
+	default:
+		rs, st = b.checkKind(ctx, kind, opt)
+		return rs, st
+	}
 }
 
 // sourcesAndSinks yields the source events and sink map of one checker.
@@ -360,7 +409,26 @@ func (b *Builder) checkKind(ctx context.Context, kind string, opt CheckOptions) 
 			pairs:     &pairSet{kind: kind, done: make(map[[2]ir.Label]bool)},
 			rechecked: make(map[[2]ir.Label]bool),
 		}
-		slots[si].reports = c.searchFrom(sources[si])
+		// Per-source panic isolation: a panic while checking one source
+		// becomes that source's internal-error report and the other
+		// sources' results stand. The recover must wrap the search call
+		// alone so c.stats keeps whatever was counted before the panic.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.stats.PanicsRecovered++
+					site := c.site(sources[si].label)
+					slots[si].reports = []Report{{
+						Kind:   kind,
+						Source: site,
+						Sink:   site,
+						Result: smt.Unknown,
+						Reason: fmt.Sprintf("internal-error: %v", r),
+					}}
+				}
+			}()
+			slots[si].reports = c.searchFrom(sources[si])
+		}()
 		slots[si].stats = c.stats
 	})
 
@@ -428,6 +496,10 @@ type checkCtx struct {
 	pairs *pairSet
 	stats CheckStats
 	steps int
+	// canceled distinguishes the cancellation poison (steps forced to the
+	// budget so the DFS unwinds) from a genuinely exhausted search
+	// budget; only the latter is a degradation observable.
+	canceled bool
 
 	// rechecked tracks the (source, sink) pairs of this search whose
 	// realizability decision was actually recomputed (rather than replayed
@@ -461,6 +533,7 @@ func (c *checkCtx) searchFrom(src source) []Report {
 		// exhausts its step budget so the whole search unwinds promptly.
 		if c.steps&0xff == 0 && c.ctx != nil && c.ctx.Err() != nil {
 			c.steps = c.opt.MaxDFSSteps
+			c.canceled = true
 			return
 		}
 		c.steps++
@@ -492,6 +565,24 @@ func (c *checkCtx) searchFrom(src source) []Report {
 	}
 	onPath[src.node] = true
 	visit(src.node)
+	if c.steps >= c.opt.MaxDFSSteps && !c.canceled {
+		c.stats.SearchBudgetExhausted++
+		if c.opt.ExplicitSearchBudget {
+			// The truncated search may have missed sinks, so the source
+			// gets an explicit inconclusive entry instead of a silent
+			// partial answer. Sink = source is unambiguous: a real report
+			// never has sink == source (searchFrom skips that label), so
+			// the pair key cannot collide at the merge.
+			site := c.site(src.label)
+			reports = append(reports, Report{
+				Kind:   c.kind,
+				Source: site,
+				Sink:   site,
+				Result: smt.Unknown,
+				Reason: "budget-exhausted: search",
+			})
+		}
+	}
 	c.stats.SearchTime += time.Since(t0)
 	return reports
 }
@@ -518,6 +609,12 @@ func (c *checkCtx) validate(src source, sinkLabel ir.Label, path []vfg.EdgeID) (
 // validateQuery builds Φ_all = Φ_guards ∧ Φ_ls ∧ Φ_po ∧ (O_src < O_sink) for
 // the candidate path and decides its realizability (Defn. 2).
 func (c *checkCtx) validateQuery(src source, sinkLabel ir.Label, path []vfg.EdgeID) (Report, bool) {
+	// Prompt cancellation: a canceled check must not start assembling or
+	// solving another constraint system (the PR-3 recheck path reaches
+	// here on every warm pair, so this checkpoint bounds its latency too).
+	if c.ctx != nil && c.ctx.Err() != nil {
+		return Report{}, false
+	}
 	b := c.b
 	g := b.G
 	srcInst := b.Prog.Inst(src.label)
@@ -602,7 +699,42 @@ func (c *checkCtx) validateQuery(src source, sinkLabel ir.Label, path []vfg.Edge
 			q.others[i] = closure.simplify(pool, d)
 		}
 	}
+	// An injected guard-eval fault surfaces as this pair's inconclusive
+	// report — the typed error cannot propagate out of the DFS, so the
+	// degradation contract (inconclusive, never silent) applies instead.
+	if ferr := failpoint.Inject(failpoint.SiteGuardEval); ferr != nil {
+		if !c.pairs.claim(src.label, sinkLabel) {
+			return Report{}, false
+		}
+		return Report{
+			Kind:   c.kind,
+			Source: c.site(src.label),
+			Sink:   c.site(sinkLabel),
+			Path:   c.pathSites(src, path),
+			Result: smt.Unknown,
+			Reason: "internal-error: " + ferr.Error(),
+		}, true
+	}
 	all := q.assemble(pool)
+	if c.opt.MaxFormulaNodes > 0 && all.Size() > c.opt.MaxFormulaNodes {
+		// Formula budget: the assembled system is too large to hand to
+		// the solver. The pair is claimed with an inconclusive verdict —
+		// assembly is deterministic, so the same pair degrades on every
+		// run and worker count.
+		c.stats.FormulaBudgetExhausted++
+		if !c.pairs.claim(src.label, sinkLabel) {
+			return Report{}, false
+		}
+		return Report{
+			Kind:   c.kind,
+			Source: c.site(src.label),
+			Sink:   c.site(sinkLabel),
+			Path:   c.pathSites(src, path),
+			Guard:  "(elided: formula budget exhausted)",
+			Result: smt.Unknown,
+			Reason: "budget-exhausted: formula",
+		}, true
+	}
 	if c.opt.SimplifyGuards {
 		if sat, decided := guard.SemiDecide(all); decided && !sat {
 			c.stats.SemiDecided++
@@ -631,6 +763,7 @@ func (c *checkCtx) validateQuery(src source, sinkLabel ir.Label, path []vfg.Edge
 	}
 
 	var model smt.AtomValuer
+	var reason string
 	if !factDecided {
 		if pres, pmodel, ok := smt.Presolve(pool, all); ok {
 			// Pre-Tseitin fast path: constant folding + unit propagation
@@ -669,6 +802,12 @@ func (c *checkCtx) validateQuery(src source, sinkLabel ir.Label, path []vfg.Edge
 					model = vmodel
 				}
 				smt.DefaultCache.Store(pool, all, res, vmodel)
+			} else if ferr := failpoint.Inject(failpoint.SiteSMTSolve); ferr != nil {
+				// An injected solver fault degrades to Unknown without
+				// touching either verdict cache, so nothing poisoned is
+				// ever replayed.
+				res = smt.Unknown
+				reason = "internal-error: " + ferr.Error()
 			} else {
 				t0 := time.Now()
 				c.stats.SolverQueries++
@@ -698,6 +837,17 @@ func (c *checkCtx) validateQuery(src source, sinkLabel ir.Label, path []vfg.Edge
 			c.stats.SolverUnsat++
 			return Report{}, false
 		}
+		if res == smt.Unknown {
+			// The conflict budget (or an injected fault) left the pair
+			// undecided; it is kept as a flagged report (the soundy
+			// choice) and counted as a solve-stage degradation. Counting
+			// at verdict use — not at solve time — keeps a warm verdict
+			// replay's accounting identical to the cold run's.
+			c.stats.SolveBudgetExhausted++
+			if reason == "" {
+				reason = "budget-exhausted: solve"
+			}
+		}
 	}
 	if !c.pairs.claim(src.label, sinkLabel) {
 		return Report{}, false // another worker reported this pair first
@@ -710,6 +860,7 @@ func (c *checkCtx) validateQuery(src source, sinkLabel ir.Label, path []vfg.Edge
 		Schedule: c.buildSchedule(labels, q.facts, model),
 		Guard:    pool.String(all),
 		Result:   res,
+		Reason:   reason,
 	}, true
 }
 

@@ -37,12 +37,24 @@ func runIndexed(workers, n int, f func(int)) {
 		}
 		return
 	}
+	// A panic on a worker goroutine would crash the process no matter how
+	// many recover()s the caller stacked, so the first one is captured and
+	// re-raised on the calling goroutine after the pool drains — the
+	// sequential path panics in the caller, and the parallel path must be
+	// indistinguishable from it.
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -53,4 +65,7 @@ func runIndexed(workers, n int, f func(int)) {
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

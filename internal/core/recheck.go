@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 
 	"canary/internal/cache"
+	"canary/internal/failpoint"
 	"canary/internal/guard"
 	"canary/internal/smt"
 )
@@ -127,6 +128,11 @@ func (c *checkCtx) verdictCoder(all *guard.Formula) *verdictCoder {
 // (hash collision or encoding drift) and is treated as a miss.
 func (vc *verdictCoder) lookup() (smt.Result, smt.Model, bool) {
 	if vc == nil {
+		return smt.Unknown, nil, false
+	}
+	// An injected verdict-read fault degrades to a miss; the caller then
+	// re-solves, which is always safe for a content-keyed store.
+	if failpoint.Inject(failpoint.SiteVerdictRead) != nil {
 		return smt.Unknown, nil, false
 	}
 	res, portable, ok := vc.vs.Lookup(vc.key)

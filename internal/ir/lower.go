@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 
+	"canary/internal/failpoint"
 	"canary/internal/guard"
 	"canary/internal/lang"
 	"canary/internal/pta"
@@ -49,6 +50,9 @@ func (o Options) withDefaults() Options {
 // insertion, and thread-tree construction. Function pointers in fork/call
 // positions are resolved with Steensgaard's analysis (§6).
 func Lower(src *lang.Program, opt Options) (*Program, error) {
+	if ferr := failpoint.Inject(failpoint.SiteLower); ferr != nil {
+		return nil, ferr
+	}
 	opt = opt.withDefaults()
 	entry := src.Func(opt.Entry)
 	if entry == nil {

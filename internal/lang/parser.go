@@ -3,10 +3,15 @@ package lang
 import (
 	"fmt"
 	"strconv"
+
+	"canary/internal/failpoint"
 )
 
 // Parse parses a complete program.
 func Parse(src string) (*Program, error) {
+	if ferr := failpoint.Inject(failpoint.SiteParse); ferr != nil {
+		return nil, ferr
+	}
 	toks, err := Tokenize(src)
 	if err != nil {
 		return nil, err

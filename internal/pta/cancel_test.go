@@ -1,0 +1,47 @@
+package pta
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"canary/internal/lang"
+)
+
+// TestSummariesKeyedContextCanceled pins the summary fixpoint's
+// cancellation contract: an already-canceled context aborts before the
+// first Kleene round with the context's error and no partial summaries.
+func TestSummariesKeyedContextCanceled(t *testing.T) {
+	prog, err := lang.Parse(`
+func helper(x) { return x; }
+func main() { p = malloc(); q = helper(p); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sums, _, _, serr := SummariesKeyedContext(ctx, prog, nil, nil)
+	if !errors.Is(serr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", serr)
+	}
+	if sums != nil {
+		t.Fatalf("canceled fixpoint returned partial summaries: %v", sums)
+	}
+}
+
+// TestSummariesKeyedContextBackground asserts the context-free wrapper
+// still converges to the same summaries.
+func TestSummariesKeyedContextBackground(t *testing.T) {
+	prog, err := lang.Parse(`func mk() { p = malloc(); return p; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, _, _, serr := SummariesKeyedContext(context.Background(), prog, nil, nil)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if s := sums["mk"]; s == nil || !s.RetAlloc {
+		t.Fatalf("mk summary = %+v", sums["mk"])
+	}
+}

@@ -33,6 +33,11 @@ func (st *Store) Stats() (hits, misses uint64) { return st.s.Stats() }
 // Len returns the number of stored summaries.
 func (st *Store) Len() int { return st.s.Len() }
 
+// Delete evicts the summary stored under k, reporting whether it was
+// present. Session.Quarantine uses it to drop summaries a recovered
+// panic may have poisoned.
+func (st *Store) Delete(k cache.Key) bool { return st.s.Delete(k) }
+
 func (st *Store) get(k cache.Key) (*Summary, bool) {
 	b, ok := st.s.Get(k)
 	if !ok {

@@ -1,7 +1,10 @@
 package pta
 
 import (
+	"context"
+
 	"canary/internal/cache"
+	"canary/internal/failpoint"
 	"canary/internal/lang"
 )
 
@@ -54,6 +57,16 @@ func Summaries(prog *lang.Program) map[string]*Summary {
 // reaches the same least fixpoint a cold run computes. Passing nil keys or
 // a nil store degenerates to the cold computation.
 func SummariesKeyed(prog *lang.Program, keys map[string]cache.Key, store *Store) (sums map[string]*Summary, hits, misses int) {
+	sums, hits, misses, _ = SummariesKeyedContext(context.Background(), prog, keys, store)
+	return sums, hits, misses
+}
+
+// SummariesKeyedContext is SummariesKeyed with cooperative cancellation:
+// the fixpoint observes ctx between rounds and returns ctx.Err() promptly
+// when the context is done, and the pta-fixpoint failpoint can abort a
+// round with a typed injected error. On error the partial summaries are
+// not written to the store.
+func SummariesKeyedContext(ctx context.Context, prog *lang.Program, keys map[string]cache.Key, store *Store) (sums map[string]*Summary, hits, misses int, err error) {
 	sums = make(map[string]*Summary, len(prog.Funcs))
 	retTags := make(map[string]uint64, len(prog.Funcs))
 	pending := make(map[string]bool, len(prog.Funcs))
@@ -155,6 +168,12 @@ func SummariesKeyed(prog *lang.Program, keys map[string]cache.Key, store *Store)
 	// above the lattice height, never the expected exit.
 	maxRounds := 64*len(prog.Funcs) + 2
 	for round := 0; round < maxRounds && len(pending) > 0; round++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, hits, misses, cerr
+		}
+		if ferr := failpoint.Inject(failpoint.SitePTAFixpoint); ferr != nil {
+			return nil, hits, misses, ferr
+		}
 		changed := false
 		for _, f := range prog.Funcs {
 			if !pending[f.Name] {
@@ -189,5 +208,5 @@ func SummariesKeyed(prog *lang.Program, keys map[string]cache.Key, store *Store)
 			}
 		}
 	}
-	return sums, hits, misses
+	return sums, hits, misses, nil
 }

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"canary/internal/failpoint"
+)
+
+// TestJobDequeuePanicIsolated arms the daemon's own failpoint in panic
+// mode: the poisoned job must fail with a structured internal error while
+// the worker, the health endpoint, and the next job all stay healthy.
+func TestJobDequeuePanicIsolated(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1})
+
+	if err := failpoint.Enable(failpoint.SiteJobDequeue, "panic"); err != nil {
+		t.Fatal(err)
+	}
+	status, jr := postAnalyze(t, ts.URL, AnalyzeRequest{Source: buggySrc})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("poisoned job status = %d (%+v), want 422", status, jr)
+	}
+	if jr.Status != JobFailed || !strings.Contains(jr.Error, "recovered panic") {
+		t.Fatalf("poisoned job = %+v, want a recovered-panic failure", jr)
+	}
+
+	// The daemon is still alive and serving.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz after a worker panic = %d, want 200", resp.StatusCode)
+	}
+
+	// Disarm; the same worker must process the next job normally.
+	failpoint.Reset()
+	status, jr = postAnalyze(t, ts.URL, AnalyzeRequest{Source: buggySrc})
+	if status != http.StatusOK || jr.Status != JobDone {
+		t.Fatalf("post-panic job = %d %+v, want a clean completion", status, jr)
+	}
+
+	// The recovery is observable.
+	var mbuf bytes.Buffer
+	s.writeMetrics(&mbuf)
+	metrics := mbuf.String()
+	if !strings.Contains(metrics, "canaryd_panics_recovered_total 1") {
+		t.Errorf("metrics missing the recovered panic:\n%s", metrics)
+	}
+}
+
+// TestJobDequeueErrorFailsJobCleanly covers the error mode of the same
+// site: a typed injected error fails the job without tripping the panic
+// accounting.
+func TestJobDequeueErrorFailsJobCleanly(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	if err := failpoint.Enable(failpoint.SiteJobDequeue, "error"); err != nil {
+		t.Fatal(err)
+	}
+	status, jr := postAnalyze(t, ts.URL, AnalyzeRequest{Source: buggySrc})
+	if status != http.StatusUnprocessableEntity || jr.Status != JobFailed {
+		t.Fatalf("injected-error job = %d %+v, want 422/failed", status, jr)
+	}
+	if !strings.Contains(jr.Error, "injected fault") {
+		t.Fatalf("job error %q does not surface the typed fault", jr.Error)
+	}
+}
+
+// TestOversizedBodyRejected413 pins the configurable request-body limit:
+// an oversized POST gets 413 with a JSON error and no job record.
+func TestOversizedBodyRejected413(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxRequestBytes: 4096})
+	body, err := json.Marshal(AnalyzeRequest{Source: strings.Repeat("x", 8192)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("413 body is not a JSON error (err=%v, %+v)", err, e)
+	}
+	if !strings.Contains(e.Error, "4096") {
+		t.Errorf("413 error %q should name the limit", e.Error)
+	}
+	if s.metrics.accepted.Load() != 0 {
+		t.Error("an oversized body must not count as an accepted job")
+	}
+}
+
+// TestBudgetPatchDegradesAndCounts submits with a starvation DFS budget
+// through the options patch and expects a degraded (not failed) result
+// plus the matching daemon counter.
+func TestBudgetPatchDegradesAndCounts(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	steps := 1
+	status, jr := postAnalyze(t, ts.URL, AnalyzeRequest{
+		Source:  buggySrc,
+		Options: &OptionsPatch{MaxDFSSteps: &steps},
+	})
+	if status != http.StatusOK || jr.Status != JobDone {
+		t.Fatalf("budgeted job = %d %+v, want a completed (degraded) job", status, jr)
+	}
+	var res struct {
+		Degraded []string `json:"Degraded"`
+	}
+	if err := json.Unmarshal(jr.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, stage := range res.Degraded {
+		if stage == "search" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("result.Degraded = %v, want it to include \"search\"", res.Degraded)
+	}
+	var mbuf bytes.Buffer
+	s.writeMetrics(&mbuf)
+	if !strings.Contains(mbuf.String(), `canaryd_budget_exhausted_total{stage="search"}`) ||
+		strings.Contains(mbuf.String(), `canaryd_budget_exhausted_total{stage="search"} 0`) {
+		t.Errorf("search-budget exhaustion not counted:\n%s", mbuf.String())
+	}
+}
+
+// TestStageTimeoutFailsSlowBuilds: a wall-clock stage budget far below
+// the job's analysis cost must fail the job as canceled while leaving
+// the server healthy.
+func TestStageTimeoutFailsSlowBuilds(t *testing.T) {
+	_, ts := newTestServer(t, Config{StageTimeout: time.Nanosecond})
+	status, jr := postAnalyze(t, ts.URL, AnalyzeRequest{Source: buggySrc})
+	if status != http.StatusGatewayTimeout || jr.Status != JobFailed {
+		t.Fatalf("stage-timeout job = %d %+v, want 504/failed", status, jr)
+	}
+}
+
+// TestMetricsGovernanceLines asserts the governance counters are present
+// (at zero) on a fresh server so scrapers can rely on them.
+func TestMetricsGovernanceLines(t *testing.T) {
+	s := New(Config{})
+	t.Cleanup(func() { s.BeginDrain() })
+	var buf bytes.Buffer
+	s.writeMetrics(&buf)
+	for _, stage := range []string{"fixpoint", "search", "formula", "solve"} {
+		want := fmt.Sprintf("canaryd_budget_exhausted_total{stage=%q} 0", stage)
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	for _, want := range []string{
+		"canaryd_panics_recovered_total 0",
+		"canaryd_quarantined_summaries_total 0",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

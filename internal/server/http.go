@@ -10,9 +10,10 @@ import (
 	"canary"
 )
 
-// maxRequestBytes bounds an /v1/analyze body (sources are small programs,
-// not binaries).
-const maxRequestBytes = 16 << 20
+// defaultMaxRequestBytes bounds an /v1/analyze body when the operator
+// sets no Config.MaxRequestBytes (sources are small programs, not
+// binaries).
+const defaultMaxRequestBytes = 16 << 20
 
 // AnalyzeRequest is the POST /v1/analyze body.
 type AnalyzeRequest struct {
@@ -45,6 +46,11 @@ type OptionsPatch struct {
 	Workers            *int     `json:"workers,omitempty"`
 	CubeAndConquer     *bool    `json:"cube_and_conquer,omitempty"`
 	MaxConflicts       *int64   `json:"max_conflicts,omitempty"`
+	// The step-counted stage budgets (canary.Budgets); exhaustion
+	// degrades the result to inconclusive verdicts instead of failing.
+	MaxFixpointRounds *int `json:"max_fixpoint_rounds,omitempty"`
+	MaxDFSSteps       *int `json:"max_dfs_steps,omitempty"`
+	MaxFormulaNodes   *int `json:"max_formula_nodes,omitempty"`
 }
 
 func (p *OptionsPatch) apply(opt canary.Options) canary.Options {
@@ -92,6 +98,15 @@ func (p *OptionsPatch) apply(opt canary.Options) canary.Options {
 	}
 	if p.MaxConflicts != nil {
 		opt.MaxConflicts = *p.MaxConflicts
+	}
+	if p.MaxFixpointRounds != nil {
+		opt.Budgets.MaxFixpointRounds = *p.MaxFixpointRounds
+	}
+	if p.MaxDFSSteps != nil {
+		opt.Budgets.MaxDFSSteps = *p.MaxDFSSteps
+	}
+	if p.MaxFormulaNodes != nil {
+		opt.Budgets.MaxFormulaNodes = *p.MaxFormulaNodes
 	}
 	return opt
 }
@@ -154,8 +169,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
-	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}

@@ -72,8 +72,16 @@ func (j *Job) setRunning() {
 	j.mu.Unlock()
 }
 
+// complete and fail are idempotent: the first terminal transition wins
+// and closes done; a later call (e.g. the worker's panic-recovery net
+// firing after the job already failed) is a no-op instead of a
+// double-close panic.
 func (j *Job) complete(result []byte, cached bool) {
 	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed {
+		j.mu.Unlock()
+		return
+	}
 	j.state = JobDone
 	j.result = result
 	j.cached = cached
@@ -84,6 +92,10 @@ func (j *Job) complete(result []byte, cached bool) {
 
 func (j *Job) fail(msg string, timedOut bool) {
 	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed {
+		j.mu.Unlock()
+		return
+	}
 	j.state = JobFailed
 	j.errMsg = msg
 	j.timedOut = timedOut

@@ -73,6 +73,16 @@ type metrics struct {
 	// and are read at scrape time.)
 	trivialSolves atomic.Uint64
 
+	// The governance observables, accumulated from each completed job's
+	// stats: per-stage budget exhaustions and panics recovered at the
+	// worker or checker level. Session-level recoveries and quarantines
+	// live on the shared Session and are added at scrape time.
+	budgetFixpoint  atomic.Uint64
+	budgetSearch    atomic.Uint64
+	budgetFormula   atomic.Uint64
+	budgetSolve     atomic.Uint64
+	panicsRecovered atomic.Uint64
+
 	// Per-stage latency histograms: "build" is VFGStats.BuildTime, "check"
 	// is CheckStats.SearchTime+SolveTime, "total" is the job's wall time
 	// inside the worker (parse + build + check + encode).

@@ -29,6 +29,7 @@ import (
 
 	"canary"
 	"canary/internal/cache"
+	"canary/internal/failpoint"
 	"canary/internal/smt"
 )
 
@@ -54,6 +55,17 @@ type Config struct {
 	// JobTimeout caps every job's analysis deadline. A request may ask for
 	// less via timeout_ms, never for more.
 	JobTimeout time.Duration
+	// StageTimeout, when positive, additionally caps each pipeline stage
+	// (VFG build, checking) with its own wall-clock deadline inside the
+	// job's overall deadline. Wall-clock budgets live only here in the
+	// daemon — the library's Budgets are step-counted so library output
+	// stays deterministic; a daemon operator trades that for liveness
+	// explicitly by setting this.
+	StageTimeout time.Duration
+	// MaxRequestBytes bounds a POST /v1/analyze body; an oversized body is
+	// refused with 413 before any of it is buffered past the limit.
+	// <= 0 selects the 16 MiB default.
+	MaxRequestBytes int64
 	// CacheEntries bounds the content-addressed result store.
 	CacheEntries int
 	// MaxJobRecords bounds the finished-job history kept for GET
@@ -79,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobRecords <= 0 {
 		c.MaxJobRecords = 4096
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = defaultMaxRequestBytes
 	}
 	if c.Options.Entry == "" {
 		c.Options = canary.DefaultOptions()
@@ -268,8 +283,31 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for job := range s.queue {
-		s.runJob(job)
+		s.safeRun(job)
 	}
+}
+
+// safeRun is the daemon's outermost panic net around one job: a panic
+// escaping the whole analysis stack (the library's own recovery layers
+// included) fails this job with a structured internal error, quarantines
+// the program's summaries from the warm session, and leaves the worker
+// alive for the next job. The job-dequeue failpoint fires here so the
+// fault-injection suite can exercise exactly this path.
+func (s *Server) safeRun(job *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panicsRecovered.Add(1)
+			s.session.Quarantine(job.src)
+			s.metrics.failed.Add(1)
+			job.fail(fmt.Sprintf("internal error: recovered panic: %v", r), false)
+		}
+	}()
+	if ferr := failpoint.Inject(failpoint.SiteJobDequeue); ferr != nil {
+		s.metrics.failed.Add(1)
+		job.fail(ferr.Error(), false)
+		return
+	}
+	s.runJob(job)
 }
 
 // runJob executes one analysis under the job's deadline and publishes the
@@ -285,7 +323,7 @@ func (s *Server) runJob(job *Job) {
 	ctx, cancel := context.WithTimeout(context.Background(), job.timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := s.session.AnalyzeContext(ctx, job.src, job.opt)
+	res, err := s.analyze(ctx, job)
 	wall := time.Since(start)
 	if err != nil {
 		s.metrics.failed.Add(1)
@@ -300,11 +338,41 @@ func (s *Server) runJob(job *Job) {
 	}
 	s.cache.Put(job.key, buf)
 	s.metrics.trivialSolves.Add(uint64(res.Check.TrivialSolves))
+	s.observeGovernance(res)
 	s.metrics.build.observe(res.VFG.BuildTime)
 	s.metrics.check.observe(res.Check.SearchTime + res.Check.SolveTime)
 	s.metrics.total.observe(wall)
 	s.metrics.completed.Add(1)
 	job.complete(buf, false)
+}
+
+// analyze runs the pipeline for one job, optionally splitting the overall
+// deadline into per-stage wall budgets (Config.StageTimeout).
+func (s *Server) analyze(ctx context.Context, job *Job) (*canary.Result, error) {
+	if s.cfg.StageTimeout <= 0 {
+		return s.session.AnalyzeContext(ctx, job.src, job.opt)
+	}
+	buildCtx, cancelBuild := context.WithTimeout(ctx, s.cfg.StageTimeout)
+	a, err := s.session.NewAnalysisContext(buildCtx, job.src, job.opt)
+	cancelBuild()
+	if err != nil {
+		return nil, err
+	}
+	checkCtx, cancelCheck := context.WithTimeout(ctx, s.cfg.StageTimeout)
+	defer cancelCheck()
+	return a.CheckContext(checkCtx)
+}
+
+// observeGovernance folds one completed job's degradation stats into the
+// daemon counters.
+func (s *Server) observeGovernance(res *canary.Result) {
+	if res.VFG.FixpointBudgetExhausted {
+		s.metrics.budgetFixpoint.Add(1)
+	}
+	s.metrics.budgetSearch.Add(uint64(res.Check.SearchBudgetExhausted))
+	s.metrics.budgetFormula.Add(uint64(res.Check.FormulaBudgetExhausted))
+	s.metrics.budgetSolve.Add(uint64(res.Check.SolveBudgetExhausted))
+	s.metrics.panicsRecovered.Add(uint64(res.Check.PanicsRecovered))
 }
 
 // writeMetrics renders the plain-text metrics exposition: job counters,
@@ -340,6 +408,15 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "canaryd_verdict_hits_total %d\n", vh)
 	fmt.Fprintf(w, "canaryd_verdict_misses_total %d\n", vm)
 	fmt.Fprintf(w, "canaryd_trivial_solves_total %d\n", s.metrics.trivialSolves.Load())
+	fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=\"fixpoint\"} %d\n", m.budgetFixpoint.Load())
+	fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=\"search\"} %d\n", m.budgetSearch.Load())
+	fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=\"formula\"} %d\n", m.budgetFormula.Load())
+	fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=\"solve\"} %d\n", m.budgetSolve.Load())
+	// Worker- and checker-level recoveries live in the daemon counter;
+	// session-level recoveries (and all quarantines) are counted by the
+	// shared Session. The events are disjoint, so the sum is exact.
+	fmt.Fprintf(w, "canaryd_panics_recovered_total %d\n", m.panicsRecovered.Load()+s.session.PanicsRecovered())
+	fmt.Fprintf(w, "canaryd_quarantined_summaries_total %d\n", s.session.QuarantinedSummaries())
 	gh, gm := canary.GuardInternStats()
 	fmt.Fprintf(w, "canaryd_guard_intern_hits_total %d\n", gh)
 	fmt.Fprintf(w, "canaryd_guard_intern_misses_total %d\n", gm)

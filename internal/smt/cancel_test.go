@@ -1,0 +1,37 @@
+package smt
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"canary/internal/guard"
+)
+
+// TestPresolveContextCanceled pins the presolver's cancellation contract:
+// an already-canceled context returns promptly with (Unknown, nil, false)
+// and the context's own error — it never claims a verdict.
+func TestPresolveContextCanceled(t *testing.T) {
+	pool := guard.NewPool()
+	a, b := pool.Bool("a"), pool.Bool("b")
+	f := guard.And(guard.Var(a), guard.Or(guard.Not(guard.Var(a)), guard.Var(b)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, m, ok, err := PresolveContext(ctx, pool, f)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ok || res != Unknown || m != nil {
+		t.Fatalf("canceled presolve claimed a verdict: (%v, %v, %v)", res, m, ok)
+	}
+}
+
+// TestPresolveContextBackground asserts the context-free wrapper is
+// unchanged by the cancellation plumbing.
+func TestPresolveContextBackground(t *testing.T) {
+	pool := guard.NewPool()
+	res, _, ok, err := PresolveContext(context.Background(), pool, guard.True())
+	if err != nil || !ok || res != Sat {
+		t.Fatalf("⊤ under a live context: (%v, %v, %v)", res, ok, err)
+	}
+}

@@ -1,6 +1,10 @@
 package smt
 
-import "canary/internal/guard"
+import (
+	"context"
+
+	"canary/internal/guard"
+)
 
 // Presolve is the pre-Tseitin fast path: constant folding plus unit
 // propagation over the aggregated guard formula, consulting the order
@@ -25,24 +29,36 @@ import "canary/internal/guard"
 // downstream schedule reconstruction treats missing atoms as unconstrained,
 // the same contract cached cube verdicts already rely on.
 func Presolve(pool *guard.Pool, f *guard.Formula) (Result, Model, bool) {
+	res, m, ok, _ := PresolveContext(context.Background(), pool, f)
+	return res, m, ok
+}
+
+// PresolveContext is Presolve with cooperative cancellation: the
+// propagate-substitute loop observes ctx once per round and returns
+// ctx.Err() promptly when the context is done. A non-nil error always
+// accompanies (Unknown, nil, false).
+func PresolveContext(ctx context.Context, pool *guard.Pool, f *guard.Formula) (Result, Model, bool, error) {
 	asn := make(map[guard.Atom]bool)
 	cur := f
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return Unknown, nil, false, cerr
+		}
 		if cur.IsFalse() {
-			return Unsat, nil, true
+			return Unsat, nil, true, nil
 		}
 		if cur.IsTrue() {
 			break
 		}
 		units := unitLiterals(cur)
 		if len(units) == 0 {
-			return Unknown, nil, false
+			return Unknown, nil, false, nil
 		}
 		progress := false
 		for a, v := range units {
 			if old, ok := asn[a]; ok {
 				if old != v {
-					return Unsat, nil, true
+					return Unsat, nil, true, nil
 				}
 				continue
 			}
@@ -50,17 +66,17 @@ func Presolve(pool *guard.Pool, f *guard.Formula) (Result, Model, bool) {
 			progress = true
 		}
 		if !progress {
-			return Unknown, nil, false
+			return Unknown, nil, false, nil
 		}
 		cur = substitute(cur, asn, make(map[*guard.Formula]*guard.Formula))
 	}
 	if !orderConsistent(pool, asn) {
-		return Unsat, nil, true
+		return Unsat, nil, true, nil
 	}
 	if len(asn) == 0 {
-		return Sat, nil, true
+		return Sat, nil, true, nil
 	}
-	return Sat, Model(asn), true
+	return Sat, Model(asn), true, nil
 }
 
 // unitLiterals collects the literals the formula forces at the top level: f

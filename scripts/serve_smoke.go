@@ -17,11 +17,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -53,32 +55,18 @@ func run() error {
 	}
 
 	// Start the daemon on a random port and scrape the announced address.
-	daemon := exec.Command(daemonBin, "-addr", "127.0.0.1:0")
-	stdout, err := daemon.StdoutPipe()
+	// The small request-body cap exercises the 413 path cheaply below.
+	daemon := exec.Command(daemonBin, "-addr", "127.0.0.1:0", "-max-request-bytes", "65536")
+	base, cleanup, err := startDaemon(daemon)
 	if err != nil {
-		return err
-	}
-	daemon.Stderr = os.Stderr
-	if err := daemon.Start(); err != nil {
 		return err
 	}
 	exited := false
 	defer func() {
 		if !exited {
-			daemon.Process.Kill()
-			daemon.Wait()
+			cleanup()
 		}
 	}()
-	sc := bufio.NewScanner(stdout)
-	if !sc.Scan() {
-		return fmt.Errorf("daemon exited before announcing its address")
-	}
-	addr := strings.TrimPrefix(sc.Text(), "canaryd listening on ")
-	if addr == sc.Text() {
-		return fmt.Errorf("unexpected first stdout line %q", sc.Text())
-	}
-	go io.Copy(io.Discard, stdout) // keep the pipe drained
-	base := "http://" + addr
 	fmt.Println("serve-smoke: daemon at", base)
 
 	if body, err := get(base + "/healthz"); err != nil {
@@ -148,12 +136,42 @@ func run() error {
 		"canaryd_jobs_cache_served_total 1",
 		"canaryd_result_cache_hits_total 1",
 		"canaryd_stage_latency_seconds_count{stage=\"total\"} 1",
+		"canaryd_budget_exhausted_total{stage=\"fixpoint\"} 0",
+		"canaryd_budget_exhausted_total{stage=\"search\"} 0",
+		"canaryd_budget_exhausted_total{stage=\"formula\"} 0",
+		"canaryd_panics_recovered_total 0",
+		"canaryd_quarantined_summaries_total 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %q:\n%s", want, metrics)
 		}
 	}
 	fmt.Println("serve-smoke: cache replay and metrics ok")
+
+	// An oversized body must be refused with 413 (the daemon was started
+	// with a 64 KiB cap) and a JSON error, without counting as a job.
+	big, err := json.Marshal(map[string]any{"source": strings.Repeat("x", 128<<10)})
+	if err != nil {
+		return err
+	}
+	resp, buf, err := post(base+"/v1/analyze", big)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		return fmt.Errorf("oversized body: got %s, want 413 (%s)", resp.Status, buf)
+	}
+	var e413 struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(buf, &e413); err != nil || e413.Error == "" {
+		return fmt.Errorf("413 body is not a JSON error: %s", buf)
+	}
+	fmt.Println("serve-smoke: 413 on oversized body ok")
+
+	if err := backpressurePhase(daemonBin, string(src)); err != nil {
+		return err
+	}
 
 	// Clean shutdown: SIGTERM must drain and exit 0.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
@@ -172,6 +190,136 @@ func run() error {
 	}
 	fmt.Println("serve-smoke: clean shutdown")
 	return nil
+}
+
+// startDaemon starts cmd (a canaryd invocation with -addr 127.0.0.1:0),
+// scrapes the announced address from its first stdout line, and returns
+// the base URL plus a kill-and-reap cleanup.
+func startDaemon(cmd *exec.Cmd) (base string, cleanup func(), err error) {
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	cleanup = func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cleanup()
+		return "", nil, fmt.Errorf("daemon exited before announcing its address")
+	}
+	addr := strings.TrimPrefix(sc.Text(), "canaryd listening on ")
+	if addr == sc.Text() {
+		cleanup()
+		return "", nil, fmt.Errorf("unexpected first stdout line %q", sc.Text())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return "http://" + addr, cleanup, nil
+}
+
+// backpressurePhase proves the queue-full path: a daemon with one worker,
+// a one-slot queue, and an injected 500ms dequeue stall must answer the
+// overflow submission with 503 + Retry-After, and the jittered retry
+// helper must then get the same submission through.
+func backpressurePhase(daemonBin, src string) error {
+	daemon := exec.Command(daemonBin, "-addr", "127.0.0.1:0",
+		"-max-concurrent", "1", "-queue-depth", "1")
+	daemon.Env = append(os.Environ(), "CANARY_FAILPOINTS=job-dequeue=sleep:500ms")
+	base, cleanup, err := startDaemon(daemon)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	// Distinct max_dfs_steps values give every submission a distinct
+	// content address, so none is answered from the result cache.
+	body := func(i int) []byte {
+		b, _ := json.Marshal(map[string]any{
+			"source": src,
+			"async":  true,
+			"options": map[string]any{
+				"max_dfs_steps": 1 << 20,
+				"unroll_depth":  2 + i%2,
+				"inline_depth":  6 + i/2,
+			},
+		})
+		return b
+	}
+	var rejected []byte
+	for i := 0; i < 8; i++ {
+		resp, buf, err := post(base+"/v1/analyze", body(i))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				return fmt.Errorf("queue-full 503 without a Retry-After header")
+			}
+			rejected = body(i)
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("async submission %d: got %s (%s)", i, resp.Status, buf)
+		}
+	}
+	if rejected == nil {
+		return fmt.Errorf("no 503 after saturating a 1-worker/1-slot daemon")
+	}
+	resp, buf, err := postRetry(base+"/v1/analyze", rejected, 20)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("retry after 503: got %s (%s)", resp.Status, buf)
+	}
+	fmt.Println("serve-smoke: 503 backpressure + Retry-After retry ok")
+	return nil
+}
+
+// post POSTs a JSON body and returns the response with its body read.
+func post(url string, body []byte) (*http.Response, []byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, buf, nil
+}
+
+// postRetry is post with backpressure handling: on 503 it waits the
+// server's Retry-After (or an exponential fallback) scaled by a random
+// jitter in [0.5x, 1.5x) — so herds of rejected clients desynchronize —
+// and tries again, up to maxAttempts.
+func postRetry(url string, body []byte, maxAttempts int) (*http.Response, []byte, error) {
+	backoff := 200 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, buf, err := post(url, body)
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt == maxAttempts {
+			return resp, buf, nil
+		}
+		wait := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		time.Sleep(wait/2 + time.Duration(rand.Int63n(int64(wait))))
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
 }
 
 type jobResponse struct {

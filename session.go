@@ -3,6 +3,7 @@ package canary
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"canary/internal/cache"
 	"canary/internal/core"
@@ -38,6 +39,12 @@ import (
 type Session struct {
 	summaries *pta.Store
 	verdicts  *smt.VerdictStore
+
+	// Panic-isolation observables: how many panics this session's
+	// analyses recovered into ErrInternal errors, and how many summary
+	// entries Quarantine evicted as possibly poisoned.
+	panics      atomic.Uint64
+	quarantined atomic.Uint64
 }
 
 // NewSession returns an empty warm store with default bounds.
@@ -74,6 +81,67 @@ func (s *Session) VerdictStats() (hits, misses uint64) {
 	return s.verdicts.Stats()
 }
 
+// PanicsRecovered returns how many pipeline panics this session's
+// analyses have recovered into ErrInternal errors (zero for nil).
+func (s *Session) PanicsRecovered() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.panics.Load()
+}
+
+// QuarantinedSummaries returns how many per-function summary entries
+// Quarantine has evicted from this session's store (zero for nil).
+func (s *Session) QuarantinedSummaries() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.quarantined.Load()
+}
+
+// Quarantine evicts every per-function summary of src from the session's
+// store and reports how many entries were removed. It is the recovery
+// step after a panic during src's analysis: the panicking run may have
+// stored half-built state under src's digests, and evicting those keys
+// restores the invariant that a warm analysis is byte-identical to a
+// cold one. The verdict store needs no eviction — verdicts are written
+// only after a completed solve. A nil session quarantines nothing.
+//
+// Quarantine is deliberately infallible: if src no longer parses (or the
+// parser itself is the faulty stage), there is nothing keyed under it to
+// evict, and the method returns 0.
+func (s *Session) Quarantine(src string) (evicted int) {
+	if s == nil {
+		return 0
+	}
+	defer func() {
+		// A parse-stage panic (e.g. an armed parse failpoint) must not
+		// escape the recovery path that called us.
+		_ = recover()
+	}()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return 0
+	}
+	for _, k := range digest.SummaryKeys(ast) {
+		if s.summaries.Delete(k) {
+			evicted++
+		}
+	}
+	s.quarantined.Add(uint64(evicted))
+	return evicted
+}
+
+// recordPanic is the shared recovery bookkeeping of the API-boundary
+// recover()s: count the panic and quarantine the program that caused it.
+func (s *Session) recordPanic(src string) {
+	if s == nil {
+		return
+	}
+	s.panics.Add(1)
+	s.Quarantine(src)
+}
+
 // Analyze is Analyze running against the session's warm stores.
 func (s *Session) Analyze(src string, opt Options) (*Result, error) {
 	return s.AnalyzeContext(context.Background(), src, opt)
@@ -99,7 +167,17 @@ func (s *Session) NewAnalysis(src string, opt Options) (*Analysis, error) {
 // store instead of recomputing them. The checking stage of the returned
 // Analysis consults the session's verdict store. A nil receiver degrades
 // to the cold path (every function analyzed, every query solved).
-func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Options) (*Analysis, error) {
+//
+// A panic escaping any build stage is recovered into an error wrapping
+// ErrInternal, after quarantining src's per-function summaries from the
+// session so one poisoned run cannot corrupt warm state for later jobs.
+func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Options) (a *Analysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordPanic(src)
+			a, err = nil, fmt.Errorf("canary: %w: %v", ErrInternal, r)
+		}
+	}()
 	if _, err := memoryModelOf(opt); err != nil {
 		return nil, err
 	}
@@ -110,7 +188,10 @@ func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Option
 	// Summarize here (rather than inside ir.Lower) so the digest-keyed
 	// store can satisfy unchanged functions. With no session this computes
 	// exactly what Lower would have: all functions count as reanalyzed.
-	sums, hits, reanalyzed := pta.SummariesKeyed(ast, digestKeysFor(s, ast), s.summaryStore())
+	sums, hits, reanalyzed, err := pta.SummariesKeyedContext(ctx, ast, digestKeysFor(s, ast), s.summaryStore())
+	if err != nil {
+		return nil, wrapAbort(err)
+	}
 	prog, err := ir.Lower(ast, ir.Options{
 		UnrollDepth: opt.UnrollDepth,
 		InlineDepth: opt.InlineDepth,
@@ -123,14 +204,15 @@ func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Option
 	b, err := core.BuildContext(ctx, prog, core.BuildOptions{
 		EnableMHP:       opt.EnableMHP,
 		GuardCap:        opt.GuardCap,
+		MaxIterations:   opt.Budgets.MaxFixpointRounds,
 		Workers:         opt.Workers,
 		SummaryHits:     hits,
 		FuncsReanalyzed: reanalyzed,
 	})
 	if err != nil {
-		return nil, canceled(err)
+		return nil, wrapAbort(err)
 	}
-	return &Analysis{opt: opt, b: b, session: s}, nil
+	return &Analysis{opt: opt, b: b, session: s, src: src}, nil
 }
 
 // summaryStore returns the summary store, or nil for a nil session.
