@@ -1,19 +1,25 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json serve-smoke fuzz-smoke fuzz
+.PHONY: check lint build test race vet bench bench-json serve-smoke fuzz-smoke fuzz
 
-## check: the full CI gate — vet, build, race-enabled tests (includes the
-## corpus-wide determinism tests and the 16-goroutine fault/budget
-## hammer), short fuzzer smokes, the end-to-end daemon smoke test, and a
-## one-iteration smoke of the incremental benchmark.
-check:
-	$(GO) vet ./...
+## check: the full CI gate — lint (gofmt drift + vet), build, race-enabled
+## tests (includes the corpus-wide determinism tests and the 16-goroutine
+## fault/budget hammer), short fuzzer smokes, the end-to-end daemon smoke
+## test, and a one-iteration smoke of the incremental benchmark.
+check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/lang
 	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=5s .
 	$(GO) run scripts/serve_smoke.go
 	$(GO) run ./cmd/canary-bench -experiment incremental -incr-iters 1 -incr-lines 600 -json > /dev/null
+
+## lint: formatting drift fails the build (gofmt prints the offending
+## files), then static vetting.
+lint:
+	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+	$(GO) vet ./...
 
 build:
 	$(GO) build ./...

@@ -39,6 +39,7 @@ import (
 	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/lang"
+	"canary/internal/pipeline"
 	"canary/internal/smt"
 )
 
@@ -326,7 +327,7 @@ func (r Report) String() string {
 	if !r.Decided {
 		reason := r.Reason
 		if reason == "" {
-			reason = "budget-exhausted: solve"
+			reason = pipeline.ReasonSolveExhausted
 		}
 		fmt.Fprintf(&b, "\n         (inconclusive: %s; potential bug)", reason)
 	}
@@ -400,6 +401,37 @@ type CheckStats struct {
 	PanicsRecovered        int
 }
 
+// StageSpan is one entry of Result.Trace: the structured trace record of
+// one pipeline stage's execution. Spans carry wall-clock measurements and
+// work counters and are explicitly OUTSIDE the determinism contract —
+// byte-identical analyses may carry different spans, and canaryd's result
+// cache replays the cold run's trace verbatim.
+type StageSpan struct {
+	// Stage is the canonical stage name, one of the pipeline registry's
+	// parse, lower, pta, datadep, interference, mhp, vfg, check.
+	Stage string
+	// Wall is the stage's wall-clock duration. The vfg span carries the
+	// build's residual (fixpoint merge and bookkeeping) — the datadep,
+	// interference, and mhp spans hold their own shares — so summing all
+	// spans approximates the whole analysis.
+	Wall time.Duration
+	// Steps counts the stage-defined work units consumed: functions
+	// re-summarized (pta), instructions lowered (lower), fixpoint
+	// iterations (vfg), DFS steps (check), edges added (datadep,
+	// interference).
+	Steps int64
+	// Budget is the configured step budget of the stage's governing
+	// dimension; 0 when the stage ran ungoverned.
+	Budget int64
+	// BudgetRemaining is the unconsumed part of that budget, -1 when
+	// ungoverned.
+	BudgetRemaining int64
+	// CacheHits counts reused cached work: summary-store hits (pta),
+	// guard-interner hits (vfg), SMT query-cache plus verdict-store hits
+	// (check).
+	CacheHits uint64
+}
+
 // Result is the outcome of Analyze.
 type Result struct {
 	Reports      []Report
@@ -407,13 +439,18 @@ type Result struct {
 	Check        CheckStats
 	Threads      int
 	Instructions int
-	// Degraded lists the stages whose budgets were exhausted during this
-	// analysis, in pipeline order: "fixpoint", "search", "formula",
-	// "solve". Empty means every answer is as complete as the options
-	// allow. The fixpoint and search entries appear only when the
-	// corresponding Budgets field was explicitly set — the built-in
-	// defensive caps do not count as caller-chosen budgets.
+	// Degraded lists the budget dimensions exhausted during this analysis,
+	// in pipeline order (the registration order of the stage registry):
+	// "fixpoint", "search", "formula", "solve". Empty means every answer
+	// is as complete as the options allow. The fixpoint and search entries
+	// appear only when the corresponding Budgets field was explicitly
+	// set — the built-in defensive caps do not count as caller-chosen
+	// budgets.
 	Degraded []string
+	// Trace holds one span per executed pipeline stage, in pipeline
+	// order. Like the stats, the trace is outside the determinism
+	// contract (wall times vary run to run).
+	Trace []StageSpan
 }
 
 // Analysis holds a built interference-aware VFG so that several checker
@@ -426,6 +463,10 @@ type Analysis struct {
 	// src is kept so that a panic recovered during checking can
 	// quarantine this program's per-function summaries from the session.
 	src string
+	// run is the pipeline runner that executed the build stages; Check
+	// rounds run through it too, and Result.Trace is read off it. An
+	// Analysis (like its runner) is not safe for concurrent Check calls.
+	run *pipeline.Runner
 }
 
 // NewAnalysis parses and lowers src and builds the interference-aware VFG
@@ -481,23 +522,31 @@ func (a *Analysis) CheckContext(ctx context.Context, checkers ...string) (res *R
 	if merr != nil {
 		return nil, merr
 	}
-	reports, stats, err := a.b.CheckContext(ctx, core.CheckOptions{
-		Checkers:             opt.Checkers,
-		RequireInterThread:   opt.RequireInterThread,
-		LockOrder:            opt.LockOrder,
-		CondVarOrder:         opt.CondVarOrder,
-		MemoryModel:          model,
-		FactPropagation:      opt.FactPropagation,
-		Workers:              opt.Workers,
-		CubeAndConquer:       opt.CubeAndConquer,
-		MaxConflicts:         opt.MaxConflicts,
-		MaxDFSSteps:          opt.Budgets.MaxDFSSteps,
-		ExplicitSearchBudget: opt.Budgets.MaxDFSSteps > 0,
-		MaxFormulaNodes:      opt.Budgets.MaxFormulaNodes,
-		Verdicts:             a.session.verdictStore(),
-	})
-	if err != nil {
-		return nil, wrapAbort(err)
+	var reports []core.Report
+	var stats core.CheckStats
+	if err := a.run.Run(ctx, pipeline.StageCheck, func(sp *pipeline.Span) error {
+		var cerr error
+		reports, stats, cerr = a.b.CheckContext(ctx, core.CheckOptions{
+			Checkers:             opt.Checkers,
+			RequireInterThread:   opt.RequireInterThread,
+			LockOrder:            opt.LockOrder,
+			CondVarOrder:         opt.CondVarOrder,
+			MemoryModel:          model,
+			FactPropagation:      opt.FactPropagation,
+			Workers:              opt.Workers,
+			CubeAndConquer:       opt.CubeAndConquer,
+			MaxConflicts:         opt.MaxConflicts,
+			MaxDFSSteps:          opt.Budgets.MaxDFSSteps,
+			ExplicitSearchBudget: opt.Budgets.MaxDFSSteps > 0,
+			MaxFormulaNodes:      opt.Budgets.MaxFormulaNodes,
+			Verdicts:             a.session.verdictStore(),
+		})
+		sp.Steps = int64(stats.SearchSteps)
+		sp.Budget = int64(opt.Budgets.MaxDFSSteps)
+		sp.CacheHits = uint64(stats.CacheHits + stats.VerdictHits)
+		return cerr
+	}); err != nil {
+		return nil, classifyStageErr(a.session, a.src, err)
 	}
 	return a.result(reports, stats), nil
 }
@@ -531,17 +580,17 @@ func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result 
 		Threads:      len(prog.Threads),
 		Instructions: prog.NumInsts(),
 		VFG: VFGStats{
-			Nodes:             b.G.NumNodes(),
-			Edges:             b.G.NumEdges(),
-			DirectEdges:       b.Stats.DirectEdges,
-			DataDepEdges:      b.Stats.DataDepEdges,
-			InterferenceEdges: b.Stats.InterferenceEdges,
-			FilteredEdges:     b.Stats.FilteredEdges,
-			EscapedObjects:    b.Stats.EscapedObjects,
-			Iterations:        b.Stats.Iterations,
-			BuildTime:         b.Stats.BuildTime,
-			ParallelBuildTime: b.Stats.ParallelTime,
-			CacheHits:         b.Stats.GuardCacheHits,
+			Nodes:                   b.G.NumNodes(),
+			Edges:                   b.G.NumEdges(),
+			DirectEdges:             b.Stats.DirectEdges,
+			DataDepEdges:            b.Stats.DataDepEdges,
+			InterferenceEdges:       b.Stats.InterferenceEdges,
+			FilteredEdges:           b.Stats.FilteredEdges,
+			EscapedObjects:          b.Stats.EscapedObjects,
+			Iterations:              b.Stats.Iterations,
+			BuildTime:               b.Stats.BuildTime,
+			ParallelBuildTime:       b.Stats.ParallelTime,
+			CacheHits:               b.Stats.GuardCacheHits,
 			SummaryHits:             b.Stats.SummaryHits,
 			FuncsReanalyzed:         b.Stats.FuncsReanalyzed,
 			FixpointBudgetExhausted: b.Stats.FixpointExhausted,
@@ -566,21 +615,33 @@ func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result 
 			PanicsRecovered:        stats.PanicsRecovered,
 		},
 	}
-	// Degraded lists exhausted stages in pipeline order. Fixpoint and
-	// search appear only under an explicit Budgets setting: their built-in
-	// defensive caps predate the governance layer and tripping them is not
-	// a caller-chosen degradation.
-	if b.Stats.FixpointExhausted && a.opt.Budgets.MaxFixpointRounds > 0 {
-		res.Degraded = append(res.Degraded, "fixpoint")
+	// Degraded lists exhausted budget dimensions; the ordering is the
+	// stage registry's, not a local list. Fixpoint and search appear only
+	// under an explicit Budgets setting: their built-in defensive caps
+	// predate the governance layer and tripping them is not a
+	// caller-chosen degradation.
+	exhausted := map[string]bool{
+		pipeline.BudgetFixpoint: b.Stats.FixpointExhausted && a.opt.Budgets.MaxFixpointRounds > 0,
+		pipeline.BudgetSearch:   stats.SearchBudgetExhausted > 0 && a.opt.Budgets.MaxDFSSteps > 0,
+		pipeline.BudgetFormula:  stats.FormulaBudgetExhausted > 0,
+		pipeline.BudgetSolve:    stats.SolveBudgetExhausted > 0,
 	}
-	if stats.SearchBudgetExhausted > 0 && a.opt.Budgets.MaxDFSSteps > 0 {
-		res.Degraded = append(res.Degraded, "search")
+	for _, dim := range pipeline.BudgetDimensions() {
+		if exhausted[dim] {
+			res.Degraded = append(res.Degraded, dim)
+		}
 	}
-	if stats.FormulaBudgetExhausted > 0 {
-		res.Degraded = append(res.Degraded, "formula")
-	}
-	if stats.SolveBudgetExhausted > 0 {
-		res.Degraded = append(res.Degraded, "solve")
+	if a.run != nil {
+		for _, sp := range a.run.Trace() {
+			res.Trace = append(res.Trace, StageSpan{
+				Stage:           sp.Stage,
+				Wall:            sp.Wall,
+				Steps:           sp.Steps,
+				Budget:          sp.Budget,
+				BudgetRemaining: sp.BudgetRemaining(),
+				CacheHits:       sp.CacheHits,
+			})
+		}
 	}
 	for _, r := range reports {
 		pub := Report{

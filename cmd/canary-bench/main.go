@@ -8,6 +8,7 @@
 //	canary-bench -experiment parallel # worker-pool sweep + SMT-cache replay
 //	canary-bench -experiment serve    # canaryd scheduler: cold/warm phases, cache hits, queue depth
 //	canary-bench -experiment incremental # one-edit re-analysis: cold vs warm session latency and reuse rates
+//	canary-bench -experiment trace    # per-stage wall-clock split of one analysis (the pipeline registry spans)
 //	canary-bench -experiment all
 //
 // -json replaces the text tables with one JSON object holding the raw
@@ -43,6 +44,7 @@ func main() {
 		srvLines   = flag.Int("serve-lines", 400, "subject size for the serve experiment")
 		incrLines  = flag.Int("incr-lines", 2600, "subject size for the incremental experiment")
 		incrIters  = flag.Int("incr-iters", 3, "cold/warm repetitions in the incremental experiment (best-of)")
+		traceLines = flag.Int("trace-lines", 2600, "subject size for the trace experiment")
 		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
@@ -61,7 +63,7 @@ func main() {
 		}
 		return *experiment == "all"
 	}
-	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental")
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace")
 	if !known {
 		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -74,6 +76,7 @@ func main() {
 		Parallel    *bench.ParallelResult    `json:"parallel,omitempty"`
 		Serve       *bench.ServeResult       `json:"serve,omitempty"`
 		Incremental *bench.IncrementalResult `json:"incremental,omitempty"`
+		Trace       *bench.TraceResult       `json:"trace,omitempty"`
 	}{}
 
 	if want("fig7a", "fig7b", "table1") {
@@ -117,6 +120,14 @@ func main() {
 			fail(err)
 		}
 		out.Incremental = &res
+	}
+	if want("trace") {
+		spec := workload.SizeSweep(1, *traceLines, *traceLines)[0]
+		res, err := e.RunTrace(spec)
+		if err != nil {
+			fail(err)
+		}
+		out.Trace = &res
 	}
 
 	if *jsonOut {
@@ -164,6 +175,10 @@ func main() {
 	if out.Incremental != nil {
 		sep()
 		bench.PrintIncremental(os.Stdout, *out.Incremental)
+	}
+	if out.Trace != nil {
+		sep()
+		bench.PrintTrace(os.Stdout, *out.Trace)
 	}
 }
 

@@ -53,7 +53,7 @@ func run() int {
 		inline    = flag.Int("inline", 6, "call inlining (context) depth")
 		stats     = flag.Bool("stats", false, "print analysis statistics")
 		incr      = flag.Bool("incremental-stats", false, "rerun the analysis through a warm in-process session and print the incremental reuse statistics (text output only)")
-		trace     = flag.Bool("trace", false, "print the value-flow trace of each report")
+		trace     = flag.Bool("trace", false, "print the value-flow trace of each report and the per-stage pipeline trace (wall time, steps, budgets, cache hits)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		maxRounds = flag.Int("max-fixpoint-rounds", 0, "step budget: VFG fixpoint rounds before degrading to inconclusive (0 = unlimited)")
 		maxSteps  = flag.Int("max-dfs-steps", 0, "step budget: source-sink DFS steps per checker (0 = unlimited)")
@@ -165,6 +165,22 @@ func run() int {
 	if len(res.Degraded) > 0 {
 		fmt.Printf("degraded: budget exhausted in stage(s): %s (affected pairs are inconclusive, not dropped)\n",
 			strings.Join(res.Degraded, ", "))
+	}
+	if *trace {
+		fmt.Println("pipeline trace:")
+		for _, sp := range res.Trace {
+			line := fmt.Sprintf("  %-13s %12v", sp.Stage, sp.Wall)
+			if sp.Steps > 0 {
+				line += fmt.Sprintf("  steps=%d", sp.Steps)
+			}
+			if sp.Budget > 0 {
+				line += fmt.Sprintf("  budget=%d remaining=%d", sp.Budget, sp.BudgetRemaining)
+			}
+			if sp.CacheHits > 0 {
+				line += fmt.Sprintf("  cache-hits=%d", sp.CacheHits)
+			}
+			fmt.Println(line)
+		}
 	}
 
 	if *stats {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"canary/internal/pipeline"
 )
 
 // buildCLI compiles the canary binary once per test run.
@@ -66,6 +68,16 @@ func TestCLIReportsBugWithExitCode(t *testing.T) {
 	for _, needle := range []string{"use-after-free", "1 report(s)", "vfg:", "guard:"} {
 		if !strings.Contains(s, needle) {
 			t.Errorf("output missing %q:\n%s", needle, s)
+		}
+	}
+	// -trace prints the per-stage pipeline trace: one span line per
+	// registry stage.
+	if !strings.Contains(s, "pipeline trace:") {
+		t.Errorf("output missing the pipeline trace header:\n%s", s)
+	}
+	for _, stage := range pipeline.StageNames() {
+		if !strings.Contains(s, "\n  "+stage) {
+			t.Errorf("pipeline trace missing a span for stage %q:\n%s", stage, s)
 		}
 	}
 }

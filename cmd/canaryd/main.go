@@ -15,6 +15,9 @@
 //	GET  /v1/jobs/{id} status and result of an async job
 //	GET  /healthz      200 "ok", or 503 "draining" during shutdown
 //	GET  /metrics      plain-text counters and per-stage latency histograms
+//	                   (one canaryd_stage_latency_seconds series per pipeline
+//	                   registry stage — parse, lower, pta, datadep,
+//	                   interference, mhp, vfg, check — plus "total")
 //
 // On SIGTERM or SIGINT the daemon drains: every admitted job — queued or
 // running — completes and stays pollable until the drain finishes, new

@@ -160,7 +160,7 @@ func TestSubmissionKeyCanonicalization(t *testing.T) {
 	for name, mut := range map[string]func(*Options){
 		"source":       nil,
 		"unroll":       func(o *Options) { o.UnrollDepth = 3 },
-		"mhp":          func(o *Options) { o.EnableMHP = false },
+		"enable-mhp":   func(o *Options) { o.EnableMHP = false },
 		"memory model": func(o *Options) { o.MemoryModel = "tso" },
 		"checkers":     func(o *Options) { o.Checkers = []string{CheckTaintLeak} },
 		"cube":         func(o *Options) { o.CubeAndConquer = true },

@@ -126,6 +126,21 @@ func PrintIncremental(w io.Writer, res IncrementalResult) {
 		res.Speedup, res.FuncsReanalyzed, res.Funcs, res.Identical)
 }
 
+// PrintTrace renders the per-stage wall-clock split of one analysis.
+func PrintTrace(w io.Writer, res TraceResult) {
+	fmt.Fprintf(w, "Pipeline trace — per-stage cost (%d-line subject, %d report(s), total %v)\n",
+		res.Lines, res.Reports, res.Total.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-13s %12s %10s %10s %12s\n", "stage", "wall", "steps", "budget", "cache hits")
+	for _, sc := range res.Stages {
+		budget := "-"
+		if sc.Budget > 0 {
+			budget = fmt.Sprintf("%d", sc.Budget)
+		}
+		fmt.Fprintf(w, "%-13s %12v %10d %10s %12d\n", sc.Stage, sc.Wall, sc.Steps, budget, sc.CacheHits)
+	}
+	fmt.Fprintf(w, "all registry stages present: %v\n", res.Complete)
+}
+
 // speedups returns the geometric-mean build-time speedups of Canary over
 // each baseline, counting only subjects the baseline finished.
 func speedups(rs []SubjectResult) (vsSaber, vsFsam float64) {

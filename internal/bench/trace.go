@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"time"
+
+	"canary"
+	"canary/internal/pipeline"
+	"canary/internal/workload"
+)
+
+// StageCost is one pipeline stage's observed cost on the trace subject,
+// copied from the analysis Result.Trace span.
+type StageCost struct {
+	Stage     string
+	Wall      time.Duration
+	Steps     int64
+	Budget    int64
+	CacheHits uint64
+}
+
+// TraceResult profiles one full analysis stage by stage: where the wall
+// clock goes across the registry pipeline (parse, lower, pta, datadep,
+// interference, mhp, vfg, check) on a single synthetic subject. The spans
+// are the same ones `canary -trace` prints; this experiment exists to make
+// the stage cost split reproducible from the bench harness.
+type TraceResult struct {
+	Lines   int
+	Total   time.Duration
+	Reports int
+	Stages  []StageCost
+	// Complete records whether every registry stage produced a span — the
+	// tentpole contract of the pipeline runner.
+	Complete bool
+}
+
+// RunTrace analyzes one generated subject and returns its per-stage trace.
+func (e *Experiments) RunTrace(spec workload.Spec) (TraceResult, error) {
+	res := TraceResult{Lines: spec.Lines}
+	src := workload.Generate(spec)
+	opt := canary.DefaultOptions()
+	t0 := time.Now()
+	out, err := canary.Analyze(src, opt)
+	res.Total = time.Since(t0)
+	if err != nil {
+		return res, err
+	}
+	res.Reports = len(out.Reports)
+	seen := make(map[string]bool, len(out.Trace))
+	for _, sp := range out.Trace {
+		res.Stages = append(res.Stages, StageCost{
+			Stage: sp.Stage, Wall: sp.Wall, Steps: sp.Steps,
+			Budget: sp.Budget, CacheHits: sp.CacheHits,
+		})
+		seen[sp.Stage] = true
+		e.logf("  trace %-13s %12v steps=%d\n", sp.Stage, sp.Wall, sp.Steps)
+	}
+	res.Complete = true
+	for _, name := range pipeline.StageNames() {
+		if !seen[name] {
+			res.Complete = false
+		}
+	}
+	return res, nil
+}

@@ -90,6 +90,15 @@ type BuildStats struct {
 	// regions (per-thread passes and interference-guard evaluation); the
 	// remainder is the sequential merge that keeps the graph deterministic.
 	ParallelTime time.Duration
+	// MHPTime, DataDepTime, and InterferTime split BuildTime by pipeline
+	// stage: the MHP analysis (§6), the Alg. 1 data-dependence passes
+	// (snapshot passes plus the deterministic merge, summed over fixpoint
+	// iterations), and the Alg. 2 escape + interference passes. They feed
+	// the per-stage trace spans; like every duration here they are outside
+	// the determinism contract.
+	MHPTime      time.Duration
+	DataDepTime  time.Duration
+	InterferTime time.Duration
 	// GuardCacheHits counts guard hash-cons hits during this build: formula
 	// constructions that returned an already-interned node instead of
 	// allocating a new one.
@@ -155,10 +164,12 @@ func Build(prog *ir.Program, opt BuildOptions) *Builder {
 // discarded (nil is returned alongside the error).
 func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Builder, error) {
 	opt = opt.withDefaults()
+	mhpStart := time.Now()
+	mhpInfo := mhp.Analyze(prog)
 	b := &Builder{
 		Prog:       prog,
 		G:          vfg.New(prog),
-		MHP:        mhp.Analyze(prog),
+		MHP:        mhpInfo,
 		opt:        opt,
 		pts:        make(map[ir.VarID]map[ir.ObjID]*guard.Formula),
 		escaped:    make(map[ir.ObjID]bool),
@@ -166,6 +177,7 @@ func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Bui
 		useThreads: make(map[ir.VarID][]int),
 	}
 	b.indexProgram()
+	b.Stats.MHPTime = time.Since(mhpStart)
 	b.Stats.SummaryHits = opt.SummaryHits
 	b.Stats.FuncsReanalyzed = opt.FuncsReanalyzed
 	workers := workerCount(opt.Workers)
@@ -206,11 +218,14 @@ func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Bui
 				progressed = true
 			}
 		}
+		b.Stats.DataDepTime += time.Since(pstart)
 		// Phase 2 (Alg. 2): escape + interference dependence.
+		istart := time.Now()
 		b.escapeAnalysis()
 		if b.interferencePass(workers) {
 			progressed = true
 		}
+		b.Stats.InterferTime += time.Since(istart)
 		if !progressed {
 			converged = true
 			break

@@ -10,6 +10,7 @@ import (
 	"canary/internal/failpoint"
 	"canary/internal/guard"
 	"canary/internal/ir"
+	"canary/internal/pipeline"
 	"canary/internal/smt"
 	"canary/internal/vfg"
 )
@@ -222,8 +223,12 @@ type CheckStats struct {
 	// endpoints or guards actually changed (plus the cheap fact-decided
 	// ones, which are always recomputed).
 	PairsRechecked int
-	SearchTime     time.Duration
-	SolveTime      time.Duration
+	// SearchSteps sums the DFS steps consumed across all per-source
+	// searches — the check stage's consumption against Budgets.MaxDFSSteps
+	// (which bounds each source's search separately).
+	SearchSteps int
+	SearchTime  time.Duration
+	SolveTime   time.Duration
 	// The degradation observables of the governance layer: how many
 	// per-source searches ran out of DFS steps, how many assembled
 	// formulas exceeded MaxFormulaNodes, how many solver verdicts came
@@ -247,6 +252,7 @@ func (s *CheckStats) add(o CheckStats) {
 	s.TrivialSolves += o.TrivialSolves
 	s.VerdictHits += o.VerdictHits
 	s.PairsRechecked += o.PairsRechecked
+	s.SearchSteps += o.SearchSteps
 	s.SearchTime += o.SearchTime
 	s.SolveTime += o.SolveTime
 	s.SearchBudgetExhausted += o.SearchBudgetExhausted
@@ -579,10 +585,11 @@ func (c *checkCtx) searchFrom(src source) []Report {
 				Source: site,
 				Sink:   site,
 				Result: smt.Unknown,
-				Reason: "budget-exhausted: search",
+				Reason: pipeline.ReasonSearchExhausted,
 			})
 		}
 	}
+	c.stats.SearchSteps += c.steps
 	c.stats.SearchTime += time.Since(t0)
 	return reports
 }
@@ -732,7 +739,7 @@ func (c *checkCtx) validateQuery(src source, sinkLabel ir.Label, path []vfg.Edge
 			Path:   c.pathSites(src, path),
 			Guard:  "(elided: formula budget exhausted)",
 			Result: smt.Unknown,
-			Reason: "budget-exhausted: formula",
+			Reason: pipeline.ReasonFormulaExhausted,
 		}, true
 	}
 	if c.opt.SimplifyGuards {
@@ -845,7 +852,7 @@ func (c *checkCtx) validateQuery(src source, sinkLabel ir.Label, path []vfg.Edge
 			// replay's accounting identical to the cold run's.
 			c.stats.SolveBudgetExhausted++
 			if reason == "" {
-				reason = "budget-exhausted: solve"
+				reason = pipeline.ReasonSolveExhausted
 			}
 		}
 	}

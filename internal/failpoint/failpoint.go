@@ -27,28 +27,31 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"canary/internal/pipeline"
 )
 
-// The registered sites. Each constant names one instrumented location in
-// the pipeline; Sites() returns them all for exhaustive test sweeps.
+// The registered sites. The names are owned by the pipeline stage
+// registry — each site is pinned there to the stage it fires inside —
+// and re-exported here as aliases so instrumented code keeps reading
+// failpoint.SiteX. Sites() returns them all for exhaustive test sweeps.
 const (
-	SiteParse         = "parse"          // lang.Parse entry
-	SiteLower         = "lower"          // ir.Lower entry
-	SitePTAFixpoint   = "pta-fixpoint"   // pta summary fixpoint, per round
-	SiteBuildFixpoint = "build-fixpoint" // VFG outer fixpoint, per iteration
-	SiteGuardEval     = "guard-eval"     // guard assembly in validateQuery
-	SiteSMTSolve      = "smt-solve"      // immediately before a real solver run
-	SiteCacheRead     = "cache-read"     // cache.Store.Get (fault → miss)
-	SiteCacheWrite    = "cache-write"    // cache.Store.Put (fault → skip)
-	SiteVerdictRead   = "verdict-read"   // structural verdict lookup (fault → miss)
-	SiteJobDequeue    = "job-dequeue"    // canaryd worker, after dequeue
+	SiteParse         = pipeline.SiteParse         // parse stage entry (runner-injected)
+	SiteLower         = pipeline.SiteLower         // lower stage entry (runner-injected)
+	SitePTAFixpoint   = pipeline.SitePTAFixpoint   // pta summary fixpoint, per round
+	SiteBuildFixpoint = pipeline.SiteBuildFixpoint // VFG outer fixpoint, per iteration
+	SiteGuardEval     = pipeline.SiteGuardEval     // guard assembly in validateQuery
+	SiteSMTSolve      = pipeline.SiteSMTSolve      // immediately before a real solver run
+	SiteCacheRead     = pipeline.SiteCacheRead     // cache.Store.Get (fault → miss)
+	SiteCacheWrite    = pipeline.SiteCacheWrite    // cache.Store.Put (fault → skip)
+	SiteVerdictRead   = pipeline.SiteVerdictRead   // structural verdict lookup (fault → miss)
+	SiteJobDequeue    = pipeline.SiteJobDequeue    // canaryd worker, after dequeue
 )
 
-var allSites = []string{
-	SiteParse, SiteLower, SitePTAFixpoint, SiteBuildFixpoint,
-	SiteGuardEval, SiteSMTSolve, SiteCacheRead, SiteCacheWrite,
-	SiteVerdictRead, SiteJobDequeue,
-}
+// allSites derives from the registry. Package-level variable
+// initialization runs before init(), so the CANARY_FAILPOINTS env hook
+// always validates against the full list.
+var allSites = pipeline.FailpointSites()
 
 // ErrInjected is the sentinel wrapped by every injected error; callers
 // and tests match it with errors.Is.

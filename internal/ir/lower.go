@@ -3,7 +3,6 @@ package ir
 import (
 	"fmt"
 
-	"canary/internal/failpoint"
 	"canary/internal/guard"
 	"canary/internal/lang"
 	"canary/internal/pta"
@@ -50,9 +49,6 @@ func (o Options) withDefaults() Options {
 // insertion, and thread-tree construction. Function pointers in fork/call
 // positions are resolved with Steensgaard's analysis (§6).
 func Lower(src *lang.Program, opt Options) (*Program, error) {
-	if ferr := failpoint.Inject(failpoint.SiteLower); ferr != nil {
-		return nil, ferr
-	}
 	opt = opt.withDefaults()
 	entry := src.Func(opt.Entry)
 	if entry == nil {

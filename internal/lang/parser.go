@@ -3,15 +3,12 @@ package lang
 import (
 	"fmt"
 	"strconv"
-
-	"canary/internal/failpoint"
 )
 
-// Parse parses a complete program.
+// Parse parses a complete program. The parse-stage fault-injection site
+// fires in the pipeline runner's entry wrapper, not here, so Parse stays
+// a pure function of its input.
 func Parse(src string) (*Program, error) {
-	if ferr := failpoint.Inject(failpoint.SiteParse); ferr != nil {
-		return nil, ferr
-	}
 	toks, err := Tokenize(src)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"canary/internal/pipeline"
 )
 
 // histogram is a fixed-bucket cumulative latency histogram in the
@@ -74,25 +76,32 @@ type metrics struct {
 	trivialSolves atomic.Uint64
 
 	// The governance observables, accumulated from each completed job's
-	// stats: per-stage budget exhaustions and panics recovered at the
-	// worker or checker level. Session-level recoveries and quarantines
-	// live on the shared Session and are added at scrape time.
-	budgetFixpoint  atomic.Uint64
-	budgetSearch    atomic.Uint64
-	budgetFormula   atomic.Uint64
-	budgetSolve     atomic.Uint64
+	// stats: per-dimension budget exhaustions (keyed by the pipeline
+	// registry's budget dimensions) and panics recovered at the worker or
+	// checker level. Session-level recoveries and quarantines live on the
+	// shared Session and are added at scrape time.
+	budget          map[string]*atomic.Uint64
 	panicsRecovered atomic.Uint64
 
-	// Per-stage latency histograms: "build" is VFGStats.BuildTime, "check"
-	// is CheckStats.SearchTime+SolveTime, "total" is the job's wall time
-	// inside the worker (parse + build + check + encode).
-	build, check, total *histogram
+	// Per-stage latency histograms, one per pipeline registry stage
+	// (parse/lower/pta/datadep/interference/mhp/vfg/check), fed from each
+	// completed job's Result.Trace spans; "total" is the job's wall time
+	// inside the worker (whole pipeline + encode).
+	stage map[string]*histogram
+	total *histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		build: newHistogram(stageBuckets()),
-		check: newHistogram(stageBuckets()),
-		total: newHistogram(stageBuckets()),
+	m := &metrics{
+		budget: make(map[string]*atomic.Uint64),
+		stage:  make(map[string]*histogram),
+		total:  newHistogram(stageBuckets()),
 	}
+	for _, dim := range pipeline.BudgetDimensions() {
+		m.budget[dim] = new(atomic.Uint64)
+	}
+	for _, st := range pipeline.Stages() {
+		m.stage[st.MetricsLabel()] = newHistogram(stageBuckets())
+	}
+	return m
 }

@@ -30,6 +30,7 @@ import (
 	"canary"
 	"canary/internal/cache"
 	"canary/internal/failpoint"
+	"canary/internal/pipeline"
 	"canary/internal/smt"
 )
 
@@ -339,8 +340,13 @@ func (s *Server) runJob(job *Job) {
 	s.cache.Put(job.key, buf)
 	s.metrics.trivialSolves.Add(uint64(res.Check.TrivialSolves))
 	s.observeGovernance(res)
-	s.metrics.build.observe(res.VFG.BuildTime)
-	s.metrics.check.observe(res.Check.SearchTime + res.Check.SolveTime)
+	// Every pipeline stage's latency comes off the result's trace spans —
+	// the stage set is the registry's, not a hand list.
+	for _, sp := range res.Trace {
+		if h := s.metrics.stage[sp.Stage]; h != nil {
+			h.observe(sp.Wall)
+		}
+	}
 	s.metrics.total.observe(wall)
 	s.metrics.completed.Add(1)
 	job.complete(buf, false)
@@ -367,11 +373,11 @@ func (s *Server) analyze(ctx context.Context, job *Job) (*canary.Result, error) 
 // daemon counters.
 func (s *Server) observeGovernance(res *canary.Result) {
 	if res.VFG.FixpointBudgetExhausted {
-		s.metrics.budgetFixpoint.Add(1)
+		s.metrics.budget[pipeline.BudgetFixpoint].Add(1)
 	}
-	s.metrics.budgetSearch.Add(uint64(res.Check.SearchBudgetExhausted))
-	s.metrics.budgetFormula.Add(uint64(res.Check.FormulaBudgetExhausted))
-	s.metrics.budgetSolve.Add(uint64(res.Check.SolveBudgetExhausted))
+	s.metrics.budget[pipeline.BudgetSearch].Add(uint64(res.Check.SearchBudgetExhausted))
+	s.metrics.budget[pipeline.BudgetFormula].Add(uint64(res.Check.FormulaBudgetExhausted))
+	s.metrics.budget[pipeline.BudgetSolve].Add(uint64(res.Check.SolveBudgetExhausted))
 	s.metrics.panicsRecovered.Add(uint64(res.Check.PanicsRecovered))
 }
 
@@ -408,10 +414,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "canaryd_verdict_hits_total %d\n", vh)
 	fmt.Fprintf(w, "canaryd_verdict_misses_total %d\n", vm)
 	fmt.Fprintf(w, "canaryd_trivial_solves_total %d\n", s.metrics.trivialSolves.Load())
-	fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=\"fixpoint\"} %d\n", m.budgetFixpoint.Load())
-	fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=\"search\"} %d\n", m.budgetSearch.Load())
-	fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=\"formula\"} %d\n", m.budgetFormula.Load())
-	fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=\"solve\"} %d\n", m.budgetSolve.Load())
+	for _, dim := range pipeline.BudgetDimensions() {
+		fmt.Fprintf(w, "canaryd_budget_exhausted_total{stage=%q} %d\n", dim, m.budget[dim].Load())
+	}
 	// Worker- and checker-level recoveries live in the daemon counter;
 	// session-level recoveries (and all quarantines) are counted by the
 	// shared Session. The events are disjoint, so the sum is exact.
@@ -421,7 +426,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "canaryd_guard_intern_hits_total %d\n", gh)
 	fmt.Fprintf(w, "canaryd_guard_intern_misses_total %d\n", gm)
 
-	m.build.writeTo(w, "canaryd_stage_latency_seconds", "build")
-	m.check.writeTo(w, "canaryd_stage_latency_seconds", "check")
+	for _, st := range pipeline.Stages() {
+		m.stage[st.MetricsLabel()].writeTo(w, "canaryd_stage_latency_seconds", st.MetricsLabel())
+	}
 	m.total.writeTo(w, "canaryd_stage_latency_seconds", "total")
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"canary"
+	"canary/internal/pipeline"
 	"canary/internal/workload"
 )
 
@@ -86,9 +87,10 @@ func compactJSON(t *testing.T, raw json.RawMessage) string {
 	return buf.String()
 }
 
-// stripTimings drops the wall-clock duration fields from a serialized
-// canary.Result so two runs of the same submission compare equal: timings
-// are the one part of the result that is not deterministic.
+// stripTimings drops the wall-clock duration fields (and the trace spans
+// carrying them) from a serialized canary.Result so two runs of the same
+// submission compare equal: timings are the one part of the result that
+// is not deterministic.
 func stripTimings(t *testing.T, raw []byte) string {
 	t.Helper()
 	var m map[string]interface{}
@@ -103,6 +105,7 @@ func stripTimings(t *testing.T, raw []byte) string {
 		delete(chk, "SearchTime")
 		delete(chk, "SolveTime")
 	}
+	delete(m, "Trace")
 	out, err := json.Marshal(m)
 	if err != nil {
 		t.Fatal(err)
@@ -349,11 +352,18 @@ func TestMetricsExposition(t *testing.T) {
 		"canaryd_result_cache_entries 1",
 		"canaryd_queue_depth 0",
 		"canaryd_draining 0",
-		`canaryd_stage_latency_seconds_bucket{stage="build",le="+Inf"} 1`,
 		`canaryd_stage_latency_seconds_count{stage="total"} 1`,
 		"canaryd_guard_intern_hits_total",
 		"canaryd_smt_cache_misses_total",
 	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Every pipeline registry stage has a complete latency histogram fed
+	// from the cold job's trace (the cache-served repeat observes nothing).
+	for _, st := range pipeline.StageNames() {
+		want := fmt.Sprintf("canaryd_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} 1", st)
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}

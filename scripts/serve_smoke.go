@@ -27,6 +27,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"canary/internal/pipeline"
 )
 
 const examplePath = "examples/service/program.cn"
@@ -130,7 +132,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{
+	// Every pipeline registry stage must expose a latency histogram fed by
+	// the cold run's trace spans (the warm repeat is cache-served and does
+	// not re-observe).
+	stageWants := make([]string, 0, 8)
+	for _, stage := range pipeline.StageNames() {
+		stageWants = append(stageWants,
+			fmt.Sprintf("canaryd_stage_latency_seconds_count{stage=%q} 1", stage))
+	}
+	for _, want := range append(stageWants,
 		"canaryd_jobs_accepted_total 2",
 		"canaryd_jobs_completed_total 2",
 		"canaryd_jobs_cache_served_total 1",
@@ -141,7 +151,7 @@ func run() error {
 		"canaryd_budget_exhausted_total{stage=\"formula\"} 0",
 		"canaryd_panics_recovered_total 0",
 		"canaryd_quarantined_summaries_total 0",
-	} {
+	) {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %q:\n%s", want, metrics)
 		}

@@ -2,14 +2,17 @@ package canary
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"canary/internal/cache"
 	"canary/internal/core"
 	"canary/internal/digest"
+	"canary/internal/failpoint"
 	"canary/internal/ir"
 	"canary/internal/lang"
+	"canary/internal/pipeline"
 	"canary/internal/pta"
 	"canary/internal/smt"
 )
@@ -162,17 +165,36 @@ func (s *Session) NewAnalysis(src string, opt Options) (*Analysis, error) {
 	return s.NewAnalysisContext(context.Background(), src, opt)
 }
 
+// classifyStageErr converts an error escaping a pipeline.Runner stage
+// into its public form: a captured panic counts against the session,
+// quarantines src's summaries, and wraps ErrInternal (keeping the
+// original panic value in the message); anything else goes through
+// wrapAbort so injected faults and context cancellation keep their typed
+// causes.
+func classifyStageErr(s *Session, src string, err error) error {
+	var pe *pipeline.PanicError
+	if errors.As(err, &pe) {
+		s.recordPanic(src)
+		return fmt.Errorf("canary: %w: %v", ErrInternal, pe.Value)
+	}
+	return wrapAbort(err)
+}
+
 // NewAnalysisContext parses and lowers src and builds the VFG, loading the
 // transfer summaries of digest-unchanged functions from the session's
 // store instead of recomputing them. The checking stage of the returned
 // Analysis consults the session's verdict store. A nil receiver degrades
 // to the cold path (every function analyzed, every query solved).
 //
-// A panic escaping any build stage is recovered into an error wrapping
-// ErrInternal, after quarantining src's per-function summaries from the
-// session so one poisoned run cannot corrupt warm state for later jobs.
+// Every stage runs through the pipeline.Runner, which uniformly applies
+// the cancellation checkpoint, entry-site fault injection, panic capture,
+// and span timing; a panic escaping any build stage is recovered into an
+// error wrapping ErrInternal, after quarantining src's per-function
+// summaries from the session so one poisoned run cannot corrupt warm
+// state for later jobs.
 func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Options) (a *Analysis, err error) {
 	defer func() {
+		// Last-resort net for panics outside the runner-wrapped stages.
 		if r := recover(); r != nil {
 			s.recordPanic(src)
 			a, err = nil, fmt.Errorf("canary: %w: %v", ErrInternal, r)
@@ -181,38 +203,94 @@ func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Option
 	if _, err := memoryModelOf(opt); err != nil {
 		return nil, err
 	}
-	ast, err := lang.Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("canary: %w", err)
+	run := pipeline.NewRunner(failpoint.Inject)
+
+	var ast *lang.Program
+	if err := run.Run(ctx, pipeline.StageParse, func(sp *pipeline.Span) error {
+		var perr error
+		ast, perr = lang.Parse(src)
+		if ast != nil {
+			sp.Steps = int64(len(ast.Funcs))
+		}
+		return perr
+	}); err != nil {
+		return nil, classifyStageErr(s, src, err)
 	}
+
 	// Summarize here (rather than inside ir.Lower) so the digest-keyed
 	// store can satisfy unchanged functions. With no session this computes
 	// exactly what Lower would have: all functions count as reanalyzed.
-	sums, hits, reanalyzed, err := pta.SummariesKeyedContext(ctx, ast, digestKeysFor(s, ast), s.summaryStore())
-	if err != nil {
-		return nil, wrapAbort(err)
+	var sums map[string]*pta.Summary
+	var hits, reanalyzed int
+	if err := run.Run(ctx, pipeline.StagePTA, func(sp *pipeline.Span) error {
+		var serr error
+		sums, hits, reanalyzed, serr = pta.SummariesKeyedContext(ctx, ast, digestKeysFor(s, ast), s.summaryStore())
+		sp.Steps = int64(reanalyzed)
+		sp.CacheHits = uint64(hits)
+		return serr
+	}); err != nil {
+		return nil, classifyStageErr(s, src, err)
 	}
-	prog, err := ir.Lower(ast, ir.Options{
-		UnrollDepth: opt.UnrollDepth,
-		InlineDepth: opt.InlineDepth,
-		Entry:       opt.Entry,
-		Summaries:   sums,
+
+	var prog *ir.Program
+	if err := run.Run(ctx, pipeline.StageLower, func(sp *pipeline.Span) error {
+		var lerr error
+		prog, lerr = ir.Lower(ast, ir.Options{
+			UnrollDepth: opt.UnrollDepth,
+			InlineDepth: opt.InlineDepth,
+			Entry:       opt.Entry,
+			Summaries:   sums,
+		})
+		if prog != nil {
+			sp.Steps = int64(prog.NumInsts())
+		}
+		return lerr
+	}); err != nil {
+		return nil, classifyStageErr(s, src, err)
+	}
+
+	// The VFG build interleaves the MHP, Alg. 1 data-dependence, and
+	// Alg. 2 interference passes inside one fixpoint; the builder times
+	// each internally, the vfg span keeps the residual (merge and
+	// bookkeeping), and the three sub-stages are recorded as their own
+	// spans below so the trace partitions the build's wall-clock.
+	var b *core.Builder
+	if err := run.Run(ctx, pipeline.StageVFG, func(sp *pipeline.Span) error {
+		var berr error
+		b, berr = core.BuildContext(ctx, prog, core.BuildOptions{
+			EnableMHP:       opt.EnableMHP,
+			GuardCap:        opt.GuardCap,
+			MaxIterations:   opt.Budgets.MaxFixpointRounds,
+			Workers:         opt.Workers,
+			SummaryHits:     hits,
+			FuncsReanalyzed: reanalyzed,
+		})
+		if b == nil {
+			return berr
+		}
+		st := b.Stats
+		sp.Steps = int64(st.Iterations)
+		sp.Budget = int64(opt.Budgets.MaxFixpointRounds)
+		sp.CacheHits = st.GuardCacheHits
+		if residual := st.BuildTime - st.MHPTime - st.DataDepTime - st.InterferTime; residual > 0 {
+			sp.Wall = residual
+		}
+		return berr
+	}); err != nil {
+		return nil, classifyStageErr(s, src, err)
+	}
+	run.Record(pipeline.Span{Stage: pipeline.StageMHP, Wall: b.Stats.MHPTime})
+	run.Record(pipeline.Span{
+		Stage: pipeline.StageDataDep,
+		Wall:  b.Stats.DataDepTime,
+		Steps: int64(b.Stats.DataDepEdges),
 	})
-	if err != nil {
-		return nil, fmt.Errorf("canary: %w", err)
-	}
-	b, err := core.BuildContext(ctx, prog, core.BuildOptions{
-		EnableMHP:       opt.EnableMHP,
-		GuardCap:        opt.GuardCap,
-		MaxIterations:   opt.Budgets.MaxFixpointRounds,
-		Workers:         opt.Workers,
-		SummaryHits:     hits,
-		FuncsReanalyzed: reanalyzed,
+	run.Record(pipeline.Span{
+		Stage: pipeline.StageInterference,
+		Wall:  b.Stats.InterferTime,
+		Steps: int64(b.Stats.InterferenceEdges),
 	})
-	if err != nil {
-		return nil, wrapAbort(err)
-	}
-	return &Analysis{opt: opt, b: b, session: s, src: src}, nil
+	return &Analysis{opt: opt, b: b, session: s, src: src, run: run}, nil
 }
 
 // summaryStore returns the summary store, or nil for a nil session.
