@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint build test race vet bench bench-json serve-smoke fuzz-smoke fuzz
+.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke serve-smoke fuzz-smoke fuzz
 
 ## check: the full CI gate — lint (gofmt drift + vet), build, race-enabled
 ## tests (includes the corpus-wide determinism tests and the 16-goroutine
@@ -13,6 +13,7 @@ check: lint
 	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=5s .
 	$(GO) run scripts/serve_smoke.go
 	$(GO) run ./cmd/canary-bench -experiment incremental -incr-iters 1 -incr-lines 600 -json > /dev/null
+	$(MAKE) bench-hotpath-smoke
 
 ## lint: formatting drift fails the build (gofmt prints the offending
 ## files), then static vetting.
@@ -37,9 +38,18 @@ vet:
 bench:
 	$(GO) test -run - -bench . -benchmem .
 
-## bench-json: regenerate the checked-in incremental benchmark snapshot.
+## bench-json: regenerate the checked-in benchmark snapshots.
 bench-json:
 	$(GO) run ./cmd/canary-bench -experiment incremental -json > BENCH_incremental.json
+	$(GO) run ./cmd/canary-bench -experiment hotpath -json > BENCH_hotpath.json
+
+## bench-hotpath-smoke: tiny-corpus run of the hotpath experiment with an
+## allocation regression gate — guard construction above 40 allocs/op (the
+## pre-interning representation sat at ~43) fails the build.
+bench-hotpath-smoke:
+	$(GO) run ./cmd/canary-bench -experiment hotpath \
+		-hotpath-lines 400 -hotpath-guard-ops 200 -hotpath-iters 2 \
+		-hotpath-max-guard-allocs 40 -json > /dev/null
 
 ## serve-smoke: end-to-end canaryd exercise — random port, example
 ## submission vs CLI, cache replay, /healthz, /metrics, 413, queue-full

@@ -52,6 +52,7 @@ func lowerSpec(b *testing.B, spec workload.Spec) *ir.Program {
 func BenchmarkFig7aVFGTime(b *testing.B) {
 	for _, p := range benchSubjects(4, 1500) {
 		b.Run(fmt.Sprintf("%s/saber", p.Name), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				prog := lowerSpec(b, p.Spec)
@@ -62,6 +63,7 @@ func BenchmarkFig7aVFGTime(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("%s/fsam", p.Name), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				prog := lowerSpec(b, p.Spec)
@@ -72,6 +74,7 @@ func BenchmarkFig7aVFGTime(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("%s/canary", p.Name), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				prog := lowerSpec(b, p.Spec)
@@ -126,6 +129,7 @@ func BenchmarkFig8Scalability(b *testing.B) {
 	for _, spec := range workload.SizeSweep(4, 400, 3200) {
 		spec := spec
 		b.Run(fmt.Sprintf("lines=%d", spec.Lines), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				prog := lowerSpec(b, spec)
@@ -146,6 +150,7 @@ func BenchmarkTable1BugHunting(b *testing.B) {
 	for _, p := range benchSubjects(6, 1200) {
 		p := p
 		b.Run(p.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var reports, fps int
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -180,6 +185,7 @@ func BenchmarkAblationMHP(b *testing.B) {
 	for _, enable := range []bool{true, false} {
 		enable := enable
 		b.Run(fmt.Sprintf("mhp=%v", enable), func(b *testing.B) {
+			b.ReportAllocs()
 			var edges int
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -200,6 +206,7 @@ func BenchmarkAblationGuardSimplify(b *testing.B) {
 	for _, enable := range []bool{true, false} {
 		enable := enable
 		b.Run(fmt.Sprintf("simplify=%v", enable), func(b *testing.B) {
+			b.ReportAllocs()
 			var queries int
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -224,6 +231,7 @@ func BenchmarkAblationParallelCheck(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				prog := lowerSpec(b, spec)
@@ -245,6 +253,7 @@ func BenchmarkAblationCubeAndConquer(b *testing.B) {
 	for _, cube := range []bool{false, true} {
 		cube := cube
 		b.Run(fmt.Sprintf("cube=%v", cube), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				pool, formulas := hardQuery(7)
@@ -273,6 +282,7 @@ func BenchmarkAblationLockOrder(b *testing.B) {
 	for _, enable := range []bool{true, false} {
 		enable := enable
 		b.Run(fmt.Sprintf("lockorder=%v", enable), func(b *testing.B) {
+			b.ReportAllocs()
 			var reports int
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -298,6 +308,7 @@ func BenchmarkAblationFactPropagation(b *testing.B) {
 	for _, enable := range []bool{true, false} {
 		enable := enable
 		b.Run(fmt.Sprintf("factprop=%v", enable), func(b *testing.B) {
+			b.ReportAllocs()
 			var queries, decided int
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -326,6 +337,7 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				prog := lowerSpec(b, spec)
@@ -357,6 +369,7 @@ func BenchmarkCheckCached(b *testing.B) {
 	if _, err := a.Check(); err != nil { // cold round: fills the cache
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var hits, misses int
 	for i := 0; i < b.N; i++ {
@@ -379,6 +392,7 @@ func BenchmarkSolver(b *testing.B) {
 	for _, holes := range []int{5, 6, 7} {
 		holes := holes
 		b.Run(fmt.Sprintf("php-%d", holes), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				pool, formulas := hardQuery(holes)

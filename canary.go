@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"canary/internal/bitset"
 	"canary/internal/core"
 	"canary/internal/digest"
 	"canary/internal/guard"
@@ -81,6 +82,15 @@ func wrapAbort(err error) error {
 // checking — and a repeated analysis of the same program interns with ~100%
 // hits. VFGStats.CacheHits is the per-build slice of this counter.
 func GuardInternStats() (hits, misses uint64) { return guard.InternStats() }
+
+// AllocStats reports process-wide counters for the integer-keyed hot-path
+// data structures: the number of live interned guard formulas (the hash-cons
+// table size), the cumulative uint64 words allocated by bitset-backed
+// points-to and location sets, and the number of formula evaluations served
+// through the batched assignment-slice evaluator instead of per-call maps.
+func AllocStats() (guardInterned int64, bitsetWords int64, batchedEvals uint64) {
+	return guard.InternedCount(), bitset.WordsAllocated(), guard.BatchedEvals()
+}
 
 // Checker names accepted in Options.Checkers.
 const (

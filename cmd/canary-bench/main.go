@@ -9,6 +9,7 @@
 //	canary-bench -experiment serve    # canaryd scheduler: cold/warm phases, cache hits, queue depth
 //	canary-bench -experiment incremental # one-edit re-analysis: cold vs warm session latency and reuse rates
 //	canary-bench -experiment trace    # per-stage wall-clock split of one analysis (the pipeline registry spans)
+//	canary-bench -experiment hotpath  # allocs/op, B/op, ns/op of the hot-path representations vs the recorded pre-overhaul baseline
 //	canary-bench -experiment all
 //
 // -json replaces the text tables with one JSON object holding the raw
@@ -45,6 +46,10 @@ func main() {
 		incrLines  = flag.Int("incr-lines", 2600, "subject size for the incremental experiment")
 		incrIters  = flag.Int("incr-iters", 3, "cold/warm repetitions in the incremental experiment (best-of)")
 		traceLines = flag.Int("trace-lines", 2600, "subject size for the trace experiment")
+		hpLines    = flag.Int("hotpath-lines", 2600, "subject size for the hotpath experiment (the checked-in baseline applies only at the default)")
+		hpGuardOps = flag.Int("hotpath-guard-ops", 4000, "guard-construction operations measured in the hotpath experiment")
+		hpIters    = flag.Int("hotpath-iters", 8, "iterations of the pta/datadep/interference hotpath sections")
+		hpMaxGuard = flag.Int64("hotpath-max-guard-allocs", 0, "fail (exit 1) if guard-construct allocs/op exceeds this ceiling; 0 disables the assertion")
 		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
@@ -63,7 +68,7 @@ func main() {
 		}
 		return *experiment == "all"
 	}
-	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace")
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath")
 	if !known {
 		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -77,6 +82,7 @@ func main() {
 		Serve       *bench.ServeResult       `json:"serve,omitempty"`
 		Incremental *bench.IncrementalResult `json:"incremental,omitempty"`
 		Trace       *bench.TraceResult       `json:"trace,omitempty"`
+		Hotpath     *bench.HotpathResult     `json:"hotpath,omitempty"`
 	}{}
 
 	if want("fig7a", "fig7b", "table1") {
@@ -129,6 +135,19 @@ func main() {
 		}
 		out.Trace = &res
 	}
+	if want("hotpath") {
+		spec := workload.SizeSweep(1, *hpLines, *hpLines)[0]
+		res, err := e.RunHotpath(spec, *hpGuardOps, *hpIters)
+		if err != nil {
+			fail(err)
+		}
+		out.Hotpath = &res
+		if *hpMaxGuard > 0 && res.Current.GuardConstruct.AllocsPerOp > *hpMaxGuard {
+			fmt.Fprintf(os.Stderr, "canary-bench: guard-construct allocs/op %d exceeds ceiling %d\n",
+				res.Current.GuardConstruct.AllocsPerOp, *hpMaxGuard)
+			os.Exit(1)
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -179,6 +198,10 @@ func main() {
 	if out.Trace != nil {
 		sep()
 		bench.PrintTrace(os.Stdout, *out.Trace)
+	}
+	if out.Hotpath != nil {
+		sep()
+		bench.PrintHotpath(os.Stdout, *out.Hotpath)
 	}
 }
 

@@ -198,6 +198,8 @@ func run() int {
 			res.Check.CacheHits, res.Check.CacheMisses, res.Check.TrivialSolves)
 		gh, gm := canary.GuardInternStats()
 		fmt.Printf("guard interner: %d hits, %d misses (process-wide)\n", gh, gm)
+		gi, bw, be := canary.AllocStats()
+		fmt.Printf("allocations: %d interned formulas, %d bitset words, %d batched evals (process-wide)\n", gi, bw, be)
 		if res.Check.SearchBudgetExhausted+res.Check.FormulaBudgetExhausted+res.Check.SolveBudgetExhausted > 0 ||
 			res.VFG.FixpointBudgetExhausted {
 			fmt.Printf("budgets: fixpoint exhausted=%v, search exhausted=%d, formula exhausted=%d, solve exhausted=%d\n",

@@ -191,6 +191,30 @@ func naInt(v int) string {
 	return fmt.Sprintf("%d", v)
 }
 
+// PrintHotpath renders the hot-path representation comparison: allocation
+// and wall cost per operation of the four measured hot paths, with the
+// recorded pre-overhaul baseline alongside when it applies.
+func PrintHotpath(w io.Writer, r HotpathResult) {
+	fmt.Fprintf(w, "Hotpath — representation cost per op (%d-line subject)\n", r.Lines)
+	fmt.Fprintf(w, "%-16s %14s %14s %14s\n", "section", "allocs/op", "B/op", "ns/op")
+	row := func(name string, s HotpathSection) {
+		fmt.Fprintf(w, "%-16s %14d %14d %14d\n", name, s.AllocsPerOp, s.BytesPerOp, s.NsPerOp)
+	}
+	row("guard-construct", r.Current.GuardConstruct)
+	row("pta-fixpoint", r.Current.PTAFixpoint)
+	row("datadep", r.Current.DataDep)
+	row("interference", r.Current.Interference)
+	if r.Baseline != nil {
+		fmt.Fprintln(w, "pre-overhaul baseline (recorded):")
+		row("guard-construct", r.Baseline.GuardConstruct)
+		row("pta-fixpoint", r.Baseline.PTAFixpoint)
+		row("datadep", r.Baseline.DataDep)
+		row("interference", r.Baseline.Interference)
+		fmt.Fprintf(w, "alloc reduction: guard-construct %.1fx, pta-fixpoint %.1fx\n",
+			r.GuardAllocRatio, r.PTAAllocRatio)
+	}
+}
+
 func maxF(a, b float64) float64 {
 	if a > b {
 		return a

@@ -1,0 +1,141 @@
+// Package bitset provides a dense bit set over small integer keys. It
+// backs the hot-path sets of the pipeline — Steensgaard function sets and
+// the touched-location sets of the data-dependence pass — replacing
+// map[K]bool with a []uint64 whose iteration order is the ascending key
+// order (deterministic by construction, unlike map range order).
+//
+// The package keeps a process-wide tally of allocated words so the -stats
+// report and the canaryd /metrics endpoint can expose the footprint of the
+// bitset-backed representations.
+package bitset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// wordsAllocated counts every uint64 word ever allocated for a Set
+// backing array (allocations, not live size — a monotonic counter).
+var wordsAllocated atomic.Int64
+
+// WordsAllocated returns the cumulative number of 64-bit words allocated
+// for bit set backing arrays in this process.
+func WordsAllocated() int64 { return wordsAllocated.Load() }
+
+// Set is a bit set over non-negative integer keys. The zero value is an
+// empty set ready for use; it grows as keys are added. A nil *Set reads as
+// the empty set (Has/Len/Words/ForEach/Clear are nil-tolerant), matching
+// the lookup-miss behavior of the maps it replaces.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set pre-sized to hold keys in [0, n).
+func New(n int) *Set {
+	s := &Set{}
+	if n > 0 {
+		s.grow((n - 1) >> 6)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	if word < len(s.words) {
+		return
+	}
+	nw := make([]uint64, word+1)
+	copy(nw, s.words)
+	wordsAllocated.Add(int64(cap(nw) - len(s.words)))
+	s.words = nw
+}
+
+// Add inserts i and reports whether it was newly added.
+func (s *Set) Add(i int) bool {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if w >= len(s.words) {
+		s.grow(w)
+	}
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	return true
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if s == nil {
+		return false
+	}
+	w := i >> 6
+	return w < len(s.words) && s.words[w]&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	if w := i >> 6; w < len(s.words) {
+		s.words[w] &^= uint64(1) << (uint(i) & 63)
+	}
+}
+
+// UnionWith adds every element of t and reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words) - 1)
+	}
+	changed := false
+	for w, tw := range t.words {
+		if tw&^s.words[w] != 0 {
+			s.words[w] |= tw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Len returns the number of elements.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Words returns the size of the backing array in 64-bit words.
+func (s *Set) Words() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.words)
+}
+
+// Clear removes all elements, keeping the backing array.
+func (s *Set) Clear() {
+	if s == nil {
+		return
+	}
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	if s == nil {
+		return
+	}
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(w<<6 + b)
+			word &^= 1 << uint(b)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"canary/internal/ir"
+	"canary/internal/lang"
+	"canary/internal/workload"
+)
+
+// BenchmarkInterferenceEval measures one Alg. 2 round (escape analysis plus
+// the interference pass) on a catalogue-scale subject, on top of a fresh
+// Alg. 1 round. The dense LocIndex tables keep the per-location bookkeeping
+// in slices indexed by integer instead of maps keyed by (object, field)
+// structs; allocs/op is the series to watch.
+func BenchmarkInterferenceEval(b *testing.B) {
+	b.ReportAllocs()
+	src := workload.Generate(workload.SizeSweep(1, 1200, 1200)[0])
+	ast, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(ast, ir.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bld := NewBenchBuilder(prog, DefaultBuild())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.BenchReset()
+		bld.BenchDataDepRound()
+		bld.BenchInterferenceRound()
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"canary/internal/guard"
+	"canary/internal/ir"
+	"canary/internal/vfg"
+)
+
+// This file holds the benchmarking entry points of the builder: the hotpath
+// experiment (internal/bench) and the stage micro-benchmarks need to cost
+// one Alg. 1 or Alg. 2 round in isolation, which the public Build API
+// (whole fixpoint only) cannot express. The hooks reuse exactly the
+// production round code; they add no third code path.
+
+// NewBenchBuilder returns a builder over prog with its indexes built and
+// every thread dirty — the state BuildContext is in when it enters the
+// first fixpoint round — without running any analysis.
+func NewBenchBuilder(prog *ir.Program, opt BuildOptions) *Builder {
+	return newBuilder(prog, opt.withDefaults())
+}
+
+// BenchReset rewinds the builder to its pre-fixpoint state (empty points-to
+// graph, empty VFG, every thread dirty) so a benchmark loop can replay the
+// first round repeatedly against identical input.
+func (b *Builder) BenchReset() {
+	b.G = vfg.New(b.Prog)
+	b.pts = make(map[ir.VarID]map[ir.ObjID]*guard.Formula)
+	b.ptsItems = 0
+	b.escaped = make(map[ir.ObjID]bool)
+	b.dirty = make(map[int]bool)
+	for _, th := range b.Prog.Threads {
+		b.dirty[th.ID] = true
+	}
+	b.Stats = BuildStats{}
+}
+
+// BenchDataDepRound runs one Alg. 1 round — a data-dependence pass over
+// every dirty thread plus the sequential effect replay — and reports
+// whether it progressed.
+func (b *Builder) BenchDataDepRound() bool {
+	todo := b.dirty
+	b.dirty = make(map[int]bool)
+	progressed := false
+	for _, th := range b.Prog.Threads {
+		if !todo[th.ID] {
+			continue
+		}
+		p := b.dataDepPass(th)
+		if b.applyEffects(&p.eff) {
+			progressed = true
+		}
+	}
+	return progressed
+}
+
+// BenchInterferenceRound runs one Alg. 2 round (escape analysis plus the
+// interference pass) sequentially and reports whether it progressed.
+func (b *Builder) BenchInterferenceRound() bool {
+	b.escapeAnalysis()
+	return b.interferencePass(1)
+}

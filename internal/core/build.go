@@ -165,18 +165,7 @@ func Build(prog *ir.Program, opt BuildOptions) *Builder {
 func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Builder, error) {
 	opt = opt.withDefaults()
 	mhpStart := time.Now()
-	mhpInfo := mhp.Analyze(prog)
-	b := &Builder{
-		Prog:       prog,
-		G:          vfg.New(prog),
-		MHP:        mhpInfo,
-		opt:        opt,
-		pts:        make(map[ir.VarID]map[ir.ObjID]*guard.Formula),
-		escaped:    make(map[ir.ObjID]bool),
-		dirty:      make(map[int]bool),
-		useThreads: make(map[ir.VarID][]int),
-	}
-	b.indexProgram()
+	b := newBuilder(prog, opt)
 	b.Stats.MHPTime = time.Since(mhpStart)
 	b.Stats.SummaryHits = opt.SummaryHits
 	b.Stats.FuncsReanalyzed = opt.FuncsReanalyzed
@@ -247,6 +236,24 @@ func BuildContext(ctx context.Context, prog *ir.Program, opt BuildOptions) (*Bui
 		}
 	}
 	return b, nil
+}
+
+// newBuilder allocates a Builder over prog with its indexes (MHP info,
+// store/load lists, cross-thread use map) built and every thread dirty,
+// ready for the first fixpoint round.
+func newBuilder(prog *ir.Program, opt BuildOptions) *Builder {
+	b := &Builder{
+		Prog:       prog,
+		G:          vfg.New(prog),
+		MHP:        mhp.Analyze(prog),
+		opt:        opt,
+		pts:        make(map[ir.VarID]map[ir.ObjID]*guard.Formula),
+		escaped:    make(map[ir.ObjID]bool),
+		dirty:      make(map[int]bool),
+		useThreads: make(map[ir.VarID][]int),
+	}
+	b.indexProgram()
+	return b
 }
 
 // cap widens oversized guards to true (sound for may-analyses).

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"canary/internal/bitset"
 	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/vfg"
@@ -13,8 +14,8 @@ import (
 type storeSet map[ir.Label]*guard.Formula
 
 // memState is the flow-sensitive address-taken state of Alg. 1: each
-// location (object field, "" = whole cell) maps to the set of stores that
-// may currently define it.
+// location (a dense vfg.Graph LocIndex — an object field, "" = whole cell)
+// maps to the set of stores that may currently define it.
 //
 // To keep one Alg. 1 sweep linear on the long inlined thread bodies, the
 // state is layered: entering a branch pushes an empty delta layer over the
@@ -26,7 +27,7 @@ type storeSet map[ir.Label]*guard.Formula
 // the parent chain is always the complete current value.
 type memState struct {
 	parent *memState
-	local  map[vfg.Loc]storeSet
+	local  map[int]storeSet // LocIndex → reaching stores
 	depth  int
 }
 
@@ -35,12 +36,12 @@ func newMemState(parent *memState) *memState {
 	if parent != nil {
 		d = parent.depth + 1
 	}
-	return &memState{parent: parent, local: make(map[vfg.Loc]storeSet), depth: d}
+	return &memState{parent: parent, local: make(map[int]storeSet), depth: d}
 }
 
-// get returns the effective store set of o (nil when none). The result
-// must not be mutated; use set.
-func (m *memState) get(o vfg.Loc) storeSet {
+// get returns the effective store set of location o (nil when none). The
+// result must not be mutated; use set.
+func (m *memState) get(o int) storeSet {
 	for s := m; s != nil; s = s.parent {
 		if e, ok := s.local[o]; ok {
 			return e
@@ -50,16 +51,14 @@ func (m *memState) get(o vfg.Loc) storeSet {
 }
 
 // set installs a complete value for o in this layer.
-func (m *memState) set(o vfg.Loc, e storeSet) { m.local[o] = e }
+func (m *memState) set(o int, e storeSet) { m.local[o] = e }
 
-// touchedDownTo collects, for every object with an entry strictly below
-// base on m's chain, the effective (nearest) value as seen from m.
-func (m *memState) touchedDownTo(base *memState, into map[vfg.Loc]storeSet) {
+// touchedDownTo adds to into every location with an entry strictly below
+// base on m's chain.
+func (m *memState) touchedDownTo(base *memState, into *bitset.Set) {
 	for s := m; s != nil && s != base; s = s.parent {
-		for o, e := range s.local {
-			if _, seen := into[o]; !seen {
-				into[o] = e
-			}
+		for o := range s.local {
+			into.Add(o)
 		}
 	}
 }
@@ -149,6 +148,10 @@ type passCtx struct {
 	b       *Builder
 	overlay map[ir.VarID]map[ir.ObjID]*guard.Formula
 	eff     passEffects
+
+	// joinTouched is the per-pass scratch of mergeAtJoin (per-pass, not on
+	// the Builder: passes of different threads run concurrently).
+	joinTouched *bitset.Set
 }
 
 // pts returns the pass-visible guarded points-to set of v.
@@ -208,7 +211,7 @@ func (b *Builder) dataDepPass(th *ir.Thread) *passCtx {
 				cur = newMemState(pred) // branch entry: delta layer
 			}
 		default:
-			cur = b.mergeAtJoin(th, blk, out)
+			cur = p.mergeAtJoin(th, blk, out)
 		}
 		for _, inst := range blk.Insts {
 			p.transfer(inst, cur)
@@ -256,31 +259,29 @@ func (b *Builder) applyEffects(eff *passEffects) bool {
 // mergeAtJoin merges the predecessors' delta layers into their common base
 // (Alg. 1's may-union with guard disjunction) and returns the base, which
 // becomes the join's state.
-func (b *Builder) mergeAtJoin(th *ir.Thread, blk *ir.Block, out []*memState) *memState {
+func (p *passCtx) mergeAtJoin(th *ir.Thread, blk *ir.Block, out []*memState) *memState {
+	b := p.b
 	preds := make([]*memState, len(blk.Preds))
-	for i, p := range blk.Preds {
-		preds[i] = out[predIndex(th, p)]
+	for i, pr := range blk.Preds {
+		preds[i] = out[predIndex(th, pr)]
 	}
 	base := commonBase(preds)
 	if base == nil {
 		base = newMemState(nil)
 	}
-	// Objects touched by any branch since the base.
-	touched := make(map[vfg.Loc]bool)
-	scratch := make(map[vfg.Loc]storeSet)
-	for _, p := range preds {
-		for k := range scratch {
-			delete(scratch, k)
-		}
-		p.touchedDownTo(base, scratch)
-		for o := range scratch {
-			touched[o] = true
-		}
+	// Locations touched by any branch since the base.
+	if p.joinTouched == nil {
+		p.joinTouched = bitset.New(b.G.LocCount())
+	} else {
+		p.joinTouched.Clear()
 	}
-	for o := range touched {
+	for _, pr := range preds {
+		pr.touchedDownTo(base, p.joinTouched)
+	}
+	p.joinTouched.ForEach(func(o int) {
 		merged := make(storeSet)
-		for _, p := range preds {
-			for l, g := range p.get(o) {
+		for _, pr := range preds {
+			for l, g := range pr.get(o) {
 				if old, ok := merged[l]; ok {
 					merged[l] = b.cap(guard.Or(old, g))
 				} else {
@@ -289,7 +290,7 @@ func (b *Builder) mergeAtJoin(th *ir.Thread, blk *ir.Block, out []*memState) *me
 			}
 		}
 		base.set(o, merged)
-	}
+	})
 	return base
 }
 
@@ -358,7 +359,7 @@ func (p *passCtx) transfer(inst *ir.Inst, mem *memState) {
 		ptsX := p.pts(inst.Ptr)
 		strong := len(ptsX) == 1
 		for o, α := range ptsX {
-			loc := vfg.Loc{Obj: o, Field: inst.Field}
+			li := b.G.LocIndex(o, inst.Field)
 			gStore := b.cap(guard.And(α, inst.Guard))
 			if gStore.IsFalse() {
 				continue
@@ -367,12 +368,13 @@ func (p *passCtx) transfer(inst *ir.Inst, mem *memState) {
 			if strong {
 				entry = make(storeSet, 1) // IN ← IN \ Pts(x)
 			} else {
-				entry = cloneStoreSet(mem.get(loc))
+				entry = cloneStoreSet(mem.get(li))
 			}
 			entry[inst.Label] = gStore
-			mem.set(loc, entry)
+			mem.set(li, entry)
 			p.eff.objStores = append(p.eff.objStores, objStoreOp{
-				loc: loc, ref: vfg.StoreRef{Store: inst.Label, Guard: gStore},
+				loc: vfg.Loc{Obj: o, Field: inst.Field},
+				ref: vfg.StoreRef{Store: inst.Label, Guard: gStore},
 			})
 		}
 	case ir.OpLoad:
@@ -382,7 +384,7 @@ func (p *passCtx) transfer(inst *ir.Inst, mem *memState) {
 		// Or-join into the same points-to guard, and a fixed join order keeps
 		// the formula (and everything downstream of it) deterministic.
 		for o, β := range p.pts(inst.Ptr) {
-			reaching := mem.get(vfg.Loc{Obj: o, Field: inst.Field})
+			reaching := mem.get(b.G.LocIndex(o, inst.Field))
 			labels := make([]ir.Label, 0, len(reaching))
 			for storeLabel := range reaching {
 				labels = append(labels, storeLabel)

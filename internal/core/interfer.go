@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sort"
-
+	"canary/internal/bitset"
 	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/vfg"
@@ -110,36 +109,31 @@ func (b *Builder) interferencePass(workers int) bool {
 		inst *ir.Inst
 		cond *guard.Formula // pointed-to-by condition (α or β)
 	}
-	storesByLoc := make(map[vfg.Loc][]access)
-	loadsByLoc := make(map[vfg.Loc][]access)
+	// Group accesses by dense location index. Ascending-index iteration of
+	// the store-touched set is ascending (Obj, Field) order — the order the
+	// map-based implementation sorted its location list into — because the
+	// graph interns field names sorted.
+	nLocs := b.G.LocCount()
+	storesByLoc := make([][]access, nLocs)
+	loadsByLoc := make([][]access, nLocs)
+	storeLocs := bitset.New(nLocs)
 	for _, inst := range b.storeInsts {
 		for o, α := range b.pts[inst.Ptr] {
 			if b.escaped[o] {
-				loc := vfg.Loc{Obj: o, Field: inst.Field}
-				storesByLoc[loc] = append(storesByLoc[loc], access{inst, α})
+				li := b.G.LocIndex(o, inst.Field)
+				storesByLoc[li] = append(storesByLoc[li], access{inst, α})
+				storeLocs.Add(li)
 			}
 		}
 	}
 	for _, inst := range b.loadInsts {
 		for o, β := range b.pts[inst.Ptr] {
 			if b.escaped[o] {
-				loc := vfg.Loc{Obj: o, Field: inst.Field}
-				loadsByLoc[loc] = append(loadsByLoc[loc], access{inst, β})
+				li := b.G.LocIndex(o, inst.Field)
+				loadsByLoc[li] = append(loadsByLoc[li], access{inst, β})
 			}
 		}
 	}
-
-	// Deterministic location order.
-	locs := make([]vfg.Loc, 0, len(storesByLoc))
-	for l := range storesByLoc {
-		locs = append(locs, l)
-	}
-	sort.Slice(locs, func(i, j int) bool {
-		if locs[i].Obj != locs[j].Obj {
-			return locs[i].Obj < locs[j].Obj
-		}
-		return locs[i].Field < locs[j].Field
-	})
 
 	// Enumerate the surviving candidate pairs in deterministic order.
 	type candidate struct {
@@ -148,12 +142,13 @@ func (b *Builder) interferencePass(workers int) bool {
 		guard *guard.Formula // Φ_alias, filled in by the parallel phase
 	}
 	var cands []candidate
-	for _, loc := range locs {
-		loads := loadsByLoc[loc]
+	storeLocs.ForEach(func(li int) {
+		loads := loadsByLoc[li]
 		if len(loads) == 0 {
-			continue
+			return
 		}
-		for _, s := range storesByLoc[loc] {
+		loc := b.G.LocAt(li)
+		for _, s := range storesByLoc[li] {
 			for _, l := range loads {
 				if s.inst.Thread == l.inst.Thread {
 					continue // interference is cross-thread by definition
@@ -164,7 +159,7 @@ func (b *Builder) interferencePass(workers int) bool {
 				cands = append(cands, candidate{s: s, l: l, loc: loc})
 			}
 		}
-	}
+	})
 
 	// Parallel phase: Φ_alias per pair. Guard construction is the dominant
 	// cost here, and every input (instruction guards, captured α/β) is

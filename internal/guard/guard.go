@@ -15,7 +15,6 @@
 package guard
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -51,69 +50,142 @@ const (
 type Formula struct {
 	kind Kind
 	atom Atom
-	id   uint32 // interner identity, used to key parent formulas
+	id   int32 // dense interner identity; see ID
 	subs []*Formula
 }
+
+// ID returns the formula's dense interner identity: ⊤ is 1, ⊥ is 2, and
+// every further distinct formula interned by this process gets the next
+// integer. IDs are assigned at intern time, so they are stable for the
+// process lifetime and usable as array indexes, but they depend on
+// construction order and must never leak into analysis output.
+func (f *Formula) ID() int32 { return f.id }
 
 var (
 	trueF  = &Formula{kind: KTrue, id: 1}
 	falseF = &Formula{kind: KFalse, id: 2}
 )
 
-// interner is the global hash-cons table. Keys encode (kind, atom, child
-// ids); values are *Formula. Children are always interned before parents
-// (constructors build bottom-up), so child ids are stable key material.
+// The interner is a sharded, open-addressed hash-cons table keyed directly
+// on the shallow node identity (kind, atom, child IDs) — no per-lookup key
+// string is ever materialized. Children are always interned before parents
+// (constructors build bottom-up), so child pointers are stable key material
+// and child-pointer equality coincides with child-ID equality.
 //
-// The table is unbounded in principle; when it grows past internSoftCap
-// entries it is swapped for a fresh one. Dropping the table is safe: two
-// structurally equal formulas with distinct pointers only cost downstream
-// caches a miss, never a wrong answer.
-const internSoftCap = 1 << 21
+// Each shard is bounded in principle by internShardCap slots; a shard that
+// would grow past the cap is reset instead (epoch flush). Dropping entries
+// is safe: two structurally equal formulas with distinct pointers only cost
+// downstream caches a miss, never a wrong answer.
+const (
+	internShardBits = 4
+	internShardCap  = 1 << 17 // slots per shard; ×16 shards ≈ the old soft cap
+)
+
+type internShard struct {
+	mu    sync.Mutex
+	tab   []*Formula // power-of-two open-addressed table, nil slot = empty
+	count int
+}
 
 var (
-	internTable   atomic.Pointer[sync.Map]
-	internCounter atomic.Uint32
-	internHits    atomic.Uint64
-	internMisses  atomic.Uint64
-	internSize    atomic.Int64
+	internShards [1 << internShardBits]internShard
+	internIDs    atomic.Int32 // last assigned formula ID; 1 and 2 are ⊤ and ⊥
+	internHits   atomic.Uint64
+	internMisses atomic.Uint64
+	batchedEvals atomic.Uint64
 )
 
 func init() {
-	internTable.Store(new(sync.Map))
-	internCounter.Store(2) // 1 and 2 are ⊤ and ⊥
+	internIDs.Store(2)
 }
 
-// internKey encodes the shallow identity of a formula node.
-func internKey(kind Kind, atom Atom, subs []*Formula) string {
-	buf := make([]byte, 0, 5+4*len(subs))
-	buf = append(buf, byte(kind))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(atom))
+// hashNode mixes the shallow identity of a node (FNV-1a over the integer
+// key material).
+func hashNode(kind Kind, atom Atom, subs []*Formula) uint64 {
+	h := uint64(1469598103934665603)
+	h = (h ^ uint64(kind)) * 1099511628211
+	h = (h ^ uint64(uint32(atom))) * 1099511628211
 	for _, s := range subs {
-		buf = binary.LittleEndian.AppendUint32(buf, s.id)
+		h = (h ^ uint64(uint32(s.id))) * 1099511628211
 	}
-	return string(buf)
+	return h
 }
 
-// intern returns the canonical formula structurally equal to f, registering
-// f as the canonical representative if none exists yet.
-func intern(f *Formula) *Formula {
-	key := internKey(f.kind, f.atom, f.subs)
-	t := internTable.Load()
-	if v, ok := t.Load(key); ok {
-		internHits.Add(1)
-		return v.(*Formula)
+func sameSubs(a, b []*Formula) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	f.id = internCounter.Add(1)
-	if v, loaded := t.LoadOrStore(key, f); loaded {
-		internHits.Add(1)
-		return v.(*Formula)
+	for i := range a {
+		if a[i] != b[i] { // interned children: pointer equality ⟺ ID equality
+			return false
+		}
 	}
+	return true
+}
+
+// internNode returns the canonical formula for (kind, atom, subs),
+// registering a new node if none exists. The hit path performs no
+// allocation, and the subs slice is never retained (the miss path copies
+// it) — so callers can pass stack-allocated buffers without them escaping.
+func internNode(kind Kind, atom Atom, subs []*Formula) *Formula {
+	h := hashNode(kind, atom, subs)
+	sh := &internShards[h>>(64-internShardBits)]
+	sh.mu.Lock()
+	if sh.tab == nil {
+		sh.tab = make([]*Formula, 1<<10)
+	}
+	mask := uint64(len(sh.tab) - 1)
+	i := h & mask
+	for {
+		e := sh.tab[i]
+		if e == nil {
+			break
+		}
+		if e.kind == kind && e.atom == atom && sameSubs(e.subs, subs) {
+			sh.mu.Unlock()
+			internHits.Add(1)
+			return e
+		}
+		i = (i + 1) & mask
+	}
+	var owned []*Formula
+	if len(subs) > 0 {
+		owned = append([]*Formula(nil), subs...)
+	}
+	f := &Formula{kind: kind, atom: atom, id: internIDs.Add(1), subs: owned}
+	sh.tab[i] = f
+	sh.count++
+	if sh.count*4 > len(sh.tab)*3 {
+		sh.rehash()
+	}
+	sh.mu.Unlock()
 	internMisses.Add(1)
-	if internSize.Add(1) > internSoftCap {
-		internSize.Store(0)
-		internTable.Store(new(sync.Map)) // epoch flush; see interner comment
-	}
 	return f
+}
+
+// rehash doubles the shard's table, or resets it when doubling would pass
+// the shard cap (the epoch flush described on the interner comment).
+// Callers hold the shard lock.
+func (sh *internShard) rehash() {
+	next := len(sh.tab) * 2
+	if next > internShardCap {
+		sh.tab = make([]*Formula, 1<<10)
+		sh.count = 0
+		return
+	}
+	old := sh.tab
+	sh.tab = make([]*Formula, next)
+	mask := uint64(next - 1)
+	for _, e := range old {
+		if e == nil {
+			continue
+		}
+		i := hashNode(e.kind, e.atom, e.subs) & mask
+		for sh.tab[i] != nil {
+			i = (i + 1) & mask
+		}
+		sh.tab[i] = e
+	}
 }
 
 // InternStats returns the cumulative hash-cons hit and miss counts of the
@@ -122,6 +194,15 @@ func intern(f *Formula) *Formula {
 func InternStats() (hits, misses uint64) {
 	return internHits.Load(), internMisses.Load()
 }
+
+// InternedCount returns the number of distinct formulas interned by this
+// process (including ⊤ and ⊥, excluding entries dropped by epoch flushes
+// and later re-interned).
+func InternedCount() int64 { return int64(internIDs.Load()) }
+
+// BatchedEvals returns the cumulative number of formula evaluations served
+// through the batched assignment-slice evaluator (EvalAll / EvalAssign).
+func BatchedEvals() uint64 { return batchedEvals.Load() }
 
 // True returns the formula ⊤.
 func True() *Formula { return trueF }
@@ -155,7 +236,7 @@ func Var(a Atom) *Formula {
 	if a <= 0 {
 		panic("guard: Var with non-positive atom")
 	}
-	return intern(&Formula{kind: KVar, atom: a})
+	return internNode(KVar, a, nil)
 }
 
 // Not returns ¬f, simplifying double negation and constants.
@@ -168,7 +249,8 @@ func Not(f *Formula) *Formula {
 	case KNot:
 		return f.subs[0]
 	}
-	return intern(&Formula{kind: KNot, subs: []*Formula{f}})
+	sub := [1]*Formula{f}
+	return internNode(KNot, 0, sub[:])
 }
 
 // litKey returns a key identifying f if it is a literal (an atom or a
@@ -193,61 +275,79 @@ func And(fs ...*Formula) *Formula { return nary(KAnd, fs) }
 // Or returns the disjunction of fs with the dual simplifications of And.
 func Or(fs ...*Formula) *Formula { return nary(KOr, fs) }
 
+// nary builds an And/Or with flattening, unit and duplicate elimination,
+// and complementary-literal short-circuiting. The operand and literal-key
+// buffers live on this frame's stack and dedup by linear scan: operand
+// lists are short (guards are size-capped downstream), and avoiding the
+// per-construction map allocations is what keeps the And/Or hot path
+// allocation-free on hash-cons hits. Everything stays in local slices —
+// a pointer-receiver helper here would make the buffers escape.
 func nary(kind Kind, fs []*Formula) *Formula {
-	unit, zero := trueF, falseF
+	unit, zero := KTrue, KFalse
 	if kind == KOr {
-		unit, zero = falseF, trueF
+		unit, zero = KFalse, KTrue
 	}
-	out := make([]*Formula, 0, len(fs))
-	seen := make(map[*Formula]bool, len(fs))
-	lits := make(map[int32]bool, len(fs))
-	var add func(f *Formula) bool // reports zero short-circuit
-	add = func(f *Formula) bool {
+	var outBuf [16]*Formula
+	var keyBuf [16]int32
+	out, keys := outBuf[:0], keyBuf[:0] // keys parallel to out: litKey, 0 for non-literals
+	var single [1]*Formula
+	for _, f := range fs {
 		if f == nil {
 			panic("guard: nil formula operand")
 		}
-		if f.kind == unit.kind {
-			return false
+		if f.kind == unit {
+			continue
 		}
-		if f.kind == zero.kind {
-			return true
+		if f.kind == zero {
+			return zeroFormula(kind)
 		}
-		if f.kind == kind { // flatten
-			for _, s := range f.subs {
-				if add(s) {
-					return true
+		ops := single[:1]
+		if f.kind == kind {
+			// Flatten: interned same-kind operands are already flat and
+			// contain no unit/zero conjuncts, so one level suffices.
+			ops = f.subs
+		} else {
+			single[0] = f
+		}
+	opLoop:
+		for _, g := range ops {
+			for _, e := range out {
+				if e == g {
+					continue opLoop // duplicate operand (interned: pointer equality)
 				}
 			}
-			return false
-		}
-		if seen[f] {
-			return false
-		}
-		if k, ok := litKey(f); ok {
-			if lits[-k] {
-				return true // x ∧ ¬x (or x ∨ ¬x)
+			k, isLit := litKey(g)
+			if isLit {
+				for _, e := range keys {
+					if e == -k {
+						return zeroFormula(kind) // x ∧ ¬x (or x ∨ ¬x)
+					}
+				}
+			} else {
+				k = 0
 			}
-			if lits[k] {
-				return false
-			}
-			lits[k] = true
-		}
-		seen[f] = true
-		out = append(out, f)
-		return false
-	}
-	for _, f := range fs {
-		if add(f) {
-			return zero
+			out = append(out, g)
+			keys = append(keys, k)
 		}
 	}
 	switch len(out) {
 	case 0:
-		return unit
+		if kind == KOr {
+			return falseF
+		}
+		return trueF
 	case 1:
 		return out[0]
 	}
-	return intern(&Formula{kind: kind, subs: out})
+	return internNode(kind, 0, out)
+}
+
+// zeroFormula is the annihilating element of kind: ⊤ for Or, ⊥ for And.
+func zeroFormula(kind Kind) *Formula {
+	if kind == KOr {
+		return trueF
+	}
+	return falseF
 }
 
 // Implies returns ¬a ∨ b.
@@ -339,7 +439,8 @@ func SemiDecide(f *Formula) (sat, decided bool) {
 		}
 		return false, false
 	case KAnd:
-		lits := make(map[int32]bool)
+		var litBuf [32]int32
+		lits := litBuf[:0]
 		pure := true
 		for _, s := range f.subs {
 			k, ok := litKey(s)
@@ -347,10 +448,12 @@ func SemiDecide(f *Formula) (sat, decided bool) {
 				pure = false
 				continue
 			}
-			if lits[-k] {
-				return false, true
+			for _, e := range lits {
+				if e == -k {
+					return false, true
+				}
 			}
-			lits[k] = true
+			lits = append(lits, k)
 		}
 		if pure {
 			return true, true
@@ -358,6 +461,124 @@ func SemiDecide(f *Formula) (sat, decided bool) {
 		return false, false
 	}
 	return false, false
+}
+
+// Assignment is a dense partial truth assignment over atoms, the
+// allocation-free replacement for the map[Atom]bool the evaluation hot
+// paths used to build per query. The zero value is an empty assignment;
+// Reset reuses the backing storage across queries.
+type Assignment struct {
+	vals []int8 // index atom-1: 0 unassigned, +1 true, -1 false
+	set  []Atom // assigned atoms, in assignment order
+}
+
+// NewAssignment returns an assignment with capacity for atoms 1..n
+// preallocated (it still grows on demand).
+func NewAssignment(n int) *Assignment {
+	if n < 0 {
+		n = 0
+	}
+	return &Assignment{vals: make([]int8, n)}
+}
+
+// Reset clears every assignment while keeping the backing storage.
+func (a *Assignment) Reset() {
+	for _, at := range a.set {
+		a.vals[at-1] = 0
+	}
+	a.set = a.set[:0]
+}
+
+// Len returns the number of assigned atoms.
+func (a *Assignment) Len() int { return len(a.set) }
+
+// Assigned returns the assigned atoms in assignment order. The slice is
+// owned by the assignment; it is invalidated by Set and Reset.
+func (a *Assignment) Assigned() []Atom { return a.set }
+
+// Set assigns atom at := v, overwriting any previous assignment.
+func (a *Assignment) Set(at Atom, v bool) {
+	if at <= 0 {
+		panic("guard: Assignment.Set with non-positive atom")
+	}
+	if int(at) > len(a.vals) {
+		grown := make([]int8, int(at)+int(at)/2)
+		copy(grown, a.vals)
+		a.vals = grown
+	}
+	if a.vals[at-1] == 0 {
+		a.set = append(a.set, at)
+	}
+	if v {
+		a.vals[at-1] = 1
+	} else {
+		a.vals[at-1] = -1
+	}
+}
+
+// Get reports the assignment of at: its value and whether it is assigned.
+func (a *Assignment) Get(at Atom) (v, ok bool) {
+	if at <= 0 || int(at) > len(a.vals) {
+		return false, false
+	}
+	switch a.vals[at-1] {
+	case 1:
+		return true, true
+	case -1:
+		return false, true
+	}
+	return false, false
+}
+
+// Value returns the truth value of at with Eval's missing-atom semantics:
+// unassigned atoms are false.
+func (a *Assignment) Value(at Atom) bool {
+	if at <= 0 || int(at) > len(a.vals) {
+		return false
+	}
+	return a.vals[at-1] == 1
+}
+
+// EvalAssign evaluates f under the assignment with Eval's semantics
+// (unassigned atoms are false) without touching any map.
+func (f *Formula) EvalAssign(a *Assignment) bool {
+	switch f.kind {
+	case KTrue:
+		return true
+	case KFalse:
+		return false
+	case KVar:
+		return a.Value(f.atom)
+	case KNot:
+		return !f.subs[0].EvalAssign(a)
+	case KAnd:
+		for _, s := range f.subs {
+			if !s.EvalAssign(a) {
+				return false
+			}
+		}
+		return true
+	case KOr:
+		for _, s := range f.subs {
+			if s.EvalAssign(a) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("guard: bad formula kind")
+}
+
+// EvalAll evaluates every formula in fs under one shared assignment,
+// appending the results to dst and returning it. It is the batched form of
+// EvalAssign for callers that evaluate many guards against the same
+// schedule; one assignment slice serves the whole batch.
+func EvalAll(fs []*Formula, a *Assignment, dst []bool) []bool {
+	for _, f := range fs {
+		dst = append(dst, f.EvalAssign(a))
+	}
+	batchedEvals.Add(uint64(len(fs)))
+	return dst
 }
 
 // Pool interns atoms and records their interpretation. All methods are safe

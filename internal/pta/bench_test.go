@@ -1,0 +1,26 @@
+package pta
+
+import (
+	"testing"
+
+	"canary/internal/lang"
+	"canary/internal/workload"
+)
+
+// BenchmarkPTAFixpoint measures the Steensgaard fixpoint over a
+// catalogue-scale subject. allocs/op is the headline series: the
+// bitset-backed points-to sets replace the per-node map[string]bool
+// representation, so growth is amortized word appends instead of map
+// inserts.
+func BenchmarkPTAFixpoint(b *testing.B) {
+	b.ReportAllocs()
+	src := workload.Generate(workload.SizeSweep(1, 1500, 1500)[0])
+	ast, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeFuncPointers(ast)
+	}
+}

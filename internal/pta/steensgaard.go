@@ -14,16 +14,25 @@ package pta
 import (
 	"sort"
 
+	"canary/internal/bitset"
 	"canary/internal/lang"
 )
+
+// varKey names a points-to node without building a key string: the scope
+// ("g" for globals, "fn" for function-as-value nodes, otherwise the
+// enclosing function) plus the variable name.
+type varKey struct {
+	fn, v string
+}
 
 // Steensgaard is the result of the unification analysis over an AST. It
 // answers which functions a variable may refer to, which is all the thread
 // call-graph construction needs.
 type Steensgaard struct {
-	uf    *unionFind
-	nodes map[string]int    // qualified name → node
-	funcs []map[string]bool // per representative: function names
+	uf     *unionFind
+	nodes  map[varKey]int
+	funcs  []*bitset.Set // per representative: function-ID set
+	fnames []string      // dense function ID → name, in sorted-name order
 }
 
 // node kinds are implicit: every variable "fn.var" or global "g.name" has a
@@ -61,21 +70,37 @@ func (u *unionFind) find(x int) int {
 func AnalyzeFuncPointers(prog *lang.Program) *Steensgaard {
 	s := &Steensgaard{
 		uf:    newUnionFind(),
-		nodes: make(map[string]int),
+		nodes: make(map[varKey]int),
 	}
-	declared := make(map[string]*lang.FuncDecl)
+	declared := make(map[string]*lang.FuncDecl, len(prog.Funcs))
 	for _, f := range prog.Funcs {
 		declared[f.Name] = f
 	}
-	// funcSets maps representative → set of function names; kept in a map
-	// re-keyed on union.
-	funcSets := make(map[int]map[string]bool)
+	// Dense function IDs are assigned in sorted-name order, so iterating a
+	// function bit set in ascending-ID order visits targets in exactly the
+	// lexicographic order the map-based implementation produced with
+	// sort.Strings — the unification sequence (and hence every observable
+	// result) is unchanged.
+	s.fnames = make([]string, 0, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		s.fnames = append(s.fnames, f.Name)
+	}
+	sort.Strings(s.fnames)
+	fid := make(map[string]int, len(s.fnames))
+	funcsByID := make([]*lang.FuncDecl, len(s.fnames))
+	for i, n := range s.fnames {
+		fid[n] = i
+		funcsByID[i] = declared[n]
+	}
+
+	// funcSets maps representative → set of function IDs; re-keyed on union.
+	funcSets := make(map[int]*bitset.Set)
 
 	node := func(fn, v string) int {
-		key := fn + "." + v
+		key := varKey{fn, v}
 		if declared[v] != nil {
 			// A bare function name used as a value.
-			key = "fn." + v
+			key = varKey{"fn", v}
 		}
 		if n, ok := s.nodes[key]; ok {
 			return n
@@ -83,7 +108,9 @@ func AnalyzeFuncPointers(prog *lang.Program) *Steensgaard {
 		n := s.uf.fresh()
 		s.nodes[key] = n
 		if declared[v] != nil {
-			funcSets[n] = map[string]bool{v: true}
+			set := bitset.New(len(s.fnames))
+			set.Add(fid[v])
+			funcSets[n] = set
 		}
 		return n
 	}
@@ -105,13 +132,10 @@ func AnalyzeFuncPointers(prog *lang.Program) *Steensgaard {
 		}
 		// Merge function sets.
 		if fs := funcSets[rb]; fs != nil {
-			dst := funcSets[ra]
-			if dst == nil {
-				dst = make(map[string]bool)
-				funcSets[ra] = dst
-			}
-			for f := range fs {
-				dst[f] = true
+			if dst := funcSets[ra]; dst != nil {
+				dst.UnionWith(fs)
+			} else {
+				funcSets[ra] = fs
 			}
 			delete(funcSets, rb)
 		}
@@ -134,60 +158,76 @@ func AnalyzeFuncPointers(prog *lang.Program) *Steensgaard {
 		return s.uf.deref[r]
 	}
 
-	resolveTargets := func(rep int) []string {
-		fs := funcSets[s.uf.find(rep)]
-		out := make([]string, 0, len(fs))
-		for f := range fs {
-			out = append(out, f)
+	// Return-variable names of a declaration, in body walk order, computed
+	// once per function rather than per resolved call.
+	returnVars := make(map[*lang.FuncDecl][]string)
+	returnsOf := func(decl *lang.FuncDecl) []string {
+		if vs, ok := returnVars[decl]; ok {
+			return vs
 		}
-		sort.Strings(out)
-		return out
+		var vs []string
+		var walk func(b *lang.Block)
+		walk = func(b *lang.Block) {
+			for _, st := range b.Stmts {
+				switch r := st.(type) {
+				case *lang.ReturnStmt:
+					if r.HasVal {
+						vs = append(vs, r.Value)
+					}
+				case *lang.IfStmt:
+					walk(r.Then)
+					if r.Else != nil {
+						walk(r.Else)
+					}
+				case *lang.WhileStmt:
+					walk(r.Body)
+				}
+			}
+		}
+		walk(decl.Body)
+		returnVars[decl] = vs
+		return vs
 	}
 
 	// One structural pass collecting constraints; indirect calls re-run
 	// until no new unifications occur.
+	var targetBuf []int // scratch: snapshot of one call's resolved targets
 	changed := true
 	for rounds := 0; changed && rounds < 20; rounds++ {
 		changed = false
 		sizeBefore := len(s.uf.parent)
 		unionsBefore := unions
 		var walkBlock func(fn string, b *lang.Block)
-		handleCall := func(fn, callee string, args []string, resultVar string) {
-			targets := []string{callee}
-			if declared[callee] == nil {
-				targets = resolveTargets(node(fn, callee))
+		bindTarget := func(fn string, decl *lang.FuncDecl, args []string, resultVar string) {
+			for i, a := range args {
+				if i < len(decl.Params) {
+					union(node(fn, a), node(decl.Name, decl.Params[i]))
+				}
 			}
-			for _, tgt := range targets {
-				decl := declared[tgt]
-				if decl == nil {
-					continue
+			if resultVar != "" {
+				// Unify result with every returned variable.
+				for _, rv := range returnsOf(decl) {
+					union(node(fn, resultVar), node(decl.Name, rv))
 				}
-				for i, a := range args {
-					if i < len(decl.Params) {
-						union(node(fn, a), node(tgt, decl.Params[i]))
-					}
-				}
-				if resultVar != "" {
-					// Unify result with every returned variable.
-					var findReturns func(b *lang.Block)
-					findReturns = func(b *lang.Block) {
-						for _, st := range b.Stmts {
-							switch r := st.(type) {
-							case *lang.ReturnStmt:
-								if r.HasVal {
-									union(node(fn, resultVar), node(tgt, r.Value))
-								}
-							case *lang.IfStmt:
-								findReturns(r.Then)
-								if r.Else != nil {
-									findReturns(r.Else)
-								}
-							case *lang.WhileStmt:
-								findReturns(r.Body)
-							}
-						}
-					}
-					findReturns(decl.Body)
+			}
+		}
+		handleCall := func(fn, callee string, args []string, resultVar string) {
+			if decl := declared[callee]; decl != nil {
+				bindTarget(fn, decl, args, resultVar)
+				return
+			}
+			fs := funcSets[s.uf.find(node(fn, callee))]
+			if fs == nil {
+				return
+			}
+			// Snapshot the target set before binding: the unions below can
+			// merge sets mid-iteration, and the string implementation also
+			// resolved before binding.
+			targetBuf = targetBuf[:0]
+			fs.ForEach(func(id int) { targetBuf = append(targetBuf, id) })
+			for _, id := range targetBuf {
+				if decl := funcsByID[id]; decl != nil {
+					bindTarget(fn, decl, args, resultVar)
 				}
 			}
 		}
@@ -228,7 +268,7 @@ func AnalyzeFuncPointers(prog *lang.Program) *Steensgaard {
 			changed = true
 		}
 	}
-	s.funcs = make([]map[string]bool, len(s.uf.parent))
+	s.funcs = make([]*bitset.Set, len(s.uf.parent))
 	for rep, fs := range funcSets {
 		s.funcs[s.uf.find(rep)] = fs
 	}
@@ -238,20 +278,30 @@ func AnalyzeFuncPointers(prog *lang.Program) *Steensgaard {
 // Targets returns the functions variable v (in function fn) may refer to,
 // sorted for determinism. A declared function name resolves to itself.
 func (s *Steensgaard) Targets(fn, v string) []string {
-	key := fn + "." + v
-	n, ok := s.nodes[key]
+	n, ok := s.nodes[varKey{fn, v}]
 	if !ok {
-		if n2, ok2 := s.nodes["fn."+v]; ok2 {
+		if n2, ok2 := s.nodes[varKey{"fn", v}]; ok2 {
 			n = n2
 		} else {
 			return nil
 		}
 	}
 	fs := s.funcs[s.uf.find(n)]
-	out := make([]string, 0, len(fs))
-	for f := range fs {
-		out = append(out, f)
-	}
-	sort.Strings(out)
+	out := make([]string, 0, fs.Len())
+	fs.ForEach(func(id int) { out = append(out, s.fnames[id]) })
 	return out
+}
+
+// FuncSetWords returns the total backing-array size, in 64-bit words, of
+// the distinct function sets held by the analysis result.
+func (s *Steensgaard) FuncSetWords() int {
+	seen := make(map[*bitset.Set]bool)
+	words := 0
+	for _, fs := range s.funcs {
+		if fs != nil && !seen[fs] {
+			seen[fs] = true
+			words += fs.Words()
+		}
+	}
+	return words
 }

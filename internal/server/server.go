@@ -425,6 +425,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 	gh, gm := canary.GuardInternStats()
 	fmt.Fprintf(w, "canaryd_guard_intern_hits_total %d\n", gh)
 	fmt.Fprintf(w, "canaryd_guard_intern_misses_total %d\n", gm)
+	gi, bw, _ := canary.AllocStats()
+	fmt.Fprintf(w, "canaryd_guard_interned_total %d\n", gi)
+	fmt.Fprintf(w, "canaryd_pta_bitset_words %d\n", bw)
 
 	for _, st := range pipeline.Stages() {
 		m.stage[st.MetricsLabel()].writeTo(w, "canaryd_stage_latency_seconds", st.MetricsLabel())

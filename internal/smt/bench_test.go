@@ -1,0 +1,65 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+
+	"canary/internal/guard"
+)
+
+// BenchmarkPresolve measures the pre-Tseitin fast path on a unit-heavy
+// conjunction — the common shape of aggregated path guards. The dense
+// guard.Assignment keeps propagation allocation-free until the Sat model
+// materializes.
+func BenchmarkPresolve(b *testing.B) {
+	b.ReportAllocs()
+	pool := guard.NewPool()
+	lits := make([]*guard.Formula, 0, 24)
+	for i := 0; i < 16; i++ {
+		f := guard.Var(pool.Bool(fmt.Sprintf("b%d", i)))
+		if i%3 == 0 {
+			f = guard.Not(f)
+		}
+		lits = append(lits, f)
+	}
+	for i := 0; i < 8; i++ {
+		lits = append(lits, guard.Var(pool.Order(i, i+1)))
+	}
+	f := guard.And(lits...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r, _, ok := Presolve(pool, f); !ok || r != Sat {
+			b.Fatal("presolve must decide the unit conjunction Sat")
+		}
+	}
+}
+
+// BenchmarkSolveAssumingAssignment measures assumption solving through the
+// dense partial-assignment API the cube-and-conquer workers use, reusing
+// one Assignment across solves the way a worker reuses it across cubes.
+func BenchmarkSolveAssumingAssignment(b *testing.B) {
+	b.ReportAllocs()
+	pool := guard.NewPool()
+	var atoms [8]guard.Atom
+	for i := range atoms {
+		atoms[i] = pool.Bool(fmt.Sprintf("x%d", i))
+	}
+	clauses := make([]*guard.Formula, 0, len(atoms))
+	for i := range atoms {
+		j := (i + 1) % len(atoms)
+		clauses = append(clauses, guard.Or(guard.Var(atoms[i]), guard.Var(atoms[j])))
+	}
+	f := guard.And(clauses...)
+	asn := guard.NewAssignment(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(pool)
+		s.Assert(f)
+		asn.Reset()
+		asn.Set(atoms[0], i%2 == 0)
+		asn.Set(atoms[3], true)
+		if s.SolveAssumingAssignment(asn) != Sat {
+			b.Fatal("assumption query must be Sat")
+		}
+	}
+}

@@ -31,10 +31,10 @@ func (s *Solver) Model() Model {
 	if len(s.model) == 0 {
 		return nil
 	}
-	m := make(Model, len(s.varOfAtom))
+	m := make(Model)
 	for a, v := range s.varOfAtom {
-		if v < len(s.model) && s.model[v] != 0 {
-			m[a] = s.model[v] == 1
+		if v != 0 && v < len(s.model) && s.model[v] != 0 {
+			m[guard.Atom(a)] = s.model[v] == 1
 		}
 	}
 	return m

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 
@@ -13,8 +14,8 @@ type CubeOptions struct {
 	// SplitAtoms is the number of atoms to case-split on; the formula is
 	// partitioned into 2^SplitAtoms cubes.
 	SplitAtoms int
-	// Workers is the number of concurrent cube solvers; 0 means
-	// SplitAtoms-derived default.
+	// Workers is the number of concurrent cube solvers; <=0 means one
+	// worker per logical CPU, capped at the cube count.
 	Workers int
 	// MaxConflictsPerCube bounds each cube's search; <=0 means unbounded.
 	MaxConflictsPerCube int64
@@ -38,7 +39,7 @@ func SolveCubeAndConquer(pool *guard.Pool, formulas []*guard.Formula, opt CubeOp
 	nCubes := 1 << len(split)
 	workers := opt.Workers
 	if workers <= 0 {
-		workers = minInt(nCubes, 8)
+		workers = minInt(nCubes, runtime.NumCPU())
 	}
 
 	type job struct{ mask int }
@@ -52,17 +53,18 @@ func SolveCubeAndConquer(pool *guard.Pool, formulas []*guard.Formula, opt CubeOp
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			assumps := guard.NewAssignment(0)
 			for j := range jobs {
 				s := New(pool)
 				s.MaxConflicts = opt.MaxConflictsPerCube
 				for _, f := range formulas {
 					s.Assert(f)
 				}
-				assumps := make(map[guard.Atom]bool, len(split))
+				assumps.Reset()
 				for i, a := range split {
-					assumps[a] = j.mask&(1<<i) != 0
+					assumps.Set(a, j.mask&(1<<i) != 0)
 				}
-				r := s.SolveAssuming(assumps)
+				r := s.SolveAssumingAssignment(assumps)
 				results <- r
 				if r == Sat {
 					stopOnce.Do(func() { close(stop) })

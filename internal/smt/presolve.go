@@ -38,7 +38,7 @@ func Presolve(pool *guard.Pool, f *guard.Formula) (Result, Model, bool) {
 // ctx.Err() promptly when the context is done. A non-nil error always
 // accompanies (Unknown, nil, false).
 func PresolveContext(ctx context.Context, pool *guard.Pool, f *guard.Formula) (Result, Model, bool, error) {
-	asn := make(map[guard.Atom]bool)
+	asn := guard.NewAssignment(0)
 	cur := f
 	for {
 		if cerr := ctx.Err(); cerr != nil {
@@ -50,20 +50,12 @@ func PresolveContext(ctx context.Context, pool *guard.Pool, f *guard.Formula) (R
 		if cur.IsTrue() {
 			break
 		}
-		units := unitLiterals(cur)
-		if len(units) == 0 {
+		seen, progress, conflict := collectUnits(cur, asn)
+		if seen == 0 {
 			return Unknown, nil, false, nil
 		}
-		progress := false
-		for a, v := range units {
-			if old, ok := asn[a]; ok {
-				if old != v {
-					return Unsat, nil, true, nil
-				}
-				continue
-			}
-			asn[a] = v
-			progress = true
+		if conflict {
+			return Unsat, nil, true, nil
 		}
 		if !progress {
 			return Unknown, nil, false, nil
@@ -73,28 +65,49 @@ func PresolveContext(ctx context.Context, pool *guard.Pool, f *guard.Formula) (R
 	if !orderConsistent(pool, asn) {
 		return Unsat, nil, true, nil
 	}
-	if len(asn) == 0 {
+	if asn.Len() == 0 {
 		return Sat, nil, true, nil
 	}
-	return Sat, Model(asn), true, nil
+	// The map model materializes only on Sat: the propagation rounds above
+	// work on the dense assignment alone.
+	m := make(Model, asn.Len())
+	for _, a := range asn.Assigned() {
+		m[a] = asn.Value(a)
+	}
+	return Sat, m, true, nil
 }
 
-// unitLiterals collects the literals the formula forces at the top level: f
+// collectUnits folds the literals the formula forces at the top level — f
 // itself when it is a literal, or the literal conjuncts of a top-level
-// conjunction. Hash-consed And construction already folds complementary
-// literal pairs to ⊥, so the collected set is conflict-free by
-// construction (Presolve still cross-checks against earlier rounds).
-func unitLiterals(f *guard.Formula) map[guard.Atom]bool {
-	units := make(map[guard.Atom]bool)
+// conjunction — into asn. Hash-consed And construction already folds
+// complementary literal pairs to ⊥, so one round's literals are
+// conflict-free by construction; conflict reports a clash with a literal
+// forced in an earlier round. seen counts the literals encountered, and
+// progress reports whether any was newly assigned.
+func collectUnits(f *guard.Formula, asn *guard.Assignment) (seen int, progress, conflict bool) {
 	collect := func(g *guard.Formula) {
+		var a guard.Atom
+		var v bool
 		switch g.Kind() {
 		case guard.KVar:
-			units[g.Atom()] = true
+			a, v = g.Atom(), true
 		case guard.KNot:
 			if sub := g.Subs()[0]; sub.Kind() == guard.KVar {
-				units[sub.Atom()] = false
+				a, v = sub.Atom(), false
 			}
 		}
+		if a == 0 {
+			return
+		}
+		seen++
+		if old, ok := asn.Get(a); ok {
+			if old != v {
+				conflict = true
+			}
+			return
+		}
+		asn.Set(a, v)
+		progress = true
 	}
 	if f.Kind() == guard.KAnd {
 		for _, s := range f.Subs() {
@@ -103,13 +116,13 @@ func unitLiterals(f *guard.Formula) map[guard.Atom]bool {
 	} else {
 		collect(f)
 	}
-	return units
+	return seen, progress, conflict
 }
 
 // substitute rewrites f under the partial assignment asn, folding constants
 // through the simplifying guard constructors. memo deduplicates shared
 // subtrees within one rewrite.
-func substitute(f *guard.Formula, asn map[guard.Atom]bool, memo map[*guard.Formula]*guard.Formula) *guard.Formula {
+func substitute(f *guard.Formula, asn *guard.Assignment, memo map[*guard.Formula]*guard.Formula) *guard.Formula {
 	if out, ok := memo[f]; ok {
 		return out
 	}
@@ -118,7 +131,7 @@ func substitute(f *guard.Formula, asn map[guard.Atom]bool, memo map[*guard.Formu
 	case guard.KTrue, guard.KFalse:
 		out = f
 	case guard.KVar:
-		if v, ok := asn[f.Atom()]; ok {
+		if v, ok := asn.Get(f.Atom()); ok {
 			if v {
 				out = guard.True()
 			} else {
@@ -151,9 +164,10 @@ func substitute(f *guard.Formula, asn map[guard.Atom]bool, memo map[*guard.Formu
 // contributes the reverse edge j→i (totality), a reflexive true atom is an
 // immediate contradiction, and the set is consistent iff the edge graph is
 // acyclic.
-func orderConsistent(pool *guard.Pool, asn map[guard.Atom]bool) bool {
+func orderConsistent(pool *guard.Pool, asn *guard.Assignment) bool {
 	adj := make(map[int][]int)
-	for a, v := range asn {
+	for _, a := range asn.Assigned() {
+		v := asn.Value(a)
 		from, to, ok := pool.OrderAtom(a)
 		if !ok {
 			continue

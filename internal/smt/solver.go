@@ -91,7 +91,7 @@ type Solver struct {
 	activity  []float64
 	phase     []bool
 	atomOfVar []guard.Atom // 0 for Tseitin auxiliaries
-	varOfAtom map[guard.Atom]int
+	varOfAtom []int        // indexed by atom id; 0 = no variable yet
 
 	clauses []*clause
 	learnts []*clause
@@ -129,7 +129,6 @@ type Solver struct {
 func New(pool *guard.Pool) *Solver {
 	s := &Solver{
 		pool:        pool,
-		varOfAtom:   make(map[guard.Atom]int),
 		varInc:      1.0,
 		claInc:      1.0,
 		maxLearnts:  4000,
@@ -162,6 +161,11 @@ func (s *Solver) newVar(a guard.Atom) int {
 	s.watches = append(s.watches, nil, nil)
 	s.vsids.insert(v)
 	if a != 0 {
+		if int(a) >= len(s.varOfAtom) {
+			grown := make([]int, int(a)+1)
+			copy(grown, s.varOfAtom)
+			s.varOfAtom = grown
+		}
 		s.varOfAtom[a] = v
 		if from, to, ok := s.pool.OrderAtom(a); ok {
 			if from == to {
@@ -177,8 +181,10 @@ func (s *Solver) newVar(a guard.Atom) int {
 
 // varFor returns (allocating on demand) the solver variable of atom a.
 func (s *Solver) varFor(a guard.Atom) int {
-	if v, ok := s.varOfAtom[a]; ok {
-		return v
+	if int(a) < len(s.varOfAtom) {
+		if v := s.varOfAtom[a]; v != 0 {
+			return v
+		}
 	}
 	return s.newVar(a)
 }
@@ -478,11 +484,24 @@ func (s *Solver) backtrackTo(levelTo int) {
 func (s *Solver) Solve() Result { return s.solve(nil) }
 
 // SolveAssuming solves under the given atom assumptions (atom, phase pairs
-// expressed as a map). Used by cube-and-conquer.
+// expressed as a map).
 func (s *Solver) SolveAssuming(assumps map[guard.Atom]bool) Result {
 	lits := make([]lit, 0, len(assumps))
 	for a, ph := range assumps {
 		lits = append(lits, mkLit(s.varFor(a), !ph))
+	}
+	return s.solve(lits)
+}
+
+// SolveAssumingAssignment solves under the assumptions recorded in asn,
+// applied in assignment order — a deterministic variant of SolveAssuming
+// used by cube-and-conquer (a map's range order would vary the decision
+// sequence, and with it the cost, run to run).
+func (s *Solver) SolveAssumingAssignment(asn *guard.Assignment) Result {
+	atoms := asn.Assigned()
+	lits := make([]lit, 0, len(atoms))
+	for _, a := range atoms {
+		lits = append(lits, mkLit(s.varFor(a), !asn.Value(a)))
 	}
 	return s.solve(lits)
 }
@@ -646,8 +665,11 @@ func (s *Solver) reduceDB() {
 // ValueAtom reports the model value of atom a after a Sat result. ok is
 // false when the atom never reached the solver or no model is available.
 func (s *Solver) ValueAtom(a guard.Atom) (val, ok bool) {
-	v, exists := s.varOfAtom[a]
-	if !exists || len(s.model) <= v {
+	if int(a) >= len(s.varOfAtom) {
+		return false, false
+	}
+	v := s.varOfAtom[a]
+	if v == 0 || len(s.model) <= v {
 		return false, false
 	}
 	return s.model[v] == 1, true

@@ -10,6 +10,7 @@ package vfg
 
 import (
 	"fmt"
+	"sort"
 
 	"canary/internal/guard"
 	"canary/internal/ir"
@@ -111,7 +112,18 @@ type Graph struct {
 	// objStores maps each location (object, field) to the stores that may
 	// define it — the superset from which the S(l) sets of Eq. 2 and the
 	// intervening-store competitors of Φ_ls are drawn at checking time.
-	objStores map[Loc][]StoreRef
+	// Indexed by LocIndex; locations outside the dense index space (an
+	// object or field the program doesn't mention) fall back to a map.
+	objStores   [][]StoreRef
+	locOverflow map[Loc][]StoreRef
+
+	// Dense location numbering: every (object, field) pair maps to
+	// obj-major, field-minor index space. Field names are interned from the
+	// program's instructions at construction, in sorted order — so ascending
+	// LocIndex order is exactly ascending (Obj, Field-string) order, the
+	// ordering the analysis passes sort locations into.
+	fieldID    map[string]int
+	fieldNames []string
 }
 
 // Loc is a field-sensitive memory location: a field of an abstract object
@@ -130,13 +142,68 @@ type StoreRef struct {
 
 // New returns an empty graph over prog.
 func New(prog *ir.Program) *Graph {
-	return &Graph{
-		Prog:      prog,
-		varNode:   make(map[ir.VarID]NodeID),
-		objNode:   make(map[ir.ObjID]NodeID),
-		edgeIdx:   make(map[edgeKey]EdgeID),
-		objStores: make(map[Loc][]StoreRef),
+	g := &Graph{
+		Prog:    prog,
+		varNode: make(map[ir.VarID]NodeID),
+		objNode: make(map[ir.ObjID]NodeID),
+		edgeIdx: make(map[edgeKey]EdgeID),
+		fieldID: map[string]int{"": 0},
 	}
+	for _, inst := range prog.Insts() {
+		if inst.Field != "" {
+			g.fieldID[inst.Field] = 0
+		}
+	}
+	g.fieldNames = make([]string, 0, len(g.fieldID))
+	for f := range g.fieldID {
+		g.fieldNames = append(g.fieldNames, f)
+	}
+	sort.Strings(g.fieldNames)
+	for i, f := range g.fieldNames {
+		g.fieldID[f] = i
+	}
+	g.objStores = make([][]StoreRef, g.LocCount())
+	return g
+}
+
+// FieldID returns the dense id of a field name. Every field occurring in
+// the program (plus "", the whole cell) is interned at construction.
+func (g *Graph) FieldID(field string) int {
+	id, ok := g.fieldID[field]
+	if !ok {
+		panic(fmt.Sprintf("vfg: field %q not interned", field))
+	}
+	return id
+}
+
+// NumFields returns the number of interned fields (including "").
+func (g *Graph) NumFields() int { return len(g.fieldNames) }
+
+// LocIndex returns the dense index of location (o, field): obj-major,
+// field-minor, so ascending index order is ascending (Obj, Field) order.
+func (g *Graph) LocIndex(o ir.ObjID, field string) int {
+	return (int(o)-1)*len(g.fieldNames) + g.FieldID(field)
+}
+
+// LocCount returns the size of the dense location index space.
+func (g *Graph) LocCount() int {
+	return len(g.Prog.Objects) * len(g.fieldNames)
+}
+
+// LocAt is the inverse of LocIndex.
+func (g *Graph) LocAt(i int) Loc {
+	nf := len(g.fieldNames)
+	return Loc{Obj: ir.ObjID(i/nf) + 1, Field: g.fieldNames[i%nf]}
+}
+
+// locIndex is the non-panicking LocIndex: it reports whether l lies in the
+// dense index space.
+func (g *Graph) locIndex(l Loc) (int, bool) {
+	fid, ok := g.fieldID[l.Field]
+	if !ok || int(l.Obj) < 1 || int(l.Obj) > len(g.Prog.Objects) {
+		return 0, false
+	}
+	return (int(l.Obj)-1)*len(g.fieldNames) + fid, true
 }
 
 // VarNode interns the node of SSA variable v.
@@ -212,18 +279,34 @@ func (g *Graph) AddEdge(e Edge) bool {
 // AddObjStore records that the store at ref.Store may define location l.
 // Duplicates are merged by guard disjunction.
 func (g *Graph) AddObjStore(l Loc, ref StoreRef) {
-	for i, r := range g.objStores[l] {
+	li, ok := g.locIndex(l)
+	refs := g.locOverflow[l]
+	if ok {
+		refs = g.objStores[li]
+	}
+	for i, r := range refs {
 		if r.Store == ref.Store {
-			g.objStores[l][i].Guard = guard.Or(r.Guard, ref.Guard)
+			refs[i].Guard = guard.Or(r.Guard, ref.Guard)
 			return
 		}
 	}
-	g.objStores[l] = append(g.objStores[l], ref)
+	refs = append(refs, ref)
+	if ok {
+		g.objStores[li] = refs
+		return
+	}
+	if g.locOverflow == nil {
+		g.locOverflow = make(map[Loc][]StoreRef)
+	}
+	g.locOverflow[l] = refs
 }
 
 // ObjStores returns all stores that may define location l.
 func (g *Graph) ObjStores(l Loc) []StoreRef {
-	return g.objStores[l]
+	if li, ok := g.locIndex(l); ok {
+		return g.objStores[li]
+	}
+	return g.locOverflow[l]
 }
 
 // EdgeCountByKind tallies edges per kind (for evaluation stats).

@@ -8,7 +8,9 @@ import (
 	"testing/quick"
 
 	"canary/internal/baseline"
+	"canary/internal/bitset"
 	"canary/internal/core"
+	"canary/internal/guard"
 	"canary/internal/ir"
 	"canary/internal/lang"
 	"canary/internal/workload"
@@ -303,6 +305,129 @@ func TestQuickWorkloadGroundTruth(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the bitset used by the points-to and location hot paths agrees
+// with a map[int]bool reference on every operation sequence — membership,
+// add/remove reporting, union change-reporting, cardinality, and strictly
+// ascending iteration.
+func TestQuickBitsetMatchesMapSet(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, other := new(bitset.Set), new(bitset.Set)
+		ref := make(map[int]bool)
+		oref := make(map[int]bool)
+		for op := 0; op < 300; op++ {
+			k := r.Intn(400)
+			switch r.Intn(5) {
+			case 0:
+				if s.Add(k) != !ref[k] {
+					t.Logf("seed %d: Add(%d) change report wrong", seed, k)
+					return false
+				}
+				ref[k] = true
+			case 1:
+				s.Remove(k)
+				delete(ref, k)
+			case 2:
+				other.Add(k)
+				oref[k] = true
+			case 3:
+				grew := false
+				for kk := range oref {
+					if !ref[kk] {
+						ref[kk] = true
+						grew = true
+					}
+				}
+				if s.UnionWith(other) != grew {
+					t.Logf("seed %d: UnionWith change report wrong", seed)
+					return false
+				}
+			case 4:
+				if s.Has(k) != ref[k] {
+					t.Logf("seed %d: Has(%d) mismatch", seed, k)
+					return false
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Logf("seed %d: Len %d != %d", seed, s.Len(), len(ref))
+			return false
+		}
+		prev, ordered := -1, true
+		seen := 0
+		s.ForEach(func(k int) {
+			if k <= prev || !ref[k] {
+				ordered = false
+			}
+			prev = k
+			seen++
+		})
+		return ordered && seen == len(ref)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the batched assignment-slice evaluator (EvalAssign / EvalAll)
+// agrees with the map-based Eval on random formulas under random partial
+// assignments, including the unassigned-atom-is-false convention.
+func TestQuickBatchedEvalMatchesMapEval(t *testing.T) {
+	const nAtoms = 12
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var gen func(depth int) *guard.Formula
+		gen = func(depth int) *guard.Formula {
+			if depth == 0 || r.Intn(3) == 0 {
+				f := guard.Var(guard.Atom(r.Intn(nAtoms) + 1))
+				if r.Intn(2) == 0 {
+					f = guard.Not(f)
+				}
+				return f
+			}
+			subs := make([]*guard.Formula, r.Intn(3)+2)
+			for i := range subs {
+				subs[i] = gen(depth - 1)
+			}
+			if r.Intn(2) == 0 {
+				return guard.And(subs...)
+			}
+			return guard.Or(subs...)
+		}
+		fs := make([]*guard.Formula, r.Intn(8)+1)
+		for i := range fs {
+			fs[i] = gen(3)
+		}
+		m := make(map[guard.Atom]bool)
+		asn := guard.NewAssignment(nAtoms)
+		for a := guard.Atom(1); a <= nAtoms; a++ {
+			switch r.Intn(3) {
+			case 0:
+				m[a] = true
+				asn.Set(a, true)
+			case 1:
+				// Explicit false: distinct from missing in the map's
+				// representation, identical under Eval semantics.
+				m[a] = false
+				asn.Set(a, false)
+			}
+		}
+		got := guard.EvalAll(fs, asn, nil)
+		for i, f := range fs {
+			want := f.Eval(m)
+			if got[i] != want || f.EvalAssign(asn) != want {
+				t.Logf("seed %d: formula %d: map=%v batched=%v single=%v",
+					seed, i, want, got[i], f.EvalAssign(asn))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
 	}
 }
