@@ -1,19 +1,25 @@
 GO ?= go
 
-.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke serve-smoke fuzz-smoke fuzz
+.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke bench-persist-smoke serve-smoke fuzz-smoke fuzz
 
 ## check: the full CI gate — lint (gofmt drift + vet), build, race-enabled
-## tests (includes the corpus-wide determinism tests and the 16-goroutine
-## fault/budget hammer), short fuzzer smokes, the end-to-end daemon smoke
-## test, and a one-iteration smoke of the incremental benchmark.
+## tests (includes the corpus-wide determinism tests, the fresh-process
+## warm-restart tests, and the 16-goroutine fault/budget hammer), short
+## fuzzer smokes (including the disk-facing wire decoders), the end-to-end
+## daemon smoke test, and one-iteration smokes of the incremental and
+## persist benchmarks.
 check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/lang
 	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=5s .
+	$(GO) test -run=NONE -fuzz=FuzzDecodeEntry -fuzztime=5s ./internal/diskstore
+	$(GO) test -run=NONE -fuzz=FuzzDecodeSummary -fuzztime=5s ./internal/pta
+	$(GO) test -run=NONE -fuzz=FuzzDecodeVerdict -fuzztime=5s ./internal/smt
 	$(GO) run scripts/serve_smoke.go
 	$(GO) run ./cmd/canary-bench -experiment incremental -incr-iters 1 -incr-lines 600 -json > /dev/null
 	$(MAKE) bench-hotpath-smoke
+	$(MAKE) bench-persist-smoke
 
 ## lint: formatting drift fails the build (gofmt prints the offending
 ## files), then static vetting.
@@ -42,6 +48,7 @@ bench:
 bench-json:
 	$(GO) run ./cmd/canary-bench -experiment incremental -json > BENCH_incremental.json
 	$(GO) run ./cmd/canary-bench -experiment hotpath -json > BENCH_hotpath.json
+	$(GO) run ./cmd/canary-bench -experiment persist -json > BENCH_persist.json
 
 ## bench-hotpath-smoke: tiny-corpus run of the hotpath experiment with an
 ## allocation regression gate — guard construction above 40 allocs/op (the
@@ -50,6 +57,13 @@ bench-hotpath-smoke:
 	$(GO) run ./cmd/canary-bench -experiment hotpath \
 		-hotpath-lines 400 -hotpath-guard-ops 200 -hotpath-iters 2 \
 		-hotpath-max-guard-allocs 40 -json > /dev/null
+
+## bench-persist-smoke: tiny-corpus run of the persist experiment — a real
+## fresh-process warm restart that must serve at least one disk hit and
+## stay byte-identical to the cold run (the experiment exits 1 otherwise).
+bench-persist-smoke:
+	$(GO) run ./cmd/canary-bench -experiment persist \
+		-persist-lines 400 -persist-iters 1 -persist-min-disk-hits 1 -json > /dev/null
 
 ## serve-smoke: end-to-end canaryd exercise — random port, example
 ## submission vs CLI, cache replay, /healthz, /metrics, 413, queue-full

@@ -10,6 +10,7 @@
 //	canary-bench -experiment incremental # one-edit re-analysis: cold vs warm session latency and reuse rates
 //	canary-bench -experiment trace    # per-stage wall-clock split of one analysis (the pipeline registry spans)
 //	canary-bench -experiment hotpath  # allocs/op, B/op, ns/op of the hot-path representations vs the recorded pre-overhaul baseline
+//	canary-bench -experiment persist  # warm restarts: fresh-process cold vs disk-warm latency, hit rates, store size
 //	canary-bench -experiment all
 //
 // -json replaces the text tables with one JSON object holding the raw
@@ -50,10 +51,20 @@ func main() {
 		hpGuardOps = flag.Int("hotpath-guard-ops", 4000, "guard-construction operations measured in the hotpath experiment")
 		hpIters    = flag.Int("hotpath-iters", 8, "iterations of the pta/datadep/interference hotpath sections")
 		hpMaxGuard = flag.Int64("hotpath-max-guard-allocs", 0, "fail (exit 1) if guard-construct allocs/op exceeds this ceiling; 0 disables the assertion")
+		perLines   = flag.Int("persist-lines", 2600, "subject size for the persist experiment")
+		perIters   = flag.Int("persist-iters", 3, "cold/warm fresh-process repetitions in the persist experiment (best-of)")
+		perMinHits = flag.Int64("persist-min-disk-hits", 0, "fail (exit 1) if the warm-restart process served fewer disk hits than this; 0 disables the assertion")
+		childDir   = flag.String("persist-dir", "", "internal: warm-state directory of a -persist-child run")
+		childSrc   = flag.String("persist-src", "", "internal: subject file of a -persist-child run")
+		childMode  = flag.Bool("persist-child", false, "internal: run one analysis through a persistent session and print its report as JSON (used by -experiment persist to get fresh processes)")
 		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
+
+	if *childMode {
+		os.Exit(bench.RunPersistChild(*childDir, *childSrc))
+	}
 
 	e := &bench.Experiments{Timeout: *timeout}
 	if *verbose {
@@ -68,7 +79,7 @@ func main() {
 		}
 		return *experiment == "all"
 	}
-	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath")
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath", "persist")
 	if !known {
 		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -83,6 +94,7 @@ func main() {
 		Incremental *bench.IncrementalResult `json:"incremental,omitempty"`
 		Trace       *bench.TraceResult       `json:"trace,omitempty"`
 		Hotpath     *bench.HotpathResult     `json:"hotpath,omitempty"`
+		Persist     *bench.PersistResult     `json:"persist,omitempty"`
 	}{}
 
 	if want("fig7a", "fig7b", "table1") {
@@ -148,6 +160,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if want("persist") {
+		exe, err := os.Executable()
+		if err != nil {
+			fail(err)
+		}
+		spec := workload.SizeSweep(1, *perLines, *perLines)[0]
+		res, err := e.RunPersist(spec, *perIters, exe)
+		if err != nil {
+			fail(err)
+		}
+		out.Persist = &res
+		if *perMinHits > 0 && res.Warm.DiskHits < uint64(*perMinHits) {
+			fmt.Fprintf(os.Stderr, "canary-bench: warm-restart disk hits %d below floor %d\n",
+				res.Warm.DiskHits, *perMinHits)
+			os.Exit(1)
+		}
+		if !res.Identical || !res.EditedIdentical {
+			fmt.Fprintf(os.Stderr, "canary-bench: warm-restart output not byte-identical to cold (warm=%v edited=%v)\n",
+				res.Identical, res.EditedIdentical)
+			os.Exit(1)
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -202,6 +236,10 @@ func main() {
 	if out.Hotpath != nil {
 		sep()
 		bench.PrintHotpath(os.Stdout, *out.Hotpath)
+	}
+	if out.Persist != nil {
+		sep()
+		bench.PrintPersist(os.Stdout, *out.Persist)
 	}
 }
 

@@ -60,12 +60,72 @@ func run() int {
 		maxNodes  = flag.Int("max-formula-nodes", 0, "step budget: guard formula nodes per query before eliding (0 = unlimited)")
 		dotOut    = flag.String("dot", "", "write the value-flow graph in Graphviz DOT form to this file")
 		failOn    = flag.Bool("fail-on-report", true, "exit 1 when any report is emitted (the CI gate); =false always exits 0 on a completed analysis")
+		warmDir   = flag.String("warm-dir", "", "persistent warm state: analyze through a session backed by the content-addressed disk store rooted here, so repeated CLI runs and CI jobs start warm")
+		warmMax   = flag.Int64("warm-max-bytes", 0, "size cap of the -warm-dir store in bytes; least-recently-accessed entries are evicted past it (0 = 1 GiB)")
+		warmImp   = flag.String("warm-import", "", "before analyzing, merge this snapshot archive into the -warm-dir store (usable without an input file)")
+		warmExp   = flag.String("warm-export", "", "after analyzing, export the -warm-dir store as a single-file snapshot archive for shipping to another machine (usable without an input file)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	// Snapshot shipping works standalone: with -warm-dir and an
+	// import/export flag but no input file, just move the archive.
+	archiveOnly := flag.NArg() == 0 && *warmDir != "" && (*warmImp != "" || *warmExp != "")
+	if flag.NArg() != 1 && !archiveOnly {
 		fmt.Fprintln(os.Stderr, "usage: canary [flags] file.cn")
+		fmt.Fprintln(os.Stderr, "       canary -warm-dir dir -warm-import file | -warm-export file")
 		flag.PrintDefaults()
 		return 2
+	}
+	if (*warmImp != "" || *warmExp != "") && *warmDir == "" {
+		fmt.Fprintln(os.Stderr, "canary: -warm-import/-warm-export need -warm-dir")
+		return 2
+	}
+
+	var sess *canary.Session
+	if *warmDir != "" {
+		var serr error
+		sess, serr = canary.NewPersistentSession(*warmDir, *warmMax)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", serr)
+			return 2
+		}
+		defer sess.Close()
+	}
+	if *warmImp != "" {
+		f, ferr := os.Open(*warmImp)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", ferr)
+			return 2
+		}
+		n, ierr := sess.ImportWarm(f)
+		f.Close()
+		if ierr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", ierr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "canary: imported %d warm entries from %s\n", n, *warmImp)
+	}
+	exportWarm := func() int {
+		if *warmExp == "" {
+			return 0
+		}
+		f, ferr := os.Create(*warmExp)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", ferr)
+			return 2
+		}
+		n, eerr := sess.ExportWarm(f)
+		if cerr := f.Close(); eerr == nil {
+			eerr = cerr
+		}
+		if eerr != nil {
+			fmt.Fprintln(os.Stderr, "canary:", eerr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "canary: exported %d warm entries to %s\n", n, *warmExp)
+		return 0
+	}
+	if archiveOnly {
+		return exportWarm()
 	}
 
 	opt := canary.DefaultOptions()
@@ -110,10 +170,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "canary:", err)
 		return 2
 	}
-	res, err := canary.Analyze(string(data), opt)
+	var res *canary.Result
+	if sess != nil {
+		res, err = sess.Analyze(string(data), opt)
+	} else {
+		res, err = canary.Analyze(string(data), opt)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "canary:", err)
 		return 2
+	}
+	if sess != nil {
+		// Land write-behind flushes before any export and before the
+		// deferred Close, so the disk stats below are settled.
+		sess.Flush()
+	}
+	if rc := exportWarm(); rc != 0 {
+		return rc
 	}
 
 	if *dotOut != "" {
@@ -200,6 +273,12 @@ func run() int {
 		fmt.Printf("guard interner: %d hits, %d misses (process-wide)\n", gh, gm)
 		gi, bw, be := canary.AllocStats()
 		fmt.Printf("allocations: %d interned formulas, %d bitset words, %d batched evals (process-wide)\n", gi, bw, be)
+		if sess != nil {
+			ds := sess.DiskStats()
+			fmt.Printf("disk store: %d hits, %d misses, %d writes, %d entries (%d bytes), %d corrupt, %d gc evictions, %d dropped writes\n",
+				ds.Hits, ds.Misses, ds.Writes, ds.Entries, ds.Bytes,
+				ds.CorruptEntries, ds.GCEvictions, ds.DroppedWrites)
+		}
 		if res.Check.SearchBudgetExhausted+res.Check.FormulaBudgetExhausted+res.Check.SolveBudgetExhausted > 0 ||
 			res.VFG.FixpointBudgetExhausted {
 			fmt.Printf("budgets: fixpoint exhausted=%v, search exhausted=%d, formula exhausted=%d, solve exhausted=%d\n",
@@ -211,12 +290,12 @@ func run() int {
 		// Prime a fresh session with one cold run, then rerun warm: the
 		// second run's stats show exactly how much work the digest-keyed
 		// summary store and the structural verdict store can absorb.
-		sess := canary.NewSession()
-		if _, ierr := sess.Analyze(string(data), opt); ierr != nil {
+		isess := canary.NewSession()
+		if _, ierr := isess.Analyze(string(data), opt); ierr != nil {
 			fmt.Fprintln(os.Stderr, "canary:", ierr)
 			return 2
 		}
-		warm, ierr := sess.Analyze(string(data), opt)
+		warm, ierr := isess.Analyze(string(data), opt)
 		if ierr != nil {
 			fmt.Fprintln(os.Stderr, "canary:", ierr)
 			return 2

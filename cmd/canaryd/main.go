@@ -51,7 +51,9 @@ func run() int {
 		maxConc    = flag.Int("max-concurrent", 0, "analyses run simultaneously (0 = max(2, NumCPU/4))")
 		queueDepth = flag.Int("queue-depth", 64, "bound on admitted-but-unstarted jobs")
 		jobTimeout = flag.Duration("job-timeout", 60*time.Second, "per-job analysis deadline cap")
-		cacheSize  = flag.Int("cache-entries", 4096, "content-addressed result cache capacity")
+		cacheSize  = flag.Int("cache-entries", 4096, "content-addressed result cache capacity (in-memory tier)")
+		cacheDir   = flag.String("cache-dir", "", "spill the warm state (results, summaries, verdicts) to a content-addressed disk store rooted here; a restarted daemon starts warm")
+		cacheBytes = flag.Int64("cache-max-bytes", 0, "disk store size cap in bytes; least-recently-accessed entries are evicted past it (0 = 1 GiB; needs -cache-dir)")
 		workers    = flag.Int("workers", 0, "per-analysis worker pool size (0 = all CPUs)")
 		drainWait  = flag.Duration("drain-timeout", 10*time.Minute, "bound on draining in-flight jobs at shutdown")
 		maxBody    = flag.Int64("max-request-bytes", 0, "largest accepted /v1/analyze body in bytes (0 = 16 MiB); oversized requests get 413")
@@ -74,15 +76,21 @@ func run() int {
 		MaxDFSSteps:       *maxSteps,
 		MaxFormulaNodes:   *maxNodes,
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxConcurrent:   *maxConc,
 		QueueDepth:      *queueDepth,
 		JobTimeout:      *jobTimeout,
 		CacheEntries:    *cacheSize,
+		CacheDir:        *cacheDir,
+		CacheMaxBytes:   *cacheBytes,
 		MaxRequestBytes: *maxBody,
 		StageTimeout:    *stageWait,
 		Options:         opt,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canaryd:", err)
+		return 2
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

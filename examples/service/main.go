@@ -23,7 +23,10 @@ import (
 var program string
 
 func main() {
-	srv := server.New(server.Config{MaxConcurrent: 2})
+	srv, err := server.New(server.Config{MaxConcurrent: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	submit := func(label string) *server.Job {
 		job, err := srv.Submit(program, canary.DefaultOptions(), 0)

@@ -291,3 +291,189 @@ func TestFaultAndBudgetHammer(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// primePersistent analyzes src into a fresh persistent session rooted at
+// dir with no faults armed, returning the clean render every faulted warm
+// run below must still reproduce.
+func primePersistent(t *testing.T, dir, src string) string {
+	t.Helper()
+	failpoint.Reset()
+	sess, err := NewPersistentSession(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Analyze(src, fiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Flush()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return renderReports(res)
+}
+
+// TestInjectedDiskFaultsDegrade arms the three disk failpoints against a
+// populated warm directory: every injected read fault, write fault, and
+// bit flip must degrade the disk store to a miss — the analysis recomputes
+// and stays byte-identical to the clean run, and nothing crashes.
+func TestInjectedDiskFaultsDegrade(t *testing.T) {
+	defer failpoint.Reset()
+
+	t.Run(failpoint.SiteDiskRead, func(t *testing.T) {
+		src := fiProgram("fiDskR")
+		dir := t.TempDir()
+		want := primePersistent(t, dir, src)
+		if err := failpoint.Enable(failpoint.SiteDiskRead, "error"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Reset()
+		sess, err := NewPersistentSession(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		res, err := sess.Analyze(src, fiOptions())
+		if err != nil {
+			t.Fatalf("injected read fault must degrade to a miss, not abort: %v", err)
+		}
+		if failpoint.Hits(failpoint.SiteDiskRead) == 0 {
+			t.Fatal("disk-read site was never reached")
+		}
+		if got := renderReports(res); got != want {
+			t.Fatalf("read fault changed the output:\n--- clean:\n%s\n--- faulted:\n%s", want, got)
+		}
+		if ds := sess.DiskStats(); ds.Hits != 0 {
+			t.Errorf("every read was faulted, yet %d disk hits", ds.Hits)
+		}
+	})
+
+	t.Run(failpoint.SiteDiskCorrupt, func(t *testing.T) {
+		src := fiProgram("fiDskC")
+		dir := t.TempDir()
+		want := primePersistent(t, dir, src)
+		if err := failpoint.Enable(failpoint.SiteDiskCorrupt, "error"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.Reset()
+		sess, err := NewPersistentSession(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		res, err := sess.Analyze(src, fiOptions())
+		if err != nil {
+			t.Fatalf("injected bit flip must degrade to a miss, not abort: %v", err)
+		}
+		if failpoint.Hits(failpoint.SiteDiskCorrupt) == 0 {
+			t.Fatal("disk-corrupt site was never reached")
+		}
+		if got := renderReports(res); got != want {
+			t.Fatalf("bit flip changed the output:\n--- clean:\n%s\n--- faulted:\n%s", want, got)
+		}
+		ds := sess.DiskStats()
+		if ds.CorruptEntries == 0 {
+			t.Error("checksum trailer caught no flipped entry")
+		}
+		if ds.Hits != 0 {
+			t.Errorf("every read was bit-flipped, yet %d disk hits", ds.Hits)
+		}
+	})
+
+	t.Run(failpoint.SiteDiskWrite, func(t *testing.T) {
+		failpoint.Reset()
+		src := fiProgram("fiDskW")
+		dir := t.TempDir()
+		// Arm during priming: every disk write is suppressed, so the store
+		// stays empty and the next session runs cold — but correctly.
+		if err := failpoint.Enable(failpoint.SiteDiskWrite, "error"); err != nil {
+			t.Fatal(err)
+		}
+		s1, err := NewPersistentSession(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res1, err := s1.Analyze(src, fiOptions())
+		if err != nil {
+			t.Fatalf("injected write fault must be invisible, not abort: %v", err)
+		}
+		s1.Flush()
+		if failpoint.Hits(failpoint.SiteDiskWrite) == 0 {
+			t.Fatal("disk-write site was never reached")
+		}
+		if ds := s1.DiskStats(); ds.Entries != 0 || ds.Writes != 0 {
+			t.Fatalf("faulted writes still landed: %+v", ds)
+		}
+		if err := s1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		failpoint.Reset()
+
+		s2, err := NewPersistentSession(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		res2, err := s2.Analyze(src, fiOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderReports(res2), renderReports(res1); got != want {
+			t.Fatalf("cold rerun after suppressed writes differs:\n--- first:\n%s\n--- second:\n%s", want, got)
+		}
+	})
+}
+
+// TestBitRotOnDiskDegradesToRecompute flips a real byte in every entry
+// file of a populated warm directory — no failpoints, actual bit rot. A
+// fresh session must detect every corruption via the checksum trailer,
+// heal the store by deleting the bad files, and recompute byte-identical
+// output.
+func TestBitRotOnDiskDegradesToRecompute(t *testing.T) {
+	src := fiProgram("fiRot")
+	dir := t.TempDir()
+	want := primePersistent(t, dir, src)
+
+	flipped := 0
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		b, rerr := os.ReadFile(path)
+		if rerr != nil || len(b) == 0 {
+			return rerr
+		}
+		b[len(b)/2] ^= 0x01
+		if werr := os.WriteFile(path, b, 0o644); werr != nil {
+			return werr
+		}
+		flipped++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped == 0 {
+		t.Fatal("priming left nothing on disk to corrupt")
+	}
+
+	sess, err := NewPersistentSession(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Analyze(src, fiOptions())
+	if err != nil {
+		t.Fatalf("bit rot must degrade to recompute, not abort: %v", err)
+	}
+	if got := renderReports(res); got != want {
+		t.Fatalf("bit rot changed the output:\n--- clean:\n%s\n--- rotted:\n%s", want, got)
+	}
+	ds := sess.DiskStats()
+	if ds.CorruptEntries == 0 {
+		t.Error("no corruption was detected despite flipping every entry")
+	}
+	if ds.Hits != 0 {
+		t.Errorf("a flipped entry was served as a hit (%d hits)", ds.Hits)
+	}
+}

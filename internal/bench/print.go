@@ -221,3 +221,27 @@ func maxF(a, b float64) float64 {
 	}
 	return b
 }
+
+// PrintPersist renders the warm-restart experiment: each phase is a fresh
+// process, so every reuse in the warm rows was fed from the disk store.
+func PrintPersist(w io.Writer, res PersistResult) {
+	fmt.Fprintf(w, "Persistent warm state — fresh-process restarts (%d-line subject, best of %d)\n",
+		res.Lines, res.Iters)
+	fmt.Fprintf(w, "%-12s %12s %18s %14s %11s %12s\n",
+		"phase", "latency", "summaries reused", "verdict hits", "disk hits", "disk writes")
+	row := func(name string, ph PersistPhase) {
+		total := ph.SummaryHits + ph.FuncsReanalyzed
+		fmt.Fprintf(w, "%-12s %12s %18s %14d %11d %12d\n",
+			name, ph.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d/%d", ph.SummaryHits, total),
+			ph.VerdictHits, ph.DiskHits, ph.DiskWrites)
+	}
+	row("cold", res.Cold)
+	row("warm", res.Warm)
+	row("edited-cold", res.EditedCold)
+	row("edited-warm", res.EditedWarm)
+	fmt.Fprintf(w, "restart speedup: %.2fx; store: %d entries, %d bytes\n",
+		res.Speedup, res.Warm.DiskEntries, res.Warm.DiskBytes)
+	fmt.Fprintf(w, "warm byte-identical to cold: %v; edited pair identical: %v; summary reuse after edit+restart: %.2f\n",
+		res.Identical, res.EditedIdentical, res.SummaryReuse)
+}

@@ -78,11 +78,14 @@ func (e *Experiments) RunServe(spec workload.Spec, clients, perClient int) (Serv
 	}
 	res.MaxConcurrent = 2
 	res.QueueDepth = clients
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxConcurrent: res.MaxConcurrent,
 		QueueDepth:    res.QueueDepth,
 		JobTimeout:    timeout,
 	})
+	if err != nil {
+		return res, err
+	}
 	opt := canary.DefaultOptions()
 
 	// Queue-depth sampler, running across both phases.

@@ -22,6 +22,28 @@ type Key [32]byte
 // String renders the key as lowercase hex (the job API's cache_key field).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ByteStore is the contract every content-addressed byte store in the
+// system satisfies: the in-memory Store here, diskstore's persistent
+// Namespace, and the Tiered combination of the two. Because a Key fully
+// determines its value, any implementation is free to degrade any
+// operation to a miss (never to a wrong value), which is what lets the
+// warm stores swap backends without changing their semantics.
+type ByteStore interface {
+	// Get returns the value stored under k; the returned slice is shared
+	// and must not be modified.
+	Get(k Key) ([]byte, bool)
+	// Put stores v under k. Implementations may copy v, drop the write,
+	// or defer it — a reader either sees exactly v or a miss.
+	Put(k Key, v []byte)
+	// Delete removes k, reporting whether it was present in any tier.
+	Delete(k Key) bool
+	// Stats returns the cumulative hit and miss counts of Get.
+	Stats() (hits, misses uint64)
+	// Len returns the number of stored values (for tiered stores, of the
+	// tier that bounds in-process footprint).
+	Len() int
+}
+
 // Store is a bounded LRU map from content keys to immutable byte values.
 // All methods are safe for concurrent use.
 type Store struct {

@@ -1,0 +1,257 @@
+package diskstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"canary/internal/cache"
+)
+
+func keyOf(s string) cache.Key {
+	return cache.Key(sha256.Sum256([]byte(s)))
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		enc := EncodeEntry(payload)
+		got, ok := DecodeEntry(enc)
+		if !ok {
+			t.Fatalf("DecodeEntry rejected its own encoding (len %d)", len(payload))
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: got %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestDecodeEntryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("not-the-magic-and-then-some-padding-to-clear-the-length-check!!"),
+		EncodeEntry([]byte("v"))[:len(entryMagic)+checksumLen-1], // truncated
+	}
+	// Checksum mismatch: flip one payload bit.
+	enc := EncodeEntry([]byte("hello world"))
+	enc[len(entryMagic)+3] ^= 0x01
+	cases = append(cases, enc)
+	for i, c := range cases {
+		if _, ok := DecodeEntry(c); ok {
+			t.Errorf("case %d: DecodeEntry accepted garbage", i)
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := s.NS("summary")
+	k := keyOf("a")
+	if _, ok := ns.Get(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	ns.Put(k, []byte("value-a"))
+	v, ok := ns.Get(k)
+	if !ok || string(v) != "value-a" {
+		t.Fatalf("Get = %q, %v; want value-a, true", v, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 write, 1 entry", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("stats bytes = %d; want > 0", st.Bytes)
+	}
+}
+
+func TestStoreShardedLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyOf("sharded")
+	s.NS("ns").Put(k, []byte("v"))
+	h := hex.EncodeToString(k[:])
+	want := filepath.Join(dir, "ns", h[:2], h)
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at sharded path %s: %v", want, err)
+	}
+}
+
+func TestReopenRebuildsAccountingAndServesHits(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		s1.NS("a").Put(keyOf(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	st1 := s1.Stats()
+
+	// Leftover temp file from a "crashed writer".
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"dead"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := s2.Stats()
+	if st2.Bytes != st1.Bytes || st2.Entries != st1.Entries {
+		t.Fatalf("reopened accounting %d bytes/%d entries; want %d/%d",
+			st2.Bytes, st2.Entries, st1.Bytes, st1.Entries)
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpPrefix+"dead")); !os.IsNotExist(err) {
+		t.Fatal("reopen did not sweep the leftover temp file")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := s2.NS("a").Get(keyOf(fmt.Sprintf("k%d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("reopened Get(k%d) = %q, %v", i, v, ok)
+		}
+	}
+}
+
+func TestCorruptEntryDegradesToMissAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := s.NS("n")
+	k := keyOf("corrupt-me")
+	ns.Put(k, []byte("precious"))
+
+	// Bit-flip the entry on disk.
+	h := hex.EncodeToString(k[:])
+	p := filepath.Join(dir, "n", h[:2], h)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x01
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := ns.Get(k); ok {
+		t.Fatal("Get returned a corrupt entry")
+	}
+	st := s.Stats()
+	if st.CorruptEntries != 1 {
+		t.Fatalf("corrupt entries = %d; want 1", st.CorruptEntries)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry file was not removed")
+	}
+	// The slot healed: a re-put works and the value reads back.
+	ns.Put(k, []byte("precious"))
+	if v, ok := ns.Get(k); !ok || string(v) != "precious" {
+		t.Fatalf("healed Get = %q, %v", v, ok)
+	}
+}
+
+func TestNamespacesPartitionKeys(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyOf("shared-key")
+	s.NS("a").Put(k, []byte("va"))
+	s.NS("b").Put(k, []byte("vb"))
+	if v, _ := s.NS("a").Get(k); string(v) != "va" {
+		t.Fatalf("ns a = %q", v)
+	}
+	if v, _ := s.NS("b").Get(k); string(v) != "vb" {
+		t.Fatalf("ns b = %q", v)
+	}
+	if !s.NS("a").Delete(k) {
+		t.Fatal("delete a missed")
+	}
+	if _, ok := s.NS("a").Get(k); ok {
+		t.Fatal("a still present after delete")
+	}
+	if v, ok := s.NS("b").Get(k); !ok || string(v) != "vb" {
+		t.Fatalf("delete in a disturbed b: %q, %v", v, ok)
+	}
+}
+
+func TestGCEvictsLeastRecentlyAccessed(t *testing.T) {
+	dir := t.TempDir()
+	// Entry overhead is magic+checksum = 40 bytes; payloads of 60 make each
+	// entry 100 bytes. Cap at 450: the 5th write overflows and GC shrinks
+	// to <= 405, evicting the stalest entry.
+	s, err := Open(dir, 450)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := s.NS("n")
+	payload := bytes.Repeat([]byte{1}, 60)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 4; i++ {
+		k := keyOf(fmt.Sprintf("e%d", i))
+		ns.Put(k, payload)
+		// Distinct, strictly increasing mtimes so LRU order is exact.
+		h := hex.EncodeToString(k[:])
+		p := filepath.Join(dir, "n", h[:2], h)
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(p, ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns.Put(keyOf("e4"), payload) // overflow: 500 > 450
+	st := s.Stats()
+	if st.GCEvictions == 0 {
+		t.Fatalf("no GC evictions; stats %+v", st)
+	}
+	if st.Bytes > 450 {
+		t.Fatalf("post-GC size %d still above cap", st.Bytes)
+	}
+	// The oldest entry is gone, the newest survives.
+	if _, ok := ns.Get(keyOf("e0")); ok {
+		t.Fatal("LRU entry e0 survived GC")
+	}
+	if _, ok := ns.Get(keyOf("e4")); !ok {
+		t.Fatal("newest entry e4 was evicted")
+	}
+}
+
+func TestPutExistingKeyOnlyTouches(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := s.NS("n")
+	k := keyOf("idem")
+	ns.Put(k, []byte("v"))
+	ns.Put(k, []byte("v"))
+	st := s.Stats()
+	if st.Writes != 1 || st.Entries != 1 {
+		t.Fatalf("re-put wrote again: %+v", st)
+	}
+}
+
+func TestNamespaceLen(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := s.NS("n")
+	for i := 0; i < 5; i++ {
+		ns.Put(keyOf(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	if got := ns.Len(); got != 5 {
+		t.Fatalf("Len = %d; want 5", got)
+	}
+}

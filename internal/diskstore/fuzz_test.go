@@ -1,0 +1,62 @@
+package diskstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEntry hammers the entry-file decoder: any byte string read
+// off disk must decode to its exact payload or be rejected — never panic,
+// never return unverified bytes.
+func FuzzDecodeEntry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(entryMagic))
+	f.Add(EncodeEntry(nil))
+	f.Add(EncodeEntry([]byte("payload")))
+	trunc := EncodeEntry([]byte("truncated"))
+	f.Add(trunc[:len(trunc)-1])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, ok := DecodeEntry(b)
+		if !ok {
+			return
+		}
+		// Whatever was accepted must re-encode to exactly the input: the
+		// format has no slack bytes for an attacker to hide state in.
+		if !bytes.Equal(EncodeEntry(payload), b) {
+			t.Fatalf("accepted entry does not re-encode to itself")
+		}
+	})
+}
+
+// FuzzImport feeds arbitrary bytes to the snapshot-archive reader against
+// a real (temp-dir) store: it must never panic, never over-allocate from
+// a hostile length prefix, and never write an unverified record.
+func FuzzImport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(snapshotMagic))
+	valid := func() []byte {
+		var buf bytes.Buffer
+		buf.WriteString(snapshotMagic)
+		buf.WriteByte(1)
+		buf.WriteString("n")
+		k := keyOf("k")
+		buf.Write(k[:])
+		entry := EncodeEntry([]byte("v"))
+		buf.WriteByte(byte(len(entry)))
+		buf.Write(entry)
+		buf.WriteByte(0)
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Open(t.TempDir(), 0)
+		if err != nil {
+			t.Skip()
+		}
+		n, _ := s.Import(bytes.NewReader(b))
+		if n < 0 || int64(n) != s.Stats().Entries {
+			t.Fatalf("import reported %d entries, store holds %d", n, s.Stats().Entries)
+		}
+	})
+}

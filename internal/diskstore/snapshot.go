@@ -1,0 +1,186 @@
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"canary/internal/cache"
+)
+
+// The single-file snapshot archive: a portable serialization of a whole
+// store (all namespaces) for shipping warm caches between machines.
+//
+//	header  := "canarysnap1\n"
+//	record  := uvarint len(ns) ns key[32] uvarint len(entry) entry
+//	trailer := uvarint 0
+//
+// where entry is the checksummed on-disk entry encoding (EncodeEntry),
+// so every record carries its own integrity proof and a corrupted
+// archive can never import a wrong value — only fail.
+const snapshotMagic = "canarysnap1\n"
+
+// maxSnapshotEntry bounds a single record's claimed size, so a garbage
+// length prefix cannot drive an over-allocation.
+const maxSnapshotEntry = 64 << 20 // 64 MiB
+
+// maxSnapshotNS bounds a namespace name in an archive record.
+const maxSnapshotNS = 255
+
+// Export writes a snapshot archive of the whole store to w, returning
+// the number of entries exported. Entries are emitted in deterministic
+// order (namespace, then key), and corrupt entries are skipped — an
+// archive only ever carries verified bytes.
+func (s *Store) Export(w io.Writer) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return 0, fmt.Errorf("diskstore: export: %w", err)
+	}
+	type rec struct {
+		ns   string
+		key  cache.Key
+		path string
+	}
+	var recs []rec
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return 0, fmt.Errorf("diskstore: export: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ns := e.Name()
+		filepath.WalkDir(filepath.Join(s.root, ns), func(path string, d fs.DirEntry, werr error) error {
+			if werr != nil || d.IsDir() || strings.HasPrefix(d.Name(), tmpPrefix) {
+				return nil
+			}
+			raw, derr := hex.DecodeString(d.Name())
+			if derr != nil || len(raw) != len(cache.Key{}) {
+				return nil // not an entry file
+			}
+			var k cache.Key
+			copy(k[:], raw)
+			recs = append(recs, rec{ns: ns, key: k, path: path})
+			return nil
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].ns != recs[j].ns {
+			return recs[i].ns < recs[j].ns
+		}
+		return string(recs[i].key[:]) < string(recs[j].key[:])
+	})
+
+	var num [binary.MaxVarintLen64]byte
+	writeUvarint := func(u uint64) error {
+		n := binary.PutUvarint(num[:], u)
+		_, err := bw.Write(num[:n])
+		return err
+	}
+	count := 0
+	for _, r := range recs {
+		b, rerr := os.ReadFile(r.path)
+		if rerr != nil {
+			continue // evicted mid-export: just absent
+		}
+		if _, ok := DecodeEntry(b); !ok {
+			continue // never export unverifiable bytes
+		}
+		if err := writeUvarint(uint64(len(r.ns))); err != nil {
+			return count, fmt.Errorf("diskstore: export: %w", err)
+		}
+		if _, err := bw.WriteString(r.ns); err != nil {
+			return count, fmt.Errorf("diskstore: export: %w", err)
+		}
+		if _, err := bw.Write(r.key[:]); err != nil {
+			return count, fmt.Errorf("diskstore: export: %w", err)
+		}
+		if err := writeUvarint(uint64(len(b))); err != nil {
+			return count, fmt.Errorf("diskstore: export: %w", err)
+		}
+		if _, err := bw.Write(b); err != nil {
+			return count, fmt.Errorf("diskstore: export: %w", err)
+		}
+		count++
+	}
+	if err := writeUvarint(0); err != nil {
+		return count, fmt.Errorf("diskstore: export: %w", err)
+	}
+	return count, bw.Flush()
+}
+
+// validNSName accepts exactly the namespace-name alphabet the store
+// itself uses, so an archive record can never name a path outside the
+// store root.
+func validNSName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Import reads a snapshot archive from r and stores every record whose
+// entry encoding verifies, returning the number of entries imported.
+// Records that fail verification are skipped (counted against no one:
+// content addressing makes skipping safe); a structurally broken
+// archive returns an error alongside the entries already imported.
+func (s *Store) Import(r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != snapshotMagic {
+		return 0, fmt.Errorf("diskstore: import: not a snapshot archive")
+	}
+	count := 0
+	for {
+		nsLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return count, fmt.Errorf("diskstore: import: truncated archive")
+		}
+		if nsLen == 0 {
+			return count, nil // clean end marker
+		}
+		if nsLen > maxSnapshotNS {
+			return count, fmt.Errorf("diskstore: import: namespace name too long (%d)", nsLen)
+		}
+		nsName := make([]byte, nsLen)
+		if _, err := io.ReadFull(br, nsName); err != nil {
+			return count, fmt.Errorf("diskstore: import: truncated archive")
+		}
+		if !validNSName(string(nsName)) {
+			return count, fmt.Errorf("diskstore: import: invalid namespace %q", nsName)
+		}
+		var k cache.Key
+		if _, err := io.ReadFull(br, k[:]); err != nil {
+			return count, fmt.Errorf("diskstore: import: truncated archive")
+		}
+		entryLen, err := binary.ReadUvarint(br)
+		if err != nil || entryLen > maxSnapshotEntry {
+			return count, fmt.Errorf("diskstore: import: bad entry length")
+		}
+		entry := make([]byte, entryLen)
+		if _, err := io.ReadFull(br, entry); err != nil {
+			return count, fmt.Errorf("diskstore: import: truncated archive")
+		}
+		payload, ok := DecodeEntry(entry)
+		if !ok {
+			continue // corrupted record: skip, never store
+		}
+		s.NS(string(nsName)).Put(k, payload)
+		count++
+	}
+}

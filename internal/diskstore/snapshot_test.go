@@ -1,0 +1,146 @@
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]map[string]string{
+		"summary": {"k1": "v1", "k2": "v2"},
+		"verdict": {"k1": "w1"},
+		"result":  {"k3": "a-longer-value-for-variety"},
+	}
+	n := 0
+	for ns, kv := range want {
+		for k, v := range kv {
+			src.NS(ns).Put(keyOf(k), []byte(v))
+			n++
+		}
+	}
+
+	var buf bytes.Buffer
+	exported, err := src.Export(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported != n {
+		t.Fatalf("exported %d entries; want %d", exported, n)
+	}
+
+	dst, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := dst.Import(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != n {
+		t.Fatalf("imported %d entries; want %d", imported, n)
+	}
+	for ns, kv := range want {
+		for k, v := range kv {
+			got, ok := dst.NS(ns).Get(keyOf(k))
+			if !ok || string(got) != v {
+				t.Fatalf("%s/%s = %q, %v; want %q", ns, k, got, ok, v)
+			}
+		}
+	}
+}
+
+func TestSnapshotExportDeterministic(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.NS("a").Put(keyOf(fmt.Sprintf("k%d", i)), []byte("v"))
+		s.NS("b").Put(keyOf(fmt.Sprintf("k%d", i)), []byte("w"))
+	}
+	var b1, b2 bytes.Buffer
+	if _, err := s.Export(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Export(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two exports of the same store differ")
+	}
+}
+
+func TestSnapshotImportRejectsGarbageHeader(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"", "x", "definitely-not-a-snapshot-archive"} {
+		if _, err := s.Import(strings.NewReader(in)); err == nil {
+			t.Fatalf("Import(%q) accepted a non-archive", in)
+		}
+	}
+}
+
+func TestSnapshotImportSkipsCorruptRecords(t *testing.T) {
+	src, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.NS("n").Put(keyOf("a"), []byte("va"))
+	src.NS("n").Put(keyOf("b"), []byte("vb"))
+	var buf bytes.Buffer
+	if _, err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the archive body (past the header). The damaged
+	// record must be skipped, never imported wrong.
+	raw := buf.Bytes()
+	raw[len(snapshotMagic)+40] ^= 0x01
+
+	dst, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, ierr := dst.Import(bytes.NewReader(raw))
+	if imported >= 2 {
+		t.Fatalf("imported %d entries from a damaged archive (err=%v)", imported, ierr)
+	}
+	for _, k := range []string{"a", "b"} {
+		if v, ok := dst.NS("n").Get(keyOf(k)); ok {
+			if string(v) != "v"+k {
+				t.Fatalf("damaged archive imported a wrong value for %s: %q", k, v)
+			}
+		}
+	}
+}
+
+func TestSnapshotImportRejectsTraversalNamespace(t *testing.T) {
+	// Hand-build an archive whose record names namespace "../evil".
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	ns := "../evil"
+	buf.WriteByte(byte(len(ns)))
+	buf.WriteString(ns)
+	k := keyOf("k")
+	buf.Write(k[:])
+	entry := EncodeEntry([]byte("v"))
+	buf.WriteByte(byte(len(entry)))
+	buf.Write(entry)
+	buf.WriteByte(0)
+
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Import(bytes.NewReader(buf.Bytes())); err == nil || n != 0 {
+		t.Fatalf("Import accepted a traversal namespace (n=%d, err=%v)", n, err)
+	}
+}

@@ -1,0 +1,177 @@
+package diskstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"canary/internal/cache"
+)
+
+// defaultFlushQueue bounds the write-behind queue of a Tiered store
+// built with NewTiered(..., 0).
+const defaultFlushQueue = 1024
+
+// flushOp is one pending write-behind disk write.
+type flushOp struct {
+	key cache.Key
+	val []byte
+	seq uint64
+}
+
+// Tiered fronts a disk namespace with an in-memory cache.Store and an
+// asynchronous write-behind flusher, implementing cache.ByteStore:
+//
+//   - Get consults memory first, then disk; a disk hit is promoted into
+//     the memory tier so repeated lookups stay in-process;
+//   - Put lands in memory immediately and is flushed to disk by a
+//     background goroutine; when the flush queue is full the disk write
+//     is dropped (and counted) — under content addressing a dropped
+//     write only leaves the entry cold for the next process, it can
+//     never make a future read wrong;
+//   - Delete removes the key from both tiers and tombstones any write
+//     of it still sitting in the flush queue, so a quarantined entry
+//     cannot be resurrected by a racing flush.
+//
+// All methods are safe for concurrent use.
+type Tiered struct {
+	mem  *cache.Store
+	disk *Namespace
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int  // enqueued but not yet flushed
+	closed  bool // no further enqueues; queue is closed
+
+	queue   chan flushOp
+	done    chan struct{}
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+
+	delMu  sync.Mutex
+	delSeq map[cache.Key]uint64 // key -> latest delete sequence
+}
+
+// NewTiered builds a tiered store over mem and disk and starts its
+// flusher goroutine (queueLen <= 0 selects a default). Call Close to
+// stop the flusher; Flush to wait for the queue to drain.
+func NewTiered(mem *cache.Store, disk *Namespace, queueLen int) *Tiered {
+	if queueLen <= 0 {
+		queueLen = defaultFlushQueue
+	}
+	t := &Tiered{
+		mem:    mem,
+		disk:   disk,
+		queue:  make(chan flushOp, queueLen),
+		done:   make(chan struct{}),
+		delSeq: make(map[cache.Key]uint64),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	go t.flusher()
+	return t
+}
+
+func (t *Tiered) flusher() {
+	defer close(t.done)
+	for op := range t.queue {
+		t.delMu.Lock()
+		tombstoned := t.delSeq[op.key] >= op.seq
+		t.delMu.Unlock()
+		if !tombstoned {
+			t.disk.Put(op.key, op.val)
+		}
+		t.mu.Lock()
+		t.pending--
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}
+}
+
+// Get returns the value stored under k, trying memory then disk. The
+// returned slice is shared and must not be modified.
+func (t *Tiered) Get(k cache.Key) ([]byte, bool) {
+	if v, ok := t.mem.Get(k); ok {
+		return v, true
+	}
+	v, ok := t.disk.Get(k)
+	if !ok {
+		return nil, false
+	}
+	t.mem.Put(k, v)
+	return v, true
+}
+
+// Put stores v in the memory tier and schedules the disk write. The
+// value is copied before it crosses into the flusher goroutine.
+func (t *Tiered) Put(k cache.Key, v []byte) {
+	t.mem.Put(k, v)
+	cp := append([]byte(nil), v...)
+	op := flushOp{key: k, val: cp, seq: t.seq.Add(1)}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	select {
+	case t.queue <- op:
+		t.pending++
+	default:
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// Delete evicts k from both tiers and tombstones any still-queued write
+// of it, reporting whether either tier held the key.
+func (t *Tiered) Delete(k cache.Key) bool {
+	t.delMu.Lock()
+	t.delSeq[k] = t.seq.Add(1)
+	t.delMu.Unlock()
+	m := t.mem.Delete(k)
+	d := t.disk.Delete(k)
+	return m || d
+}
+
+// Stats reports the tiered hit/miss counts: a hit in either tier is a
+// hit, and only a miss of both tiers (the disk namespace's misses) is a
+// miss. Memory-tier misses that were answered by disk do not count.
+func (t *Tiered) Stats() (hits, misses uint64) {
+	mh, _ := t.mem.Stats()
+	dh, dm := t.disk.Stats()
+	return mh + dh, dm
+}
+
+// Len returns the number of entries in the memory tier (the bound that
+// matters for in-process footprint; the disk tier is governed by the
+// store-wide byte cap).
+func (t *Tiered) Len() int { return t.mem.Len() }
+
+// DroppedWrites reports how many disk writes were skipped because the
+// flush queue was full.
+func (t *Tiered) DroppedWrites() uint64 { return t.dropped.Load() }
+
+// Flush blocks until every write enqueued before the call has been
+// written (or tombstoned). It does not prevent concurrent Puts from
+// enqueueing more.
+func (t *Tiered) Flush() {
+	t.mu.Lock()
+	for t.pending > 0 {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}
+
+// Close drains the flush queue and stops the flusher. Further Puts
+// still land in the memory tier but are no longer written to disk;
+// further Gets keep working against both tiers. Idempotent.
+func (t *Tiered) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		<-t.done
+		return
+	}
+	t.closed = true
+	close(t.queue)
+	t.mu.Unlock()
+	<-t.done
+}

@@ -1,0 +1,131 @@
+package diskstore
+
+import (
+	"fmt"
+	"testing"
+
+	"canary/internal/cache"
+)
+
+func newTestTiered(t *testing.T, queueLen int) (*Tiered, *Store) {
+	t.Helper()
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTiered(cache.New(0), s.NS("n"), queueLen)
+	t.Cleanup(tr.Close)
+	return tr, s
+}
+
+func TestTieredWriteBehindReachesDisk(t *testing.T) {
+	tr, s := newTestTiered(t, 0)
+	k := keyOf("wb")
+	tr.Put(k, []byte("v"))
+	tr.Flush()
+	if v, ok := s.NS("n").Get(k); !ok || string(v) != "v" {
+		t.Fatalf("disk after flush = %q, %v", v, ok)
+	}
+}
+
+func TestTieredDiskHitPromotesToMemory(t *testing.T) {
+	tr, s := newTestTiered(t, 0)
+	k := keyOf("promote")
+	// Populate disk only, bypassing the tiered Put.
+	s.NS("n").Put(k, []byte("v"))
+
+	v, ok := tr.Get(k)
+	if !ok || string(v) != "v" {
+		t.Fatalf("tiered Get = %q, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("disk hit not promoted: mem len %d", tr.Len())
+	}
+	dh0, _ := s.NS("n").Stats()
+	if _, ok := tr.Get(k); !ok {
+		t.Fatal("second Get missed")
+	}
+	if dh1, _ := s.NS("n").Stats(); dh1 != dh0 {
+		t.Fatal("second Get went back to disk instead of memory")
+	}
+}
+
+func TestTieredDeleteTombstonesQueuedWrite(t *testing.T) {
+	tr, s := newTestTiered(t, 64)
+	k := keyOf("quarantined")
+	tr.Put(k, []byte("poison"))
+	// Delete races the flusher: whether or not the write already landed,
+	// after Delete + Flush the key must be gone from both tiers.
+	tr.Delete(k)
+	tr.Flush()
+	if _, ok := tr.Get(k); ok {
+		t.Fatal("deleted key still visible through tiered store")
+	}
+	if _, ok := s.NS("n").Get(k); ok {
+		t.Fatal("tombstoned write was resurrected on disk")
+	}
+	// A later Put (higher sequence) must still flush.
+	tr.Put(k, []byte("fresh"))
+	tr.Flush()
+	if v, ok := s.NS("n").Get(k); !ok || string(v) != "fresh" {
+		t.Fatalf("post-delete Put did not flush: %q, %v", v, ok)
+	}
+}
+
+func TestTieredStatsCountDiskHits(t *testing.T) {
+	tr, s := newTestTiered(t, 0)
+	s.NS("n").Put(keyOf("d"), []byte("v"))
+	tr.Get(keyOf("d"))    // disk hit
+	tr.Get(keyOf("d"))    // mem hit
+	tr.Get(keyOf("nope")) // full miss
+	hits, misses := tr.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+func TestTieredFullQueueDropsWrites(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the flusher first so the queue can only fill.
+	tr := NewTiered(cache.New(0), s.NS("n"), 1)
+	tr.Close()
+	for i := 0; i < 3; i++ {
+		tr.Put(keyOf(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	// Closed tiered store: no enqueues at all, memory still works.
+	if tr.DroppedWrites() != 0 {
+		t.Fatalf("closed store counted drops: %d", tr.DroppedWrites())
+	}
+	if _, ok := tr.Get(keyOf("k0")); !ok {
+		t.Fatal("memory tier lost a post-close Put")
+	}
+
+	tr2 := NewTiered(cache.New(0), s.NS("m"), 1)
+	defer tr2.Close()
+	// Saturate: with a queue of 1 and many quick Puts some must drop (the
+	// flusher can't keep up deterministically, so assert the sum instead).
+	const puts = 64
+	for i := 0; i < puts; i++ {
+		tr2.Put(keyOf(fmt.Sprintf("q%d", i)), []byte("v"))
+	}
+	tr2.Flush()
+	flushed := s.NS("m").Len()
+	if flushed+int(tr2.DroppedWrites()) != puts {
+		t.Fatalf("flushed %d + dropped %d != %d puts", flushed, tr2.DroppedWrites(), puts)
+	}
+	// Every key is still served — from memory if its write dropped.
+	for i := 0; i < puts; i++ {
+		if _, ok := tr2.Get(keyOf(fmt.Sprintf("q%d", i))); !ok {
+			t.Fatalf("key q%d lost", i)
+		}
+	}
+}
+
+func TestTieredCloseIdempotent(t *testing.T) {
+	tr, _ := newTestTiered(t, 0)
+	tr.Close()
+	tr.Close() // second close must not panic or deadlock
+}

@@ -46,6 +46,9 @@ const (
 	SiteCacheWrite    = pipeline.SiteCacheWrite    // cache.Store.Put (fault → skip)
 	SiteVerdictRead   = pipeline.SiteVerdictRead   // structural verdict lookup (fault → miss)
 	SiteJobDequeue    = pipeline.SiteJobDequeue    // canaryd worker, after dequeue
+	SiteDiskRead      = pipeline.SiteDiskRead      // diskstore entry read (fault → miss)
+	SiteDiskWrite     = pipeline.SiteDiskWrite     // diskstore entry write (fault → stays cold)
+	SiteDiskCorrupt   = pipeline.SiteDiskCorrupt   // diskstore read-side bit flip (checksum → miss)
 )
 
 // allSites derives from the registry. Package-level variable

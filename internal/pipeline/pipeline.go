@@ -74,6 +74,9 @@ const (
 	SiteCacheWrite    = "cache-write"    // cache.Store.Put (fault → skip)
 	SiteVerdictRead   = "verdict-read"   // structural verdict lookup (fault → miss)
 	SiteJobDequeue    = "job-dequeue"    // canaryd worker, after dequeue
+	SiteDiskRead      = "disk-read"      // diskstore read (fault → miss)
+	SiteDiskWrite     = "disk-write"     // diskstore write (fault → entry stays cold)
+	SiteDiskCorrupt   = "disk-corrupt"   // diskstore read-side bit flip (checksum → miss)
 )
 
 // Stage is one descriptor of the ordered pipeline registry. The metrics
@@ -118,11 +121,14 @@ var stages = []Stage{
 }
 
 // auxSites are the fault-injection sites of the layers around the
-// per-analysis pipeline: the content/result cache and the daemon's job
-// scheduler. They are part of the registry's site namespace (so
-// failpoint.Sites() still derives from one list) without belonging to a
-// stage.
-var auxSites = []string{SiteCacheRead, SiteCacheWrite, SiteJobDequeue}
+// per-analysis pipeline: the content/result cache, the persistent disk
+// store, and the daemon's job scheduler. They are part of the registry's
+// site namespace (so failpoint.Sites() still derives from one list)
+// without belonging to a stage.
+var auxSites = []string{
+	SiteCacheRead, SiteCacheWrite, SiteJobDequeue,
+	SiteDiskRead, SiteDiskWrite, SiteDiskCorrupt,
+}
 
 // Stages returns the ordered registry. The slice is a copy; descriptors
 // share the registry's inner slices and must not be mutated.

@@ -1,0 +1,36 @@
+package pta
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSummary hammers the summary wire decoder with garbage. These
+// bytes arrive from the persistent disk store and from imported snapshot
+// archives, so the decoder must never panic, never over-allocate from a
+// hostile count, and anything it does accept must re-encode canonically.
+func FuzzDecodeSummary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(encodeSummary(&Summary{}))
+	f.Add(encodeSummary(&Summary{RetAlloc: true, RetTaint: true, RetParams: []int{0, 3, 7}}))
+	// Hostile count: claims 2^64-1 parameters in two bytes of input.
+	f.Add([]byte{0x03, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, ok := decodeSummary(b)
+		if !ok {
+			return
+		}
+		if len(s.RetParams) > maxParam+1 {
+			t.Fatalf("decoded %d params from %d input bytes", len(s.RetParams), len(b))
+		}
+		re := encodeSummary(s)
+		s2, ok2 := decodeSummary(re)
+		if !ok2 {
+			t.Fatalf("re-encoding of accepted input does not decode")
+		}
+		if !bytes.Equal(encodeSummary(s2), re) {
+			t.Fatalf("decode/encode not idempotent")
+		}
+	})
+}

@@ -18,13 +18,21 @@ import (
 // any bounding options apply), so one store serves every Options
 // configuration.
 type Store struct {
-	s *cache.Store
+	s cache.ByteStore
 }
 
-// NewStore returns an empty summary store bounded to maxEntries
-// (<= 0 selects cache.DefaultMaxEntries).
+// NewStore returns an empty in-memory summary store bounded to
+// maxEntries (<= 0 selects cache.DefaultMaxEntries).
 func NewStore(maxEntries int) *Store {
 	return &Store{s: cache.New(maxEntries)}
+}
+
+// NewStoreOn returns a summary store over an arbitrary content-addressed
+// backend (e.g. a disk-backed tiered store), so warm summaries can
+// outlive the process. The serialized form is identical either way —
+// persistence is a backend swap, not a re-serialization.
+func NewStoreOn(b cache.ByteStore) *Store {
+	return &Store{s: b}
 }
 
 // Stats returns the cumulative hit and miss counts of summary lookups.

@@ -156,7 +156,10 @@ func TestStageTimeoutFailsSlowBuilds(t *testing.T) {
 // TestMetricsGovernanceLines asserts the governance counters are present
 // (at zero) on a fresh server so scrapers can rely on them.
 func TestMetricsGovernanceLines(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { s.BeginDrain() })
 	var buf bytes.Buffer
 	s.writeMetrics(&buf)

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDiskBackedRestartServesWarm is the daemon half of the warm-restart
+// contract: a canaryd configured with -cache-dir is shut down and a new
+// daemon is started on the same directory; the repeated submission must be
+// served from the disk-backed result store, byte-identical to the cold
+// run, with the disk hit counters showing it.
+func TestDiskBackedRestartServesWarm(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	status, cold := postAnalyze(t, ts1.URL, AnalyzeRequest{Source: buggySrc})
+	if status != http.StatusOK || cold.Status != JobDone || cold.Cached {
+		t.Fatalf("cold = %d %+v", status, cold)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "restart": a brand-new server over the same directory. Nothing
+	// warm survives in memory — only the disk store.
+	s2, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s2.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	status, warm := postAnalyze(t, ts2.URL, AnalyzeRequest{Source: buggySrc})
+	if status != http.StatusOK || warm.Status != JobDone {
+		t.Fatalf("warm = %d %+v", status, warm)
+	}
+	if !warm.Cached {
+		t.Fatal("restarted daemon did not serve the submission from the disk store")
+	}
+	if warm.CacheKey != cold.CacheKey {
+		t.Fatalf("cache keys differ across restart: %s vs %s", cold.CacheKey, warm.CacheKey)
+	}
+	if compactJSON(t, warm.Result) != compactJSON(t, cold.Result) {
+		t.Fatal("restarted result is not byte-identical to the cold run")
+	}
+
+	// The scrape surface shows the disk serving: hits > 0, bytes > 0.
+	code, body := getJSON(t, ts2.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"canaryd_disk_hits_total",
+		"canaryd_disk_misses_total",
+		"canaryd_disk_writes_total",
+		"canaryd_disk_corrupt_entries_total",
+		"canaryd_disk_gc_evictions_total",
+		"canaryd_disk_bytes",
+		"canaryd_disk_entries",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Contains(text, "canaryd_disk_hits_total 0\n") {
+		t.Error("disk hit counter still zero after a disk-served submission")
+	}
+	if strings.Contains(text, "canaryd_disk_bytes 0\n") {
+		t.Error("disk bytes gauge still zero over a populated store")
+	}
+}
+
+// TestMetricsDiskLinesPresentWithoutStore: with no -cache-dir the disk
+// series must still exist (as zeros), so scrapers can rely on them.
+func TestMetricsDiskLinesPresentWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := getJSON(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"canaryd_disk_hits_total 0",
+		"canaryd_disk_misses_total 0",
+		"canaryd_disk_bytes 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"canary"
 	"canary/internal/cache"
+	"canary/internal/diskstore"
 	"canary/internal/failpoint"
 	"canary/internal/pipeline"
 	"canary/internal/smt"
@@ -69,6 +70,15 @@ type Config struct {
 	MaxRequestBytes int64
 	// CacheEntries bounds the content-addressed result store.
 	CacheEntries int
+	// CacheDir, when set, spills the daemon's warm state — the result
+	// cache, the per-function summary store, and the SMT verdict store —
+	// to a content-addressed disk store rooted there, so a restarted
+	// daemon (or a sibling process sharing the directory) starts warm.
+	CacheDir string
+	// CacheMaxBytes caps the disk store's footprint; the least recently
+	// accessed entries are evicted past it. <= 0 selects the diskstore
+	// default (1 GiB). Ignored without CacheDir.
+	CacheMaxBytes int64
 	// MaxJobRecords bounds the finished-job history kept for GET
 	// /v1/jobs/{id}; the oldest finished records are pruned first.
 	MaxJobRecords int
@@ -106,8 +116,13 @@ func (c Config) withDefaults() Config {
 // running) on return.
 type Server struct {
 	cfg     Config
-	cache   *cache.Store
+	cache   cache.ByteStore
 	metrics *metrics
+	// disk is the persistent store under all three warm tiers when
+	// Config.CacheDir is set (nil otherwise); tiers are the write-behind
+	// wrappers Shutdown drains.
+	disk  *diskstore.Store
+	tiers []*diskstore.Tiered
 	// session is the warm incremental state shared by every job: the
 	// digest-keyed per-function summary store and the structural SMT
 	// verdict store. A resubmission that misses the result cache (an edited
@@ -130,22 +145,39 @@ type Server struct {
 	jobStartHook func(*Job)
 }
 
-// New builds a Server from cfg and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server from cfg and starts its worker pool. The only
+// error source is opening Config.CacheDir; a memory-only configuration
+// cannot fail.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   cache.New(cfg.CacheEntries),
 		metrics: newMetrics(),
-		session: canary.NewSession(),
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	if cfg.CacheDir != "" {
+		ds, err := diskstore.Open(cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = ds
+		// The result cache and the session's summary/verdict stores share
+		// one disk store (distinct namespaces), so one byte cap and one GC
+		// govern the daemon's whole persistent footprint.
+		rt := diskstore.NewTiered(cache.New(cfg.CacheEntries), ds.NS("result"), 0)
+		s.cache = rt
+		s.tiers = append(s.tiers, rt)
+		s.session = canary.NewSessionOnDisk(ds)
+	} else {
+		s.cache = cache.New(cfg.CacheEntries)
+		s.session = canary.NewSession()
 	}
 	s.wg.Add(cfg.MaxConcurrent)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -271,6 +303,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// With every worker stopped, drain the write-behind tiers so the
+		// warm state of the final jobs survives the restart.
+		for _, t := range s.tiers {
+			t.Close()
+		}
+		s.session.Close()
 		close(done)
 	}()
 	select {
@@ -428,6 +466,19 @@ func (s *Server) writeMetrics(w io.Writer) {
 	gi, bw, _ := canary.AllocStats()
 	fmt.Fprintf(w, "canaryd_guard_interned_total %d\n", gi)
 	fmt.Fprintf(w, "canaryd_pta_bitset_words %d\n", bw)
+	// The persistent tier's counters (all zero without -cache-dir, so
+	// scrapers can rely on the series existing either way).
+	var dst diskstore.Stats
+	if s.disk != nil {
+		dst = s.disk.Stats()
+	}
+	fmt.Fprintf(w, "canaryd_disk_hits_total %d\n", dst.Hits)
+	fmt.Fprintf(w, "canaryd_disk_misses_total %d\n", dst.Misses)
+	fmt.Fprintf(w, "canaryd_disk_writes_total %d\n", dst.Writes)
+	fmt.Fprintf(w, "canaryd_disk_corrupt_entries_total %d\n", dst.CorruptEntries)
+	fmt.Fprintf(w, "canaryd_disk_gc_evictions_total %d\n", dst.GCEvictions)
+	fmt.Fprintf(w, "canaryd_disk_bytes %d\n", dst.Bytes)
+	fmt.Fprintf(w, "canaryd_disk_entries %d\n", dst.Entries)
 
 	for _, st := range pipeline.Stages() {
 		m.stage[st.MetricsLabel()].writeTo(w, "canaryd_stage_latency_seconds", st.MetricsLabel())

@@ -33,7 +33,10 @@ func worker(y) {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -225,7 +228,10 @@ func TestAsyncJobLifecycle(t *testing.T) {
 // and expects 503 with a Retry-After hint on the overflow submission.
 func TestQueueBackpressure(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	s, err := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.jobStartHook = func(*Job) { <-release }
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -286,7 +292,10 @@ func TestJobDeadline(t *testing.T) {
 // before Shutdown returns.
 func TestDrainCompletesInFlight(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Config{MaxConcurrent: 1, QueueDepth: 4})
+	s, err := New(Config{MaxConcurrent: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.jobStartHook = func(*Job) { <-release }
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -428,7 +437,10 @@ func waitDraining(t *testing.T, s *Server) {
 // TestSubmitDirect exercises the Go-level Submit API the bench harness
 // uses, including queue-depth visibility.
 func TestSubmitDirect(t *testing.T) {
-	s := New(Config{MaxConcurrent: 1, QueueDepth: 8})
+	s, err := New(Config{MaxConcurrent: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{})
 	s.jobStartHook = func(*Job) { <-release }
 

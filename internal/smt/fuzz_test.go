@@ -1,0 +1,46 @@
+package smt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeVerdict hammers the verdict wire decoder with garbage. These
+// bytes arrive from the persistent disk store and from imported snapshot
+// archives, so the decoder must never panic (a crafted uvarint length
+// once drove a slice-bounds overflow here), never over-allocate from a
+// hostile count, and anything it accepts must re-encode canonically.
+func FuzzDecodeVerdict(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(Sat), 0})
+	f.Add(encodeVerdict(Unsat, nil))
+	f.Add(encodeVerdict(Sat, []PortableAssign{
+		{Atom: "o:1<2", Val: true},
+		{Atom: "b:guard", Val: false},
+	}))
+	// The historical panic: one assignment whose atom length decodes to
+	// 2^64-1, so the old `l+1` bounds check wrapped to zero.
+	f.Add([]byte{byte(Sat), 0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	// Hostile count with no assignments behind it.
+	f.Add([]byte{byte(Unsat), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		res, model, ok := decodeVerdict(b)
+		if !ok {
+			return
+		}
+		if res != Sat && res != Unsat {
+			t.Fatalf("accepted verdict %v", res)
+		}
+		if len(model) > len(b) {
+			t.Fatalf("decoded %d assignments from %d input bytes", len(model), len(b))
+		}
+		re := encodeVerdict(res, model)
+		res2, model2, ok2 := decodeVerdict(re)
+		if !ok2 || res2 != res || len(model2) != len(model) {
+			t.Fatalf("re-encoding of accepted input does not decode back")
+		}
+		if !bytes.Equal(encodeVerdict(res2, model2), re) {
+			t.Fatalf("decode/encode not idempotent")
+		}
+	})
+}

@@ -34,16 +34,27 @@ type PortableAssign struct {
 // (with model) and Unsat verdicts are stored; Unknown depends on the
 // conflict budget and is never reused.
 type VerdictStore struct {
-	s *cache.Store
+	s cache.ByteStore
 }
 
-// NewVerdictStore returns an empty store bounded to maxEntries (<= 0
-// selects a default sized for daemon use).
+// DefaultVerdictEntries bounds an in-memory verdict store built with
+// NewVerdictStore(0) (sized for daemon use).
+const DefaultVerdictEntries = 1 << 16
+
+// NewVerdictStore returns an empty in-memory store bounded to maxEntries
+// (<= 0 selects DefaultVerdictEntries).
 func NewVerdictStore(maxEntries int) *VerdictStore {
 	if maxEntries <= 0 {
-		maxEntries = 1 << 16
+		maxEntries = DefaultVerdictEntries
 	}
 	return &VerdictStore{s: cache.New(maxEntries)}
+}
+
+// NewVerdictStoreOn returns a verdict store over an arbitrary
+// content-addressed backend (e.g. a disk-backed tiered store), so
+// structural verdicts survive a process restart unchanged.
+func NewVerdictStoreOn(b cache.ByteStore) *VerdictStore {
+	return &VerdictStore{s: b}
 }
 
 // Stats returns the cumulative hit and miss counts of Lookup.
@@ -107,10 +118,20 @@ func decodeVerdict(b []byte) (Result, []PortableAssign, bool) {
 		return Unknown, nil, false
 	}
 	rest = rest[used:]
+	// Each assignment consumes at least two bytes (length prefix + value),
+	// so a count beyond len(rest)/2 can only come from garbage input —
+	// reject it up front instead of looping toward the inevitable failure.
+	// These bytes now also arrive from disk and snapshot archives, where
+	// "parse defensively, never over-allocate" is part of the contract.
+	if n > uint64(len(rest))/2 {
+		return Unknown, nil, false
+	}
 	var model []PortableAssign
 	for i := uint64(0); i < n; i++ {
 		l, used := binary.Uvarint(rest)
-		if used <= 0 || uint64(len(rest)-used) < l+1 {
+		// l >= len(rest)-used means the atom plus its value byte cannot
+		// fit; phrased without l+1, which overflows on adversarial input.
+		if used <= 0 || l >= uint64(len(rest)-used) {
 			return Unknown, nil, false
 		}
 		rest = rest[used:]

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync/atomic"
 
 	"canary/internal/cache"
 	"canary/internal/core"
 	"canary/internal/digest"
+	"canary/internal/diskstore"
 	"canary/internal/failpoint"
 	"canary/internal/ir"
 	"canary/internal/lang"
@@ -43,6 +45,12 @@ type Session struct {
 	summaries *pta.Store
 	verdicts  *smt.VerdictStore
 
+	// disk, when non-nil, is the persistent backend both warm stores are
+	// tiered over (see NewSessionOnDisk); tiers holds the write-behind
+	// wrappers so Flush/Close can drain them.
+	disk  *diskstore.Store
+	tiers []*diskstore.Tiered
+
 	// Panic-isolation observables: how many panics this session's
 	// analyses recovered into ErrInternal errors, and how many summary
 	// entries Quarantine evicted as possibly poisoned.
@@ -50,12 +58,136 @@ type Session struct {
 	quarantined atomic.Uint64
 }
 
-// NewSession returns an empty warm store with default bounds.
+// NewSession returns an empty in-memory warm store with default bounds;
+// its state dies with the process.
 func NewSession() *Session {
 	return &Session{
 		summaries: pta.NewStore(0),
 		verdicts:  smt.NewVerdictStore(0),
 	}
+}
+
+// NewSessionOnDisk returns a warm session whose summary and verdict
+// stores are tiered over the given persistent disk store (under the
+// "summary" and "verdict" namespaces): lookups try memory then disk,
+// writes land in memory and flush to disk asynchronously. A nil ds
+// degrades to NewSession. The caller may share ds with other tiers
+// (canaryd puts its result cache on the same store).
+func NewSessionOnDisk(ds *diskstore.Store) *Session {
+	if ds == nil {
+		return NewSession()
+	}
+	st := diskstore.NewTiered(cache.New(0), ds.NS("summary"), 0)
+	vt := diskstore.NewTiered(cache.New(smt.DefaultVerdictEntries), ds.NS("verdict"), 0)
+	return &Session{
+		summaries: pta.NewStoreOn(st),
+		verdicts:  smt.NewVerdictStoreOn(vt),
+		disk:      ds,
+		tiers:     []*diskstore.Tiered{st, vt},
+	}
+}
+
+// NewPersistentSession opens (or reopens) the content-addressed disk
+// store rooted at dir, bounded to maxBytes (<= 0 selects the diskstore
+// default), and returns a warm session tiered over it. A fresh process
+// pointed at a populated dir starts warm: unchanged functions load their
+// summaries and unchanged source–sink pairs replay their verdicts from
+// disk, with output byte-identical to a cold run. Call Close (or at
+// least Flush) before process exit so write-behind entries land.
+func NewPersistentSession(dir string, maxBytes int64) (*Session, error) {
+	ds, err := diskstore.Open(dir, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	return NewSessionOnDisk(ds), nil
+}
+
+// Flush blocks until every warm-store write enqueued so far has reached
+// the disk store. A no-op for nil and memory-only sessions.
+func (s *Session) Flush() {
+	if s == nil {
+		return
+	}
+	for _, t := range s.tiers {
+		t.Flush()
+	}
+}
+
+// Close drains and stops the write-behind flushers. The session remains
+// usable afterwards (reads still hit both tiers; new writes stay
+// in-memory only). A no-op for nil and memory-only sessions.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	for _, t := range s.tiers {
+		t.Close()
+	}
+	return nil
+}
+
+// DiskStats is a snapshot of a session's persistent-store counters (all
+// zero for memory-only sessions): tiered lookups answered from disk,
+// true disk misses, completed entry writes, checksum-failed entries
+// healed to misses, GC evictions, write-behind drops, and the store's
+// current footprint.
+type DiskStats struct {
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Writes         uint64 `json:"writes"`
+	CorruptEntries uint64 `json:"corrupt_entries"`
+	GCEvictions    uint64 `json:"gc_evictions"`
+	DroppedWrites  uint64 `json:"dropped_writes"`
+	Bytes          int64  `json:"bytes"`
+	Entries        int64  `json:"entries"`
+}
+
+// DiskStats returns the persistent-store counters (zero for nil and
+// memory-only sessions).
+func (s *Session) DiskStats() DiskStats {
+	if s == nil || s.disk == nil {
+		return DiskStats{}
+	}
+	st := s.disk.Stats()
+	out := DiskStats{
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		Writes:         st.Writes,
+		CorruptEntries: st.CorruptEntries,
+		GCEvictions:    st.GCEvictions,
+		Bytes:          st.Bytes,
+		Entries:        st.Entries,
+	}
+	for _, t := range s.tiers {
+		out.DroppedWrites += t.DroppedWrites()
+	}
+	return out
+}
+
+// ErrNoDiskStore is returned by ExportWarm/ImportWarm on a session
+// without a persistent backend.
+var ErrNoDiskStore = errors.New("canary: session has no persistent warm store")
+
+// ExportWarm writes the session's whole persistent store (summaries,
+// verdicts, and any co-tenant namespaces) as a single-file snapshot
+// archive to w, for shipping a warm cache to another machine. Pending
+// write-behind entries are flushed first. Returns the entry count.
+func (s *Session) ExportWarm(w io.Writer) (int, error) {
+	if s == nil || s.disk == nil {
+		return 0, ErrNoDiskStore
+	}
+	s.Flush()
+	return s.disk.Export(w)
+}
+
+// ImportWarm merges a snapshot archive into the session's persistent
+// store. Entries failing verification are skipped — an import can add
+// warm state, never corrupt it. Returns the imported entry count.
+func (s *Session) ImportWarm(r io.Reader) (int, error) {
+	if s == nil || s.disk == nil {
+		return 0, ErrNoDiskStore
+	}
+	return s.disk.Import(r)
 }
 
 // verdictStore returns the verdict store, or nil for a nil session.
