@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke bench-persist-smoke serve-smoke fuzz-smoke fuzz
+.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke bench-persist-smoke serve-smoke fleet-smoke fuzz-smoke fuzz
 
 ## check: the full CI gate — lint (gofmt drift + vet), build, race-enabled
 ## tests (includes the corpus-wide determinism tests, the fresh-process
 ## warm-restart tests, and the 16-goroutine fault/budget hammer), short
-## fuzzer smokes (including the disk-facing wire decoders), the end-to-end
-## daemon smoke test, and one-iteration smokes of the incremental and
-## persist benchmarks.
+## fuzzer smokes (including the disk- and peer-facing wire decoders), the
+## end-to-end daemon and fleet smoke tests, and one-iteration smokes of
+## the incremental and persist benchmarks.
 check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
@@ -16,7 +16,10 @@ check: lint
 	$(GO) test -run=NONE -fuzz=FuzzDecodeEntry -fuzztime=5s ./internal/diskstore
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSummary -fuzztime=5s ./internal/pta
 	$(GO) test -run=NONE -fuzz=FuzzDecodeVerdict -fuzztime=5s ./internal/smt
+	$(GO) test -run=NONE -fuzz=FuzzParseAnalyzeRequest -fuzztime=5s ./internal/api
+	$(GO) test -run=NONE -fuzz=FuzzDecodePeerEntry -fuzztime=5s ./internal/fleet
 	$(GO) run scripts/serve_smoke.go
+	$(GO) run scripts/fleet_smoke.go
 	$(GO) run ./cmd/canary-bench -experiment incremental -incr-iters 1 -incr-lines 600 -json > /dev/null
 	$(MAKE) bench-hotpath-smoke
 	$(MAKE) bench-persist-smoke
@@ -49,6 +52,7 @@ bench-json:
 	$(GO) run ./cmd/canary-bench -experiment incremental -json > BENCH_incremental.json
 	$(GO) run ./cmd/canary-bench -experiment hotpath -json > BENCH_hotpath.json
 	$(GO) run ./cmd/canary-bench -experiment persist -json > BENCH_persist.json
+	$(GO) run ./cmd/canary-bench -experiment fleet -json > BENCH_fleet.json
 
 ## bench-hotpath-smoke: tiny-corpus run of the hotpath experiment with an
 ## allocation regression gate — guard construction above 40 allocs/op (the
@@ -71,10 +75,19 @@ bench-persist-smoke:
 serve-smoke:
 	$(GO) run scripts/serve_smoke.go
 
-## fuzz-smoke: the short fuzzer passes run by check.
+## fleet-smoke: end-to-end fleet exercise — canary-router in front of two
+## canaryd workers, batch submit vs direct library run, warm replay, one
+## worker SIGKILLed mid-run with failover asserted byte-identical.
+fleet-smoke:
+	$(GO) run scripts/fleet_smoke.go
+
+## fuzz-smoke: the short fuzzer passes run by check, including the two
+## fleet wire decoders (batch request envelope, peer cache entry).
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/lang
 	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=5s .
+	$(GO) test -run=NONE -fuzz=FuzzParseAnalyzeRequest -fuzztime=5s ./internal/api
+	$(GO) test -run=NONE -fuzz=FuzzDecodePeerEntry -fuzztime=5s ./internal/fleet
 
 ## fuzz: longer exploratory fuzzing of the parser and the full pipeline.
 fuzz:

@@ -11,6 +11,7 @@
 //	canary-bench -experiment trace    # per-stage wall-clock split of one analysis (the pipeline registry spans)
 //	canary-bench -experiment hotpath  # allocs/op, B/op, ns/op of the hot-path representations vs the recorded pre-overhaul baseline
 //	canary-bench -experiment persist  # warm restarts: fresh-process cold vs disk-warm latency, hit rates, store size
+//	canary-bench -experiment fleet    # horizontal scale: N daemon processes behind the router, throughput, peer cache tier, dedup, routing invariance
 //	canary-bench -experiment all
 //
 // -json replaces the text tables with one JSON object holding the raw
@@ -25,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"canary/internal/bench"
@@ -57,6 +60,14 @@ func main() {
 		childDir   = flag.String("persist-dir", "", "internal: warm-state directory of a -persist-child run")
 		childSrc   = flag.String("persist-src", "", "internal: subject file of a -persist-child run")
 		childMode  = flag.Bool("persist-child", false, "internal: run one analysis through a persistent session and print its report as JSON (used by -experiment persist to get fresh processes)")
+		flLines    = flag.Int("fleet-lines", 1600, "subject size for the fleet experiment")
+		flItems    = flag.Int("fleet-items", 12, "corpus items in the fleet experiment")
+		flNodes    = flag.String("fleet-nodes", "1,2,4", "comma-separated fleet sizes to sweep")
+		flChild    = flag.Bool("fleet-child", false, "internal: run one canaryd worker process (used by -experiment fleet)")
+		flAddr     = flag.String("fleet-addr", "", "internal: listen address of a -fleet-child run")
+		flPeers    = flag.String("fleet-peers", "", "internal: peer URL list of a -fleet-child run")
+		flSelf     = flag.String("fleet-self", "", "internal: own URL of a -fleet-child run")
+		flConc     = flag.Int("fleet-conc", 1, "internal: worker concurrency of a -fleet-child run")
 		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
@@ -64,6 +75,9 @@ func main() {
 
 	if *childMode {
 		os.Exit(bench.RunPersistChild(*childDir, *childSrc))
+	}
+	if *flChild {
+		os.Exit(bench.RunFleetChild(*flAddr, *flPeers, *flSelf, *flConc))
 	}
 
 	e := &bench.Experiments{Timeout: *timeout}
@@ -79,7 +93,7 @@ func main() {
 		}
 		return *experiment == "all"
 	}
-	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath", "persist")
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath", "persist", "fleet")
 	if !known {
 		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -95,6 +109,7 @@ func main() {
 		Trace       *bench.TraceResult       `json:"trace,omitempty"`
 		Hotpath     *bench.HotpathResult     `json:"hotpath,omitempty"`
 		Persist     *bench.PersistResult     `json:"persist,omitempty"`
+		Fleet       *bench.FleetResult       `json:"fleet,omitempty"`
 	}{}
 
 	if want("fig7a", "fig7b", "table1") {
@@ -182,6 +197,32 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if want("fleet") {
+		exe, err := os.Executable()
+		if err != nil {
+			fail(err)
+		}
+		var sizes []int
+		for _, part := range strings.Split(*flNodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fail(fmt.Errorf("bad -fleet-nodes entry %q", part))
+			}
+			sizes = append(sizes, n)
+		}
+		spec := workload.SizeSweep(1, *flLines, *flLines)[0]
+		res, err := e.RunFleet(spec, *flItems, sizes, exe)
+		if err != nil {
+			fail(err)
+		}
+		out.Fleet = &res
+		// Routing invariance is the experiment's hard gate: a fleet that
+		// changes the findings is broken no matter how fast it is.
+		if !res.AllIdentical {
+			fmt.Fprintln(os.Stderr, "canary-bench: fleet findings differ from the direct run")
+			os.Exit(1)
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -240,6 +281,10 @@ func main() {
 	if out.Persist != nil {
 		sep()
 		bench.PrintPersist(os.Stdout, *out.Persist)
+	}
+	if out.Fleet != nil {
+		sep()
+		bench.PrintFleet(os.Stdout, *out.Fleet)
 	}
 }
 

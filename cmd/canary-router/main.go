@@ -1,0 +1,110 @@
+// Command canary-router is the stateless front door of a canaryd fleet:
+// it consistent-hashes every submission's content address across the
+// configured workers, forwards to the owner node, fails over down the
+// ring when a worker errors or times out, and coalesces identical
+// concurrent submissions into one upstream call. It holds no durable
+// state — any number of routers can front the same fleet, and restarting
+// one loses nothing.
+//
+// Usage:
+//
+//	canary-router -workers http://host1:8787,http://host2:8787 [flags]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   the canaryd contract, single or batch form
+//	                   (async refused: job IDs are per-worker)
+//	GET  /healthz      router liveness + per-worker up/saturated/down,
+//	                   machine-readable with ?format=json
+//	GET  /metrics      plain-text router_* counters
+//
+// The first stdout line is always "canary-router listening on <addr>",
+// so wrappers can bind -addr :0 and scrape the chosen port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"canary/internal/fleet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8786", "listen address (use :0 for a random port)")
+		workers    = flag.String("workers", "", "comma-separated canaryd base URLs (required)")
+		maxBody    = flag.Int64("max-request-bytes", 0, "largest accepted /v1/analyze body in bytes (0 = 16 MiB)")
+		attempts   = flag.Int("max-attempts", 3, "workers one submission may be offered to before 502")
+		backoff    = flag.Duration("retry-backoff", 25*time.Millisecond, "base delay between failover attempts (jittered ±50%)")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "bound on one upstream call")
+		healthWait = flag.Duration("health-interval", time.Second, "worker health probe period")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 || *workers == "" {
+		fmt.Fprintln(os.Stderr, "usage: canary-router -workers url,url,... [flags]")
+		flag.PrintDefaults()
+		return 2
+	}
+	var workerList []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workerList = append(workerList, w)
+		}
+	}
+
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Workers:         workerList,
+		MaxRequestBytes: *maxBody,
+		MaxAttempts:     *attempts,
+		RetryBackoff:    *backoff,
+		Timeout:         *timeout,
+		HealthInterval:  *healthWait,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canary-router:", err)
+		return 2
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canary-router:", err)
+		return 2
+	}
+	fmt.Printf("canary-router listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "canary-router:", err)
+		return 2
+	case <-ctx.Done():
+	}
+	stop()
+
+	httpCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "canary-router:", err)
+		return 2
+	}
+	fmt.Fprintln(os.Stderr, "canary-router: exiting")
+	return 0
+}

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +62,10 @@ func run() int {
 		maxRounds  = flag.Int("max-fixpoint-rounds", 0, "step budget: VFG fixpoint rounds before degrading to inconclusive (0 = unlimited)")
 		maxSteps   = flag.Int("max-dfs-steps", 0, "step budget: source-sink DFS steps per checker (0 = unlimited)")
 		maxNodes   = flag.Int("max-formula-nodes", 0, "step budget: guard formula nodes per query before eliding (0 = unlimited)")
+		nodeID     = flag.String("node-id", "", "node identity reported by /healthz (defaults to the listen address)")
+		peers      = flag.String("peers", "", "comma-separated fleet member base URLs (enables the peer cache tier; must include -peer-self)")
+		peerSelf   = flag.String("peer-self", "", "this node's own base URL within -peers")
+		peerWait   = flag.Duration("peer-timeout", 2*time.Second, "bound on one peer cache fetch")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -76,6 +81,31 @@ func run() int {
 		MaxDFSSteps:       *maxSteps,
 		MaxFormulaNodes:   *maxNodes,
 	}
+
+	// Listen before building the server so the node identity can default
+	// to the actual bound address (meaningful under -addr :0).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canaryd:", err)
+		return 2
+	}
+	id := *nodeID
+	if id == "" {
+		id = ln.Addr().String()
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *peerSelf == "" {
+			fmt.Fprintln(os.Stderr, "canaryd: -peers requires -peer-self")
+			return 2
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		MaxConcurrent:   *maxConc,
 		QueueDepth:      *queueDepth,
@@ -86,13 +116,11 @@ func run() int {
 		MaxRequestBytes: *maxBody,
 		StageTimeout:    *stageWait,
 		Options:         opt,
+		NodeID:          id,
+		Peers:           peerList,
+		PeerSelf:        *peerSelf,
+		PeerTimeout:     *peerWait,
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "canaryd:", err)
-		return 2
-	}
-
-	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "canaryd:", err)
 		return 2

@@ -1,0 +1,64 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseAnalyzeRequest hammers the shared request decoder both tiers
+// run on every /v1/analyze body: hostile input must never panic, and any
+// accepted request must satisfy the envelope invariants the handlers rely
+// on (exactly one form, bounded batch, no empty sources) — a violation
+// here would let a small body smuggle unbounded or malformed work past
+// both the router and the daemon.
+func FuzzParseAnalyzeRequest(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"source":"func main() {}"}`))
+	f.Add([]byte(`{"source":"f","async":true,"timeout_ms":250}`))
+	f.Add([]byte(`{"items":[{"source":"a"},{"source":"b","timeout_ms":9}]}`))
+	f.Add([]byte(`{"source":"x","items":[{"source":"y"}]}`))
+	f.Add([]byte(`{"items":[{"source":""}]}`))
+	f.Add([]byte(`{"items":[],"async":true}`))
+	f.Add([]byte(`{"options":{"workers":4,"checkers":["race"]},"source":"s"}`))
+	f.Add([]byte(`{"items":[{"source":"a","options":{"unroll_depth":2}}]}`))
+	f.Add([]byte(`{"source":7}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := ParseAnalyzeRequest(b)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("rejected request returned a non-nil envelope")
+			}
+			return
+		}
+		if len(req.Items) == 0 {
+			if req.Source == "" {
+				t.Fatalf("accepted single-form request with empty source")
+			}
+			return
+		}
+		if req.Source != "" {
+			t.Fatalf("accepted request mixing single and batch forms")
+		}
+		if req.Async {
+			t.Fatalf("accepted async batch request")
+		}
+		if len(req.Items) > MaxBatchItems {
+			t.Fatalf("accepted batch of %d items past the %d bound", len(req.Items), MaxBatchItems)
+		}
+		for i, it := range req.Items {
+			if it.Source == "" {
+				t.Fatalf("accepted item %d with empty source", i)
+			}
+		}
+		// The accepted envelope must survive a wire round-trip: what a
+		// router re-encodes to forward must decode to the same request.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		if _, err := ParseAnalyzeRequest(enc); err != nil {
+			t.Fatalf("re-encoded request rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,439 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"canary"
+	"canary/internal/api"
+	"canary/internal/fleet"
+	"canary/internal/server"
+	"canary/internal/workload"
+)
+
+// FleetNodeRun is one fleet size's measurements: a cold corpus batch
+// through the router, a warm repeat, and a peer-tier probe against a
+// single worker that owns only its shard.
+type FleetNodeRun struct {
+	Nodes int `json:"nodes"`
+	// Cold batch: every item computed somewhere in the fleet.
+	ColdWall    time.Duration `json:"cold_wall_ns"`
+	ItemsPerSec float64       `json:"items_per_sec"`
+	// Warm batch: the same corpus again; every item should be served from
+	// its owner's cache.
+	WarmWall   time.Duration `json:"warm_wall_ns"`
+	WarmCached int           `json:"warm_cached"`
+	// The peer-tier probe sends the whole corpus directly to worker 0,
+	// which owns only ~1/nodes of the keys: everything else must arrive
+	// via peer fetches from the shard owners instead of being recomputed.
+	ProbeCached     int    `json:"probe_cached"`
+	ProbeOwned      int    `json:"probe_owned"`
+	PeerFetches     uint64 `json:"peer_fetches"`
+	PeerHits        uint64 `json:"peer_hits"`
+	PeerJobsServed  uint64 `json:"peer_jobs_served"`
+	AcceptedPerNode []int  `json:"accepted_per_node"`
+	// Identical: every item's findings are byte-identical to the direct
+	// in-process library run — routing must be invisible in the output.
+	Identical bool              `json:"identical"`
+	Router    fleet.RouterStats `json:"router"`
+}
+
+// FleetResult is the horizontal-scale experiment: the same corpus pushed
+// through fleets of increasing size, plus a cross-node dedup burst.
+type FleetResult struct {
+	Lines int            `json:"lines"`
+	Items int            `json:"items"`
+	Runs  []FleetNodeRun `json:"runs"`
+	// The dedup burst fires concurrent identical submissions at the
+	// largest fleet's router: RouterDeduped counts the ones answered by
+	// the router's in-flight table, WorkerCoalesced the ones that still
+	// reached a worker and joined its live job there.
+	DedupBurst      int    `json:"dedup_burst"`
+	RouterDeduped   uint64 `json:"router_deduped"`
+	WorkerCoalesced uint64 `json:"worker_coalesced"`
+	// AllIdentical: every fleet size produced the same findings as the
+	// direct library run, for every item.
+	AllIdentical bool `json:"all_identical"`
+}
+
+// fleetOptions is the analysis configuration of every fleet worker and
+// of the direct baseline. Workers=1 keeps each analysis single-threaded
+// so throughput scaling across node counts reflects the fleet, not the
+// scheduler fighting itself over cores (the determinism contract keeps
+// the output independent of it either way).
+func fleetOptions() canary.Options {
+	opt := canary.DefaultOptions()
+	opt.Workers = 1
+	return opt
+}
+
+// RunFleetChild is the body of a -fleet-child process: one canaryd
+// worker on addr, peer-aware when peers is non-empty. The first stdout
+// line is "fleet-child listening on <addr>"; the process serves until
+// killed. Binding retries briefly: the parent pre-allocates ports by
+// listen-and-close, and this child may race the close.
+func RunFleetChild(addr, peers, self string, conc int) int {
+	var peerList []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	srv, err := server.New(server.Config{
+		MaxConcurrent: conc,
+		QueueDepth:    api.MaxBatchItems,
+		Options:       fleetOptions(),
+		NodeID:        addr,
+		Peers:         peerList,
+		PeerSelf:      self,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet-child:", err)
+		return 2
+	}
+	var ln net.Listener
+	for i := 0; i < 100; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet-child:", err)
+		return 2
+	}
+	fmt.Printf("fleet-child listening on %s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet-child:", err)
+		return 2
+	}
+	return 0
+}
+
+// fleetWorkerProc is one spawned child daemon.
+type fleetWorkerProc struct {
+	url string
+	cmd *exec.Cmd
+}
+
+// spawnFleet pre-allocates n loopback ports, starts n -fleet-child
+// processes wired to each other as peers, and waits for each to report
+// its listening line.
+func spawnFleet(exe string, n, conc int) ([]fleetWorkerProc, func(), error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	urls := make([]string, n)
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	peers := strings.Join(urls, ",")
+
+	procs := make([]fleetWorkerProc, 0, n)
+	kill := func() {
+		for _, p := range procs {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, "-fleet-child",
+			"-fleet-addr", addrs[i],
+			"-fleet-peers", peers,
+			"-fleet-self", urls[i],
+			"-fleet-conc", fmt.Sprint(conc))
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			kill()
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			kill()
+			return nil, nil, err
+		}
+		procs = append(procs, fleetWorkerProc{url: urls[i], cmd: cmd})
+		line, err := bufio.NewReader(stdout).ReadString('\n')
+		if err != nil || !strings.Contains(line, "listening on") {
+			kill()
+			return nil, nil, fmt.Errorf("fleet child %d did not come up: %q (%v)", i, line, err)
+		}
+		go io.Copy(io.Discard, stdout)
+	}
+	return procs, kill, nil
+}
+
+// scrapeCounter reads one plain-text counter from a /metrics page.
+func scrapeCounter(url, name string) uint64 {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var v uint64
+		if _, err := fmt.Sscanf(sc.Text(), name+" %d", &v); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// postFleetBatch submits items as one batch to url and returns the
+// per-item responses.
+func postFleetBatch(hc *http.Client, url string, items []api.AnalyzeItem) (*api.BatchResponse, error) {
+	body, err := json.Marshal(api.AnalyzeRequest{Items: items})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, fmt.Errorf("batch to %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	var br api.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	return &br, nil
+}
+
+// findingsOf extracts the compacted Reports array from a serialized
+// result: the determinism contract pins these bytes, timings vary.
+func findingsOf(result json.RawMessage) (string, error) {
+	var m struct {
+		Reports json.RawMessage `json:"Reports"`
+	}
+	if err := json.Unmarshal(result, &m); err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, m.Reports); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// RunFleet measures horizontal scale: the same corpus of items pushed
+// through fleets of every size in nodes (each fleet freshly spawned from
+// exe, workers single-threaded), with the findings of every item checked
+// byte-identical against a direct in-process run. The peer cache tier is
+// probed by pushing the warm corpus at one worker directly, and a
+// concurrent identical-submission burst exercises both dedup layers.
+func (e *Experiments) RunFleet(spec workload.Spec, items int, nodes []int, exe string) (FleetResult, error) {
+	if items <= 0 {
+		items = 12
+	}
+	if len(nodes) == 0 {
+		nodes = []int{1, 2, 4}
+	}
+	res := FleetResult{Lines: spec.Lines, Items: items, AllIdentical: true}
+
+	// The corpus: one generated subject plus distinct padding so every
+	// item has its own content address but comparable cost.
+	base := workload.Generate(spec)
+	corpus := make([]api.AnalyzeItem, items)
+	for i := range corpus {
+		corpus[i] = api.AnalyzeItem{
+			Source: fmt.Sprintf("%s\nfunc fleetpad%d() { p%d = malloc(); }", base, i, i),
+		}
+	}
+
+	// Direct baseline: the library, in this process, same options.
+	e.logf("  fleet direct baseline: %d items\n", items)
+	direct := make([]string, items)
+	for i, it := range corpus {
+		r, err := canary.Analyze(it.Source, fleetOptions())
+		if err != nil {
+			return res, fmt.Errorf("direct baseline item %d: %w", i, err)
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return res, err
+		}
+		if direct[i], err = findingsOf(raw); err != nil {
+			return res, err
+		}
+	}
+
+	hc := &http.Client{Timeout: 10 * time.Minute}
+	for _, n := range nodes {
+		run := FleetNodeRun{Nodes: n, Identical: true}
+		procs, kill, err := spawnFleet(exe, n, 1)
+		if err != nil {
+			return res, err
+		}
+		urls := make([]string, n)
+		for i, p := range procs {
+			urls[i] = p.url
+		}
+		opts := fleetOptions()
+		rt, err := fleet.NewRouter(fleet.RouterConfig{Workers: urls, BaseOptions: &opts})
+		if err != nil {
+			kill()
+			return res, err
+		}
+		routerURL, stopRouter, err := serveRouter(rt)
+		if err != nil {
+			rt.Close()
+			kill()
+			return res, err
+		}
+
+		fail := func(err error) (FleetResult, error) {
+			stopRouter()
+			rt.Close()
+			kill()
+			return res, err
+		}
+
+		// Cold corpus through the router.
+		t0 := time.Now()
+		cold, err := postFleetBatch(hc, routerURL, corpus)
+		if err != nil {
+			return fail(err)
+		}
+		run.ColdWall = time.Since(t0)
+		run.ItemsPerSec = float64(items) / run.ColdWall.Seconds()
+		if cold.Failed != 0 {
+			return fail(fmt.Errorf("%d-node cold batch: %d items failed", n, cold.Failed))
+		}
+		for i, it := range cold.Items {
+			f, err := findingsOf(it.Result)
+			if err != nil {
+				return fail(fmt.Errorf("%d-node cold item %d: %w", n, i, err))
+			}
+			if f != direct[i] {
+				run.Identical = false
+				res.AllIdentical = false
+			}
+		}
+		e.logf("  fleet %d-node cold: %v (%.1f items/s, identical=%v)\n",
+			n, run.ColdWall.Round(time.Millisecond), run.ItemsPerSec, run.Identical)
+
+		// Warm repeat: every item served from its owner's cache.
+		t0 = time.Now()
+		warm, err := postFleetBatch(hc, routerURL, corpus)
+		if err != nil {
+			return fail(err)
+		}
+		run.WarmWall = time.Since(t0)
+		for _, it := range warm.Items {
+			if it.Cached {
+				run.WarmCached++
+			}
+		}
+
+		// Peer-tier probe: the whole corpus straight at worker 0, which
+		// owns only its shard. Owned items are local warm hits; the rest
+		// must be fetched from their shard owners, not recomputed.
+		for _, it := range corpus {
+			key := canary.SubmissionKey(it.Source, fleetOptions())
+			if rt.Ring().Owner(key) == urls[0] {
+				run.ProbeOwned++
+			}
+		}
+		probe, err := postFleetBatch(hc, urls[0], corpus)
+		if err != nil {
+			return fail(err)
+		}
+		for _, it := range probe.Items {
+			if it.Cached {
+				run.ProbeCached++
+			}
+		}
+		run.PeerFetches = scrapeCounter(urls[0], "canaryd_peer_fetches_total")
+		run.PeerHits = scrapeCounter(urls[0], "canaryd_peer_hits_total")
+		run.PeerJobsServed = scrapeCounter(urls[0], "canaryd_peer_jobs_served_total")
+		for _, u := range urls {
+			run.AcceptedPerNode = append(run.AcceptedPerNode,
+				int(scrapeCounter(u, "canaryd_jobs_accepted_total")))
+		}
+		e.logf("  fleet %d-node probe: %d/%d cached at one node (owns %d, %d peer hits)\n",
+			n, run.ProbeCached, items, run.ProbeOwned, run.PeerHits)
+
+		// On the largest fleet: the cross-node dedup burst, a fresh key
+		// fired concurrently at the router.
+		if n == nodes[len(nodes)-1] {
+			burst := 6
+			fresh := base + "\nfunc fleetburst() { q = malloc(); }"
+			var wg sync.WaitGroup
+			for i := 0; i < burst; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					body, _ := json.Marshal(api.AnalyzeRequest{Source: fresh})
+					resp, err := hc.Post(routerURL+"/v1/analyze", "application/json", bytes.NewReader(body))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}()
+			}
+			wg.Wait()
+			res.DedupBurst = burst
+			res.RouterDeduped = rt.Stats().Deduped
+			for _, u := range urls {
+				res.WorkerCoalesced += scrapeCounter(u, "canaryd_inflight_coalesced_total")
+			}
+			e.logf("  fleet dedup burst: %d submissions, %d router-deduped, %d worker-coalesced\n",
+				burst, res.RouterDeduped, res.WorkerCoalesced)
+		}
+
+		run.Router = rt.Stats()
+		stopRouter()
+		rt.Close()
+		kill()
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// serveRouter puts a router handler on a loopback listener.
+func serveRouter(rt *fleet.Router) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+// PrintFleet renders the fleet experiment as a text table.
+func PrintFleet(w io.Writer, res FleetResult) {
+	fmt.Fprintf(w, "Fleet scale-out (%d items of ~%d lines, single-threaded workers)\n",
+		res.Items, res.Lines)
+	fmt.Fprintf(w, "%-6s %12s %10s %12s %14s %12s %10s\n",
+		"nodes", "cold", "items/s", "warm", "probe-cached", "peer-hits", "identical")
+	for _, r := range res.Runs {
+		fmt.Fprintf(w, "%-6d %12v %10.1f %12v %11d/%-2d %12d %10v\n",
+			r.Nodes, r.ColdWall.Round(time.Millisecond), r.ItemsPerSec,
+			r.WarmWall.Round(time.Millisecond), r.ProbeCached, res.Items,
+			r.PeerHits, r.Identical)
+	}
+	fmt.Fprintf(w, "dedup burst: %d identical submissions -> %d router-deduped, %d worker-coalesced\n",
+		res.DedupBurst, res.RouterDeduped, res.WorkerCoalesced)
+	fmt.Fprintf(w, "all findings identical to direct run: %v\n", res.AllIdentical)
+}

@@ -1,0 +1,43 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"canary/internal/diskstore"
+)
+
+// FuzzDecodePeerEntry hammers the peer cache response decoder: bytes from
+// another fleet member are as untrusted as bytes off disk, so any input
+// must either decode to a checksum-verified payload or be rejected —
+// never panic, never hand back unverified bytes, never allocate past the
+// input size on a hostile frame.
+func FuzzDecodePeerEntry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CANARYv1"))
+	f.Add(diskstore.EncodeEntry(nil))
+	f.Add(diskstore.EncodeEntry([]byte(`{"reports":[]}`)))
+	trunc := diskstore.EncodeEntry([]byte("truncated"))
+	f.Add(trunc[:len(trunc)-1])
+	flipped := diskstore.EncodeEntry([]byte("bitflip"))
+	flipped = append([]byte(nil), flipped...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, ok := DecodePeerEntry(b)
+		if !ok {
+			if payload != nil {
+				t.Fatalf("rejected entry returned non-nil payload")
+			}
+			return
+		}
+		if len(payload) > len(b) {
+			t.Fatalf("payload (%d bytes) larger than the frame it came from (%d bytes)", len(payload), len(b))
+		}
+		// An accepted frame must be exactly the canonical encoding of its
+		// payload — the format has no slack for a peer to hide state in.
+		if !bytes.Equal(diskstore.EncodeEntry(payload), b) {
+			t.Fatalf("accepted entry does not re-encode to itself")
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"canary/internal/cache"
+)
+
+// testKey derives a deterministic content key from an integer, the way
+// real keys are derived from submissions: a SHA-256 digest.
+func testKey(i int) cache.Key {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return sha256.Sum256(b[:])
+}
+
+func testNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+	}
+	return out
+}
+
+// TestRingUniformDistribution hashes a large key population across 8
+// nodes and bounds the chi-squared statistic of the owner counts: for
+// df=7 the 99.9th percentile is 24.3, so a uniform hash stays far below
+// the generous bound while any systematically skewed assignment blows it.
+func TestRingUniformDistribution(t *testing.T) {
+	const nodes, keys = 8, 80000
+	r := NewRing(testNodes(nodes))
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(testKey(i))]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d of %d nodes own any key", len(counts), nodes)
+	}
+	expected := float64(keys) / nodes
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 24.3 is the 99.9% critical value at df=7; 40 leaves headroom against
+	// the fixed key population while still catching real skew (a 2x-loaded
+	// node alone contributes ~keys/nodes ≈ 10000).
+	if chi2 > 40 {
+		t.Fatalf("chi-squared %f exceeds uniformity bound 40 (counts %v)", chi2, counts)
+	}
+	for n, c := range counts {
+		if ratio := float64(c) / expected; ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("node %s owns %d keys, %0.2fx the uniform share", n, c, ratio)
+		}
+	}
+}
+
+// TestRingMinimalDisruption checks the rendezvous property: removing one
+// node from N moves only the keys it owned (~1/N), adding one steals
+// ~1/(N+1), and in both directions every key that does move involves the
+// changed node. The ≤ 2/N bound is twice the expectation — loose enough
+// for hash variance, far below the ~100% reshuffle of naive modulo.
+func TestRingMinimalDisruption(t *testing.T) {
+	const n, keys = 8, 40000
+	all := testNodes(n)
+	full := NewRing(all)
+	smaller := NewRing(all[:n-1]) // drop the last node
+	removed := all[n-1]
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := testKey(i)
+		before, after := full.Owner(k), smaller.Owner(k)
+		if before != after {
+			moved++
+			if before != removed {
+				t.Fatalf("key %d moved %s -> %s though %s left the ring", i, before, after, removed)
+			}
+		}
+	}
+	if bound := 2 * keys / n; moved > bound {
+		t.Fatalf("node leave moved %d/%d keys, above the 2/N bound %d", moved, keys, bound)
+	}
+	if moved == 0 {
+		t.Fatal("node leave moved no keys; the removed node owned nothing")
+	}
+
+	// Join is the same comparison in reverse: only keys the new node now
+	// owns may change hands.
+	movedIn := 0
+	for i := 0; i < keys; i++ {
+		k := testKey(i)
+		before, after := smaller.Owner(k), full.Owner(k)
+		if before != after {
+			movedIn++
+			if after != removed {
+				t.Fatalf("key %d moved %s -> %s though only %s joined", i, before, after, removed)
+			}
+		}
+	}
+	if bound := 2 * keys / n; movedIn > bound {
+		t.Fatalf("node join moved %d/%d keys, above the 2/N bound %d", movedIn, keys, bound)
+	}
+}
+
+// TestRingDeterministicPlacement pins placement across process restarts
+// two ways: structurally (rings built from permuted node lists agree) and
+// against golden owners computed once and hard-coded here — if the hash
+// function or the tie-break ever changes, the goldens fail and the change
+// is a breaking one for every deployed fleet's cache locality.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := testNodes(4)
+	r1 := NewRing(nodes)
+	r2 := NewRing([]string{nodes[2], nodes[0], nodes[3], nodes[1], nodes[0]}) // permuted + dup
+	for i := 0; i < 1000; i++ {
+		k := testKey(i)
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("key %d: owner depends on construction order (%s vs %s)", i, r1.Owner(k), r2.Owner(k))
+		}
+		reps := r1.Replicas(k)
+		if len(reps) != 4 || reps[0] != r1.Owner(k) {
+			t.Fatalf("key %d: replicas %v do not start with owner %s", i, reps, r1.Owner(k))
+		}
+		seen := make(map[string]bool)
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("key %d: duplicate replica %s", i, n)
+			}
+			seen[n] = true
+		}
+	}
+
+	golden := map[int]string{
+		0: "http://127.0.0.1:9000",
+		1: "http://127.0.0.1:9002",
+		2: "http://127.0.0.1:9003",
+		3: "http://127.0.0.1:9003",
+		4: "http://127.0.0.1:9001",
+	}
+	for i, want := range golden {
+		if got := r1.Owner(testKey(i)); got != want {
+			t.Errorf("golden owner of key %d = %s, want %s (placement changed across versions)", i, got, want)
+		}
+	}
+}
+
+// TestRingEdgeCases covers the empty and single-node rings the router can
+// transiently see during misconfiguration.
+func TestRingEdgeCases(t *testing.T) {
+	if owner := NewRing(nil).Owner(testKey(1)); owner != "" {
+		t.Fatalf("empty ring owner = %q, want empty", owner)
+	}
+	one := NewRing([]string{"only"})
+	if owner := one.Owner(testKey(1)); owner != "only" {
+		t.Fatalf("single-node ring owner = %q", owner)
+	}
+	if reps := one.Replicas(testKey(2)); len(reps) != 1 || reps[0] != "only" {
+		t.Fatalf("single-node replicas = %v", reps)
+	}
+}

@@ -1,0 +1,619 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"canary"
+	"canary/internal/api"
+	"canary/internal/cache"
+)
+
+// WorkerState is the router's view of one canaryd node, refreshed by the
+// background health checker. The distinction that matters for routing:
+// a saturated node is alive and will drain — route to it and let the
+// worker's admission retries absorb the wait — while a down node gets
+// skipped in the failover walk entirely.
+type WorkerState int32
+
+const (
+	// WorkerUnknown is the pre-first-probe state; routed optimistically.
+	WorkerUnknown WorkerState = iota
+	// WorkerUp answers /healthz with admission capacity to spare.
+	WorkerUp
+	// WorkerSaturated answers /healthz but its queue is full (or it is
+	// draining): alive, temporarily rejecting.
+	WorkerSaturated
+	// WorkerDown does not answer at all.
+	WorkerDown
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case WorkerUp:
+		return "up"
+	case WorkerSaturated:
+		return "saturated"
+	case WorkerDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Workers is the fleet member list: canaryd base URLs. Required,
+	// non-empty.
+	Workers []string
+	// BaseOptions is the analysis option set the router assumes the
+	// workers run with; submission options patch it exactly like the
+	// daemon patches its own base, so the router computes the same
+	// SubmissionKey the worker caches under. A mismatch costs cache
+	// locality, never correctness. Zero value means canary defaults.
+	BaseOptions *canary.Options
+	// MaxRequestBytes bounds an accepted request body (0 = 16 MiB), the
+	// same governance knob canaryd has.
+	MaxRequestBytes int64
+	// MaxAttempts bounds how many workers one submission may be offered
+	// to before the router gives up (0 = min(3, len(Workers))).
+	MaxAttempts int
+	// RetryBackoff is the base delay between failover attempts, jittered
+	// ±50% (0 = 25ms).
+	RetryBackoff time.Duration
+	// Timeout bounds one upstream call (0 = 5 minutes; analyses can be
+	// slow, and the worker's own job timeout is the real governor).
+	Timeout time.Duration
+	// HealthInterval is the probe period of the background health checker
+	// (0 = 1s).
+	HealthInterval time.Duration
+}
+
+// Router is the stateless fleet front door: it consistent-hashes every
+// submission's SubmissionKey across the configured workers, forwards to
+// the owner, fails over down the ring on worker errors, and coalesces
+// identical concurrent submissions into one upstream call. It holds no
+// durable state — restarting a router loses nothing but the in-flight
+// table.
+type Router struct {
+	cfg  RouterConfig
+	base canary.Options
+	ring *Ring
+	hc   *http.Client
+
+	// inflight coalesces identical concurrent sync submissions (same
+	// SubmissionKey) into one upstream call whose response everyone gets.
+	inflight      sync.Mutex
+	inflightByKey map[cache.Key]*inflightCall
+
+	health sync.Map // worker URL -> WorkerState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+
+	// The router_* counters.
+	requests      atomic.Uint64 // single-form submissions accepted for routing
+	batchRequests atomic.Uint64 // batch envelopes
+	items         atomic.Uint64 // items routed (1 per single, N per batch)
+	forwards      atomic.Uint64 // upstream POSTs actually sent
+	failovers     atomic.Uint64 // attempts beyond the first for one item
+	upstreamErrs  atomic.Uint64 // upstream calls that failed (transport or 5xx)
+	deduped       atomic.Uint64 // submissions answered by an in-flight duplicate
+	exhausted     atomic.Uint64 // items that ran out of failover candidates
+}
+
+type inflightCall struct {
+	done chan struct{}
+	code int
+	body []byte
+}
+
+// NewRouter builds a router and starts its health checker. Close stops it.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: router needs at least one worker")
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 16 << 20
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	base := canary.DefaultOptions()
+	if cfg.BaseOptions != nil {
+		base = *cfg.BaseOptions
+	}
+	rt := &Router{
+		cfg:           cfg,
+		base:          base,
+		ring:          NewRing(cfg.Workers),
+		hc:            &http.Client{Timeout: cfg.Timeout},
+		inflightByKey: make(map[cache.Key]*inflightCall),
+		stop:          make(chan struct{}),
+	}
+	if rt.ring.Len() == 0 {
+		return nil, errors.New("fleet: worker list is empty after deduplication")
+	}
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health checker. In-flight requests finish normally.
+func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stop) }) }
+
+// Ring returns the router's membership view.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// --- health checking ---
+
+func (rt *Router) healthLoop() {
+	rt.probeAll()
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range rt.ring.Nodes() {
+		wg.Add(1)
+		go func(w string) {
+			defer wg.Done()
+			rt.health.Store(w, rt.probe(w))
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe classifies one worker. The probe client is short-fused: a health
+// check racing a long analysis must not inherit the analysis timeout.
+func (rt *Router) probe(worker string) WorkerState {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	resp, err := hc.Get(worker + "/healthz?format=json")
+	if err != nil {
+		return WorkerDown
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h); err != nil {
+		return WorkerDown
+	}
+	if h.Status == "draining" || h.Saturated() {
+		return WorkerSaturated
+	}
+	if resp.StatusCode != http.StatusOK {
+		return WorkerDown
+	}
+	return WorkerUp
+}
+
+// WorkerStates returns a point-in-time snapshot, sorted by worker URL.
+func (rt *Router) WorkerStates() map[string]WorkerState {
+	out := make(map[string]WorkerState, rt.ring.Len())
+	for _, w := range rt.ring.Nodes() {
+		out[w] = WorkerUnknown
+		if v, ok := rt.health.Load(w); ok {
+			out[w] = v.(WorkerState)
+		}
+	}
+	return out
+}
+
+func (rt *Router) stateOf(worker string) WorkerState {
+	if v, ok := rt.health.Load(worker); ok {
+		return v.(WorkerState)
+	}
+	return WorkerUnknown
+}
+
+// --- routing core ---
+
+// routeKey computes the content address a worker will cache this item
+// under: the same options overlay the daemon applies, then SubmissionKey.
+func (rt *Router) routeKey(src string, patch *api.OptionsPatch, itemPatch *api.OptionsPatch) cache.Key {
+	opt := patch.Apply(rt.base)
+	opt = itemPatch.Apply(opt)
+	return canary.SubmissionKey(src, opt)
+}
+
+// candidates returns the failover order for key with down workers moved
+// to the back (not dropped: when everything looks down, trying anyway
+// beats refusing — the checker may simply be stale).
+func (rt *Router) candidates(key cache.Key) []string {
+	reps := rt.ring.Replicas(key)
+	alive := make([]string, 0, len(reps))
+	down := reps[:0:0]
+	for _, w := range reps {
+		if rt.stateOf(w) == WorkerDown {
+			down = append(down, w)
+		} else {
+			alive = append(alive, w)
+		}
+	}
+	return append(alive, down...)
+}
+
+var errNoWorkers = errors.New("fleet: no worker answered")
+
+// forward offers one single-form submission body to key's candidate
+// workers in ring order: bounded attempts, jittered backoff between
+// them, each failure recorded. A worker's HTTP answer — any status —
+// ends the walk except 503 (queue full / draining) and 5xx transport-ish
+// failures, which push on to the next candidate.
+func (rt *Router) forward(ctx context.Context, key cache.Key, body []byte) (int, []byte, error) {
+	cands := rt.candidates(key)
+	if len(cands) > rt.cfg.MaxAttempts {
+		cands = cands[:rt.cfg.MaxAttempts]
+	}
+	var lastErr error
+	for i, w := range cands {
+		if i > 0 {
+			rt.failovers.Add(1)
+			// Jittered backoff: base ± 50%, so a burst of failovers does
+			// not re-slam the next worker in lockstep.
+			d := rt.cfg.RetryBackoff/2 + time.Duration(rand.Int63n(int64(rt.cfg.RetryBackoff)))
+			select {
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		code, respBody, err := rt.post(ctx, w, body)
+		if err != nil {
+			rt.upstreamErrs.Add(1)
+			lastErr = fmt.Errorf("worker %s: %w", w, err)
+			continue
+		}
+		if code == http.StatusServiceUnavailable || code >= 500 {
+			rt.upstreamErrs.Add(1)
+			lastErr = fmt.Errorf("worker %s: status %d", w, code)
+			continue
+		}
+		return code, respBody, nil
+	}
+	rt.exhausted.Add(1)
+	if lastErr == nil {
+		lastErr = errNoWorkers
+	}
+	return 0, nil, lastErr
+}
+
+func (rt *Router) post(ctx context.Context, worker string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		worker+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rt.forwards.Add(1)
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, MaxPeerEntryBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// forwardDeduped wraps forward with the router-side in-flight table:
+// identical concurrent submissions (same SubmissionKey) share one
+// upstream call and all read its response. Only terminal responses are
+// shared; a failed walk is not cached, so a follower retrying later
+// starts fresh.
+func (rt *Router) forwardDeduped(ctx context.Context, key cache.Key, body []byte) (int, []byte, error) {
+	rt.inflight.Lock()
+	if c, ok := rt.inflightByKey[key]; ok {
+		rt.inflight.Unlock()
+		rt.deduped.Add(1)
+		select {
+		case <-c.done:
+			return c.code, c.body, nil
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	rt.inflightByKey[key] = c
+	rt.inflight.Unlock()
+
+	code, respBody, err := rt.forward(ctx, key, body)
+
+	rt.inflight.Lock()
+	delete(rt.inflightByKey, key)
+	rt.inflight.Unlock()
+	if err != nil {
+		// Leave the call unshared: followers blocked on done would have no
+		// response to read. They re-enter and route for themselves.
+		close(c.done)
+		return 0, nil, err
+	}
+	c.code, c.body = code, respBody
+	close(c.done)
+	return code, respBody, nil
+}
+
+// A follower that woke on done with a zero code means the leader failed
+// after we joined; detect and re-route.
+func (rt *Router) forwardShared(ctx context.Context, key cache.Key, body []byte) (int, []byte, error) {
+	for tries := 0; tries < 2; tries++ {
+		code, respBody, err := rt.forwardDeduped(ctx, key, body)
+		if err != nil {
+			return 0, nil, err
+		}
+		if code != 0 {
+			return code, respBody, nil
+		}
+	}
+	return 0, nil, errNoWorkers
+}
+
+// --- HTTP surface ---
+
+// Handler returns the router's HTTP API — the same /v1/analyze contract
+// canaryd serves (single and batch forms), plus the router's own
+// /healthz and /metrics. Async submissions are refused: a job ID is
+// meaningful only on the worker that issued it, and a stateless router
+// keeps no affinity to resolve one.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", rt.handleAnalyze)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return mux
+}
+
+func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxRequestBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	req, err := api.ParseAnalyzeRequest(body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Async {
+		writeJSONError(w, http.StatusBadRequest,
+			"async submissions are not routable; submit directly to a worker")
+		return
+	}
+	if len(req.Items) > 0 {
+		rt.handleBatch(w, r, req)
+		return
+	}
+
+	rt.requests.Add(1)
+	rt.items.Add(1)
+	key := rt.routeKey(req.Source, req.Options, nil)
+	code, respBody, err := rt.forwardShared(r.Context(), key, body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(respBody)
+}
+
+// handleBatch fans a batch out to the owners of its items: items are
+// grouped by owner, one upstream batch POST per worker, per-item
+// responses reassembled in request order. A worker whose whole call
+// fails gets its items re-routed individually through the failover walk,
+// so one down worker degrades to slower placement, not lost items.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request, req *api.AnalyzeRequest) {
+	rt.batchRequests.Add(1)
+	rt.items.Add(uint64(len(req.Items)))
+
+	type routedItem struct {
+		idx int
+		key cache.Key
+	}
+	groups := make(map[string][]routedItem)
+	for i := range req.Items {
+		it := &req.Items[i]
+		key := rt.routeKey(it.Source, req.Options, it.Options)
+		owner := rt.candidates(key)[0]
+		groups[owner] = append(groups[owner], routedItem{idx: i, key: key})
+	}
+
+	resp := api.BatchResponse{Items: make([]api.JobResponse, len(req.Items))}
+	var wg sync.WaitGroup
+	for owner, group := range groups {
+		wg.Add(1)
+		go func(owner string, group []routedItem) {
+			defer wg.Done()
+			sub := api.AnalyzeRequest{
+				Options: req.Options,
+				Items:   make([]api.AnalyzeItem, len(group)),
+			}
+			for j, g := range group {
+				sub.Items[j] = req.Items[g.idx]
+			}
+			subBody, err := json.Marshal(sub)
+			if err == nil {
+				code, respBody, postErr := rt.post(r.Context(), owner, subBody)
+				if postErr == nil && code == http.StatusOK {
+					var br api.BatchResponse
+					if json.Unmarshal(respBody, &br) == nil && len(br.Items) == len(group) {
+						for j, g := range group {
+							resp.Items[g.idx] = br.Items[j]
+						}
+						return
+					}
+				}
+				if postErr != nil || code >= 500 {
+					rt.upstreamErrs.Add(1)
+				}
+			}
+			// The grouped call failed as a whole: re-route each item alone so
+			// the failover walk can place it elsewhere.
+			for j, g := range group {
+				resp.Items[g.idx] = rt.routeSingle(r.Context(), g.key, sub.Items[j], req.Options)
+			}
+		}(owner, group)
+	}
+	wg.Wait()
+	resp.Tally()
+	writeJSONBody(w, http.StatusOK, resp)
+}
+
+// routeSingle re-routes one batch item through the deduped failover walk
+// as a batch of one — the batch form keeps the envelope/item options
+// layering intact, so the worker lands it under the same content address
+// the router computed.
+func (rt *Router) routeSingle(ctx context.Context, key cache.Key, it api.AnalyzeItem, patch *api.OptionsPatch) api.JobResponse {
+	body, err := json.Marshal(api.AnalyzeRequest{
+		Options: patch,
+		Items:   []api.AnalyzeItem{it},
+	})
+	if err != nil {
+		return api.JobResponse{Status: "failed", Error: err.Error()}
+	}
+	code, respBody, err := rt.forwardShared(ctx, key, body)
+	if err != nil {
+		return api.JobResponse{Status: "failed", Error: err.Error()}
+	}
+	var br api.BatchResponse
+	if err := json.Unmarshal(respBody, &br); err != nil || len(br.Items) != 1 {
+		return api.JobResponse{Status: "failed",
+			Error: fmt.Sprintf("unparseable worker response (status %d)", code)}
+	}
+	return br.Items[0]
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	states := rt.WorkerStates()
+	up := 0
+	for _, s := range states {
+		if s != WorkerDown {
+			up++
+		}
+	}
+	status := "ok"
+	code := http.StatusOK
+	if up == 0 {
+		status = "no-workers"
+		code = http.StatusServiceUnavailable
+	}
+	if r.URL.Query().Get("format") == "json" {
+		type workerReport struct {
+			URL   string `json:"url"`
+			State string `json:"state"`
+		}
+		report := struct {
+			Status  string         `json:"status"`
+			Workers []workerReport `json:"workers"`
+		}{Status: status}
+		for _, u := range rt.ring.Nodes() {
+			report.Workers = append(report.Workers, workerReport{URL: u, State: states[u].String()})
+		}
+		writeJSONBody(w, code, report)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintln(w, status)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "router_requests_total %d\n", rt.requests.Load())
+	fmt.Fprintf(w, "router_batch_requests_total %d\n", rt.batchRequests.Load())
+	fmt.Fprintf(w, "router_items_total %d\n", rt.items.Load())
+	fmt.Fprintf(w, "router_forwards_total %d\n", rt.forwards.Load())
+	fmt.Fprintf(w, "router_failovers_total %d\n", rt.failovers.Load())
+	fmt.Fprintf(w, "router_upstream_errors_total %d\n", rt.upstreamErrs.Load())
+	fmt.Fprintf(w, "router_deduped_total %d\n", rt.deduped.Load())
+	fmt.Fprintf(w, "router_exhausted_total %d\n", rt.exhausted.Load())
+	fmt.Fprintf(w, "router_workers %d\n", rt.ring.Len())
+	states := rt.WorkerStates()
+	workers := rt.ring.Nodes()
+	sort.Strings(workers)
+	byState := map[WorkerState]int{}
+	for _, u := range workers {
+		s := states[u]
+		byState[s]++
+		upVal := 0
+		if s == WorkerUp || s == WorkerUnknown {
+			upVal = 1
+		}
+		fmt.Fprintf(w, "router_worker_up{worker=%q} %d\n", u, upVal)
+	}
+	fmt.Fprintf(w, "router_workers_up %d\n", byState[WorkerUp])
+	fmt.Fprintf(w, "router_workers_saturated %d\n", byState[WorkerSaturated])
+	fmt.Fprintf(w, "router_workers_down %d\n", byState[WorkerDown])
+}
+
+// RouterStats is a point-in-time snapshot of the router counters, for
+// the bench harness.
+type RouterStats struct {
+	Requests      uint64 `json:"requests"`
+	BatchRequests uint64 `json:"batch_requests"`
+	Items         uint64 `json:"items"`
+	Forwards      uint64 `json:"forwards"`
+	Failovers     uint64 `json:"failovers"`
+	UpstreamErrs  uint64 `json:"upstream_errors"`
+	Deduped       uint64 `json:"deduped"`
+	Exhausted     uint64 `json:"exhausted"`
+}
+
+// Stats returns the cumulative counters.
+func (rt *Router) Stats() RouterStats {
+	return RouterStats{
+		Requests:      rt.requests.Load(),
+		BatchRequests: rt.batchRequests.Load(),
+		Items:         rt.items.Load(),
+		Forwards:      rt.forwards.Load(),
+		Failovers:     rt.failovers.Load(),
+		UpstreamErrs:  rt.upstreamErrs.Load(),
+		Deduped:       rt.deduped.Load(),
+		Exhausted:     rt.exhausted.Load(),
+	}
+}
+
+func writeJSONBody(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSONBody(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

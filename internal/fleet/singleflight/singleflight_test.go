@@ -1,0 +1,119 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoSequential(t *testing.T) {
+	var g Group[string, int]
+	v, err, shared := g.Do("k", func() (int, error) { return 42, nil })
+	if v != 42 || err != nil || shared {
+		t.Fatalf("Do = (%d, %v, %v), want (42, nil, false)", v, err, shared)
+	}
+	// The key is forgotten once the call returns: a second Do re-executes.
+	v, _, shared = g.Do("k", func() (int, error) { return 7, nil })
+	if v != 7 || shared {
+		t.Fatalf("second Do = (%d, shared=%v), want fresh (7, false)", v, shared)
+	}
+	if g.Dups() != 0 {
+		t.Fatalf("Dups = %d after sequential calls, want 0", g.Dups())
+	}
+}
+
+func TestDoError(t *testing.T) {
+	var g Group[string, int]
+	want := errors.New("boom")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+// TestDoCoalesces runs many concurrent calls for one key and checks that
+// exactly one execution happened, every caller saw its result, and the
+// dedup counter accounts for all the others.
+func TestDoCoalesces(t *testing.T) {
+	var g Group[string, int]
+	const callers = 32
+	var execs atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	results := make([]int, callers)
+	sharedCount := atomic.Int32{}
+	go func() {
+		g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			execs.Add(1)
+			return 99, nil
+		})
+	}()
+	<-started // the leader holds the key; everyone below must coalesce
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (int, error) {
+				execs.Add(1)
+				return 99, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until all callers are parked on the in-flight call.
+	deadline := time.After(5 * time.Second)
+	for g.Dups() < callers {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d callers coalesced", g.Dups(), callers)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("%d executions, want 1", n)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("caller %d got %d, want 99", i, v)
+		}
+	}
+	if int(sharedCount.Load()) != callers {
+		t.Fatalf("%d callers saw shared=true, want %d", sharedCount.Load(), callers)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("%d keys still in flight after completion", g.InFlight())
+	}
+}
+
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group[int, int]
+	var wg sync.WaitGroup
+	var execs atomic.Int32
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.Do(i, func() (int, error) { execs.Add(1); return i, nil })
+		}(i)
+	}
+	wg.Wait()
+	if execs.Load() != 8 {
+		t.Fatalf("%d executions for 8 distinct keys", execs.Load())
+	}
+}

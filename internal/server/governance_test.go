@@ -27,7 +27,7 @@ func TestJobDequeuePanicIsolated(t *testing.T) {
 	if status != http.StatusUnprocessableEntity {
 		t.Fatalf("poisoned job status = %d (%+v), want 422", status, jr)
 	}
-	if jr.Status != JobFailed || !strings.Contains(jr.Error, "recovered panic") {
+	if jr.Status != string(JobFailed) || !strings.Contains(jr.Error, "recovered panic") {
 		t.Fatalf("poisoned job = %+v, want a recovered-panic failure", jr)
 	}
 
@@ -44,7 +44,7 @@ func TestJobDequeuePanicIsolated(t *testing.T) {
 	// Disarm; the same worker must process the next job normally.
 	failpoint.Reset()
 	status, jr = postAnalyze(t, ts.URL, AnalyzeRequest{Source: buggySrc})
-	if status != http.StatusOK || jr.Status != JobDone {
+	if status != http.StatusOK || jr.Status != string(JobDone) {
 		t.Fatalf("post-panic job = %d %+v, want a clean completion", status, jr)
 	}
 
@@ -68,7 +68,7 @@ func TestJobDequeueErrorFailsJobCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	status, jr := postAnalyze(t, ts.URL, AnalyzeRequest{Source: buggySrc})
-	if status != http.StatusUnprocessableEntity || jr.Status != JobFailed {
+	if status != http.StatusUnprocessableEntity || jr.Status != string(JobFailed) {
 		t.Fatalf("injected-error job = %d %+v, want 422/failed", status, jr)
 	}
 	if !strings.Contains(jr.Error, "injected fault") {
@@ -116,7 +116,7 @@ func TestBudgetPatchDegradesAndCounts(t *testing.T) {
 		Source:  buggySrc,
 		Options: &OptionsPatch{MaxDFSSteps: &steps},
 	})
-	if status != http.StatusOK || jr.Status != JobDone {
+	if status != http.StatusOK || jr.Status != string(JobDone) {
 		t.Fatalf("budgeted job = %d %+v, want a completed (degraded) job", status, jr)
 	}
 	var res struct {
@@ -148,7 +148,7 @@ func TestBudgetPatchDegradesAndCounts(t *testing.T) {
 func TestStageTimeoutFailsSlowBuilds(t *testing.T) {
 	_, ts := newTestServer(t, Config{StageTimeout: time.Nanosecond})
 	status, jr := postAnalyze(t, ts.URL, AnalyzeRequest{Source: buggySrc})
-	if status != http.StatusGatewayTimeout || jr.Status != JobFailed {
+	if status != http.StatusGatewayTimeout || jr.Status != string(JobFailed) {
 		t.Fatalf("stage-timeout job = %d %+v, want 504/failed", status, jr)
 	}
 }

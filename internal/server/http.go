@@ -1,13 +1,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"canary"
+	"canary/internal/api"
+	"canary/internal/cache"
+	"canary/internal/diskstore"
 )
 
 // defaultMaxRequestBytes bounds an /v1/analyze body when the operator
@@ -15,118 +23,25 @@ import (
 // binaries).
 const defaultMaxRequestBytes = 16 << 20
 
-// AnalyzeRequest is the POST /v1/analyze body.
-type AnalyzeRequest struct {
-	// Source is the program text in the canary input language. Required.
-	Source string `json:"source"`
-	// Async makes the call return 202 immediately with a job ID to poll
-	// at GET /v1/jobs/{id}; the default waits for the verdict inline.
-	Async bool `json:"async,omitempty"`
-	// TimeoutMS bounds this job's analysis; 0 (and anything above the
-	// server's job-timeout cap) means the cap.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Options patches the server's base analysis options field by field.
-	Options *OptionsPatch `json:"options,omitempty"`
-}
-
-// OptionsPatch is a partial canary.Options: nil fields keep the server's
-// base configuration. Field names mirror the library options.
-type OptionsPatch struct {
-	Entry              *string  `json:"entry,omitempty"`
-	UnrollDepth        *int     `json:"unroll_depth,omitempty"`
-	InlineDepth        *int     `json:"inline_depth,omitempty"`
-	EnableMHP          *bool    `json:"enable_mhp,omitempty"`
-	GuardCap           *int     `json:"guard_cap,omitempty"`
-	Checkers           []string `json:"checkers,omitempty"`
-	RequireInterThread *bool    `json:"require_inter_thread,omitempty"`
-	LockOrder          *bool    `json:"lock_order,omitempty"`
-	CondVarOrder       *bool    `json:"cond_var_order,omitempty"`
-	MemoryModel        *string  `json:"memory_model,omitempty"`
-	FactPropagation    *bool    `json:"fact_propagation,omitempty"`
-	Workers            *int     `json:"workers,omitempty"`
-	CubeAndConquer     *bool    `json:"cube_and_conquer,omitempty"`
-	MaxConflicts       *int64   `json:"max_conflicts,omitempty"`
-	// The step-counted stage budgets (canary.Budgets); exhaustion
-	// degrades the result to inconclusive verdicts instead of failing.
-	MaxFixpointRounds *int `json:"max_fixpoint_rounds,omitempty"`
-	MaxDFSSteps       *int `json:"max_dfs_steps,omitempty"`
-	MaxFormulaNodes   *int `json:"max_formula_nodes,omitempty"`
-}
-
-func (p *OptionsPatch) apply(opt canary.Options) canary.Options {
-	if p == nil {
-		return opt
-	}
-	if p.Entry != nil {
-		opt.Entry = *p.Entry
-	}
-	if p.UnrollDepth != nil {
-		opt.UnrollDepth = *p.UnrollDepth
-	}
-	if p.InlineDepth != nil {
-		opt.InlineDepth = *p.InlineDepth
-	}
-	if p.EnableMHP != nil {
-		opt.EnableMHP = *p.EnableMHP
-	}
-	if p.GuardCap != nil {
-		opt.GuardCap = *p.GuardCap
-	}
-	if len(p.Checkers) > 0 {
-		opt.Checkers = p.Checkers
-	}
-	if p.RequireInterThread != nil {
-		opt.RequireInterThread = *p.RequireInterThread
-	}
-	if p.LockOrder != nil {
-		opt.LockOrder = *p.LockOrder
-	}
-	if p.CondVarOrder != nil {
-		opt.CondVarOrder = *p.CondVarOrder
-	}
-	if p.MemoryModel != nil {
-		opt.MemoryModel = *p.MemoryModel
-	}
-	if p.FactPropagation != nil {
-		opt.FactPropagation = *p.FactPropagation
-	}
-	if p.Workers != nil {
-		opt.Workers = *p.Workers
-	}
-	if p.CubeAndConquer != nil {
-		opt.CubeAndConquer = *p.CubeAndConquer
-	}
-	if p.MaxConflicts != nil {
-		opt.MaxConflicts = *p.MaxConflicts
-	}
-	if p.MaxFixpointRounds != nil {
-		opt.Budgets.MaxFixpointRounds = *p.MaxFixpointRounds
-	}
-	if p.MaxDFSSteps != nil {
-		opt.Budgets.MaxDFSSteps = *p.MaxDFSSteps
-	}
-	if p.MaxFormulaNodes != nil {
-		opt.Budgets.MaxFormulaNodes = *p.MaxFormulaNodes
-	}
-	return opt
-}
-
-// JobResponse is the JSON rendering of a job for both /v1/analyze and
-// /v1/jobs/{id}.
-type JobResponse struct {
-	JobID    string          `json:"job_id"`
-	Status   JobState        `json:"status"`
-	CacheKey string          `json:"cache_key"`
-	Cached   bool            `json:"cached,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Elapsed  float64         `json:"elapsed_ms,omitempty"`
-	Result   json.RawMessage `json:"result,omitempty"`
-}
+// The wire types are shared with the fleet router (internal/api); the
+// aliases keep this package's public surface stable.
+type (
+	// AnalyzeRequest is the POST /v1/analyze body (single or batch form).
+	AnalyzeRequest = api.AnalyzeRequest
+	// AnalyzeItem is one submission of a batch request.
+	AnalyzeItem = api.AnalyzeItem
+	// OptionsPatch is a partial canary.Options overlay.
+	OptionsPatch = api.OptionsPatch
+	// JobResponse is the JSON rendering of a job.
+	JobResponse = api.JobResponse
+	// BatchResponse is the batch /v1/analyze response body.
+	BatchResponse = api.BatchResponse
+)
 
 func responseOf(v jobView) JobResponse {
 	resp := JobResponse{
 		JobID:    v.ID,
-		Status:   v.State,
+		Status:   string(v.State),
 		CacheKey: v.Key.String(),
 		Cached:   v.Cached,
 		Error:    v.ErrMsg,
@@ -142,14 +57,20 @@ func responseOf(v jobView) JobResponse {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/analyze   submit a program (sync by default, async opt-in)
-//	GET  /v1/jobs/{id} status/result of a submitted job
-//	GET  /healthz      liveness — 200 "ok", 503 "draining"
-//	GET  /metrics      plain-text counters and histograms
+//	POST /v1/analyze          submit one program (sync by default, async
+//	                          opt-in) or a batch of up to api.MaxBatchItems
+//	                          programs (always sync, per-item results)
+//	GET  /v1/jobs/{id}        status/result of a submitted job
+//	GET  /v1/cache/{ns}/{key} peer cache tier: the stored entry in the
+//	                          diskstore wire format, or 404
+//	GET  /healthz             liveness — plain text for humans, readiness
+//	                          detail with ?format=json (or Accept: json)
+//	GET  /metrics             plain-text counters and histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/cache/{ns}/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -168,23 +89,28 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req AnalyzeRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", mbe.Limit)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
 		return
 	}
-	if req.Source == "" {
-		writeError(w, http.StatusBadRequest, "missing required field: source")
+	req, err := api.ParseAnalyzeRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opt := req.Options.apply(s.cfg.Options)
+	if len(req.Items) > 0 {
+		s.handleBatch(w, r, req)
+		return
+	}
+
+	opt := req.Options.Apply(s.cfg.Options)
 	timeout := s.cfg.JobTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -223,6 +149,74 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, responseOf(v))
 }
 
+// handleBatch runs every item of a batch request to a terminal state and
+// answers 200 with per-item results in request order. Partial-failure
+// semantics: one item's rejection, analysis error, or timeout is recorded
+// in its own slot and never fails its siblings; the whole response fails
+// (non-200) only when the envelope itself was unacceptable, which
+// handleAnalyze already ruled out.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, req *AnalyzeRequest) {
+	s.metrics.batchRequests.Add(1)
+	s.metrics.batchItems.Add(uint64(len(req.Items)))
+
+	// The envelope-level options patch applies to every item; an item's
+	// own patch overlays it. The router computes routing keys with exactly
+	// this layering, which is what keeps one content address per item
+	// across both tiers.
+	base := req.Options.Apply(s.cfg.Options)
+
+	resp := BatchResponse{Items: make([]JobResponse, len(req.Items))}
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Items[i] = s.runBatchItem(r.Context(), base, req.Items[i])
+		}(i)
+	}
+	wg.Wait()
+	resp.Tally()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatchItem submits one batch item and waits it to a terminal state.
+// Queue-full is absorbed by bounded in-handler retries (the queue drains
+// at analysis speed; a batch is a willing bulk client, so it waits
+// instead of bouncing) until the request context gives up.
+func (s *Server) runBatchItem(ctx context.Context, base canary.Options, it AnalyzeItem) JobResponse {
+	opt := it.Options.Apply(base)
+	timeout := s.cfg.JobTimeout
+	if it.TimeoutMS > 0 {
+		timeout = time.Duration(it.TimeoutMS) * time.Millisecond
+	}
+	backoff := 2 * time.Millisecond
+	var job *Job
+	for {
+		var err error
+		job, err = s.Submit(it.Source, opt, timeout)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return JobResponse{Status: string(JobFailed), Error: err.Error()}
+		}
+		select {
+		case <-ctx.Done():
+			return JobResponse{Status: string(JobFailed), Error: ErrQueueFull.Error()}
+		case <-time.After(backoff):
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	select {
+	case <-job.Done():
+	case <-ctx.Done():
+		// The client gave up on the whole batch; report the live state.
+	}
+	return responseOf(job.view())
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -232,14 +226,88 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, responseOf(job.view()))
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+// handleCacheGet is the peer cache tier's read side: the entry under
+// (namespace, key), framed in the diskstore entry wire format — the very
+// bytes a disk-backed store holds, so a fleet peer can decode them with
+// the decoder it already has. A miss is 404; there is no error state a
+// peer could act on differently, so everything else degrades to 404 too.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	k, ok := cache.ParseKey(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "malformed cache key %q", r.PathValue("key"))
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	var raw []byte
+	switch ns {
+	case "result":
+		// Served through the tiered store (memory first, then disk), then
+		// framed — EncodeEntry of a content-addressed value is byte-identical
+		// to its on-disk entry, so the wire format matches either way.
+		if v, ok := s.cache.Get(k); ok {
+			raw = diskstore.EncodeEntry(v)
+		}
+	case "summary", "verdict":
+		// The warm-session namespaces exist only disk-backed; their entry
+		// files ship verbatim.
+		if s.disk != nil {
+			raw, _ = s.disk.NS(ns).GetRaw(k)
+		}
+	default:
+		writeError(w, http.StatusNotFound, "unknown cache namespace %q", ns)
+		return
+	}
+	if raw == nil {
+		s.metrics.peerMissServed.Add(1)
+		writeError(w, http.StatusNotFound, "no entry for %s/%s", ns, k)
+		return
+	}
+	s.metrics.peerServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(raw)
+}
+
+// Health gathers the machine-readable readiness report: enough for a
+// router to distinguish a saturated node from a down one, and for
+// operators to see what the node is doing.
+func (s *Server) Health() api.Health {
+	h := api.Health{
+		Status:        "ok",
+		NodeID:        s.cfg.NodeID,
+		QueueDepth:    s.QueueDepth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		Running:       int(s.metrics.running.Load()),
+		CacheDir:      s.cfg.CacheDir,
+		CacheDirOK:    true,
+	}
+	s.mu.Lock()
+	if s.draining {
+		h.Status = "draining"
+	}
+	h.InFlight = len(s.inflight)
+	s.mu.Unlock()
+	if s.cfg.CacheDir != "" {
+		if _, err := os.Stat(s.cfg.CacheDir); err != nil {
+			h.CacheDirOK = false
+		}
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	status := http.StatusOK
+	if h.Status == "draining" {
+		status = http.StatusServiceUnavailable
+	}
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, status, h)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintln(w, h.Status)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -23,7 +23,7 @@ func TestDiskBackedRestartServesWarm(t *testing.T) {
 	}
 	ts1 := httptest.NewServer(s1.Handler())
 	status, cold := postAnalyze(t, ts1.URL, AnalyzeRequest{Source: buggySrc})
-	if status != http.StatusOK || cold.Status != JobDone || cold.Cached {
+	if status != http.StatusOK || cold.Status != string(JobDone) || cold.Cached {
 		t.Fatalf("cold = %d %+v", status, cold)
 	}
 	ts1.Close()
@@ -50,7 +50,7 @@ func TestDiskBackedRestartServesWarm(t *testing.T) {
 	})
 
 	status, warm := postAnalyze(t, ts2.URL, AnalyzeRequest{Source: buggySrc})
-	if status != http.StatusOK || warm.Status != JobDone {
+	if status != http.StatusOK || warm.Status != string(JobDone) {
 		t.Fatalf("warm = %d %+v", status, warm)
 	}
 	if !warm.Cached {

@@ -31,6 +31,7 @@ import (
 	"canary/internal/cache"
 	"canary/internal/diskstore"
 	"canary/internal/failpoint"
+	"canary/internal/fleet"
 	"canary/internal/pipeline"
 	"canary/internal/smt"
 )
@@ -82,6 +83,20 @@ type Config struct {
 	// MaxJobRecords bounds the finished-job history kept for GET
 	// /v1/jobs/{id}; the oldest finished records are pruned first.
 	MaxJobRecords int
+	// NodeID identifies this daemon in /healthz readiness reports; canaryd
+	// defaults it to the listen address.
+	NodeID string
+	// Peers, when non-empty, enables the fleet peer cache tier: the base
+	// URLs of every fleet member (including this node's own, named by
+	// PeerSelf). Before computing a missed key, the daemon asks the key's
+	// shard owner for the cached bytes. The list must match the router's
+	// worker list so both sides hash to the same owners.
+	Peers []string
+	// PeerSelf is this node's own URL within Peers.
+	PeerSelf string
+	// PeerTimeout bounds each peer cache fetch; <= 0 selects the fleet
+	// package's fail-fast default.
+	PeerTimeout time.Duration
 	// Options is the base analysis configuration; per-request options
 	// patch it.
 	Options canary.Options
@@ -129,12 +144,21 @@ type Server struct {
 	// program) still reuses everything its unchanged functions and
 	// source–sink pairs established on earlier jobs.
 	session *canary.Session
+	// peers is the fleet peer cache tier (nil without Config.Peers): the
+	// shard owner of a missed key is asked for its bytes before this node
+	// computes them.
+	peers *fleet.PeerClient
 
 	mu       sync.Mutex
 	draining bool
 	jobs     map[string]*Job
 	jobOrder []string // admission order, for bounded history pruning
 	nextID   uint64
+	// inflight is the single-flight table: one live job per submission
+	// key. A second submission of a key already queued or running shares
+	// that job instead of analyzing twice (the in-process half of the
+	// fleet's cross-node dedup).
+	inflight map[cache.Key]*Job
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -151,10 +175,14 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueDepth),
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[cache.Key]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	if len(cfg.Peers) > 0 && cfg.PeerSelf != "" {
+		s.peers = fleet.NewPeerClient(cfg.Peers, cfg.PeerSelf, cfg.PeerTimeout)
 	}
 	if cfg.CacheDir != "" {
 		ds, err := diskstore.Open(cfg.CacheDir, cfg.CacheMaxBytes)
@@ -186,10 +214,17 @@ func (s *Server) Config() Config { return s.cfg }
 // Submit admits one analysis of src under opt with the given deadline
 // (0, or anything above Config.JobTimeout, means Config.JobTimeout).
 //
-// Repeat submissions are answered from the content-addressed store: the
-// returned job is already done, flagged cached, and carries the exact
-// bytes of the cold run. A miss enqueues the job; ErrQueueFull and
-// ErrDraining reject it without a job record.
+// The admission path walks the cache tiers in cost order before any
+// analysis is queued:
+//
+//  1. the content-addressed result store (memory, then disk) — a hit
+//     returns an already-done job carrying the exact cold-run bytes;
+//  2. the single-flight table — a submission whose key is already queued
+//     or running shares that live job instead of analyzing twice;
+//  3. the fleet peer tier (when configured) — the key's shard owner is
+//     asked for its cached bytes, which also land in the local store;
+//  4. the bounded queue — ErrQueueFull and ErrDraining reject without a
+//     job record.
 func (s *Server) Submit(src string, opt canary.Options, timeout time.Duration) (*Job, error) {
 	if timeout <= 0 || timeout > s.cfg.JobTimeout {
 		timeout = s.cfg.JobTimeout
@@ -205,6 +240,61 @@ func (s *Server) Submit(src string, opt canary.Options, timeout time.Duration) (
 	}
 
 	s.mu.Lock()
+	if job, err := s.admitFastLocked(job); job != nil || err != nil {
+		return job, err
+	}
+
+	// Peer cache tier, outside the lock (it is a network call): ask the
+	// key's shard owner before computing locally. Every failure mode
+	// degrades to computing here. Peerless nodes keep the lock and fall
+	// straight through to the queue.
+	if s.peers != nil {
+		s.mu.Unlock()
+		if v, ok := s.peers.Fetch("result", job.key); ok {
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				s.metrics.rejected.Add(1)
+				return nil, ErrDraining
+			}
+			s.cache.Put(job.key, v)
+			s.admitLocked(job)
+			s.mu.Unlock()
+			job.complete(v, true)
+			s.metrics.accepted.Add(1)
+			s.metrics.completed.Add(1)
+			s.metrics.cacheServed.Add(1)
+			s.metrics.peerHits.Add(1)
+			return job, nil
+		}
+		s.mu.Lock()
+		// Re-run the fast path: the store or the single-flight table may
+		// have filled while the peer fetch was in flight.
+		if job, err := s.admitFastLocked(job); job != nil || err != nil {
+			return job, err
+		}
+	}
+	select {
+	case s.queue <- job:
+		// Sent while holding mu: BeginDrain closes the queue under the same
+		// lock, so a send can never race the close.
+		s.admitLocked(job)
+		s.inflight[job.key] = job
+		s.mu.Unlock()
+		s.metrics.accepted.Add(1)
+		return job, nil
+	default:
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// admitFastLocked tries the no-compute admission paths under s.mu: drain
+// rejection, the content store, and the single-flight table. It returns
+// (nil, nil) — with the lock still held — when the caller must proceed
+// to the slower paths; on any other return the lock has been released.
+func (s *Server) admitFastLocked(job *Job) (*Job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(1)
@@ -219,19 +309,23 @@ func (s *Server) Submit(src string, opt canary.Options, timeout time.Duration) (
 		s.metrics.cacheServed.Add(1)
 		return job, nil
 	}
-	select {
-	case s.queue <- job:
-		// Sent while holding mu: BeginDrain closes the queue under the same
-		// lock, so a send can never race the close.
-		s.admitLocked(job)
+	if live, ok := s.inflight[job.key]; ok {
 		s.mu.Unlock()
 		s.metrics.accepted.Add(1)
-		return job, nil
-	default:
-		s.mu.Unlock()
-		s.metrics.rejected.Add(1)
-		return nil, ErrQueueFull
+		s.metrics.coalesced.Add(1)
+		return live, nil
 	}
+	return nil, nil
+}
+
+// clearInflight removes job from the single-flight table once it reaches
+// a terminal state (only if the slot is still this job's).
+func (s *Server) clearInflight(job *Job) {
+	s.mu.Lock()
+	if s.inflight[job.key] == job {
+		delete(s.inflight, job.key)
+	}
+	s.mu.Unlock()
 }
 
 // admitLocked assigns the job its ID and records it, pruning the oldest
@@ -333,6 +427,7 @@ func (s *Server) worker() {
 // alive for the next job. The job-dequeue failpoint fires here so the
 // fault-injection suite can exercise exactly this path.
 func (s *Server) safeRun(job *Job) {
+	defer s.clearInflight(job)
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.panicsRecovered.Add(1)
@@ -479,6 +574,25 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "canaryd_disk_gc_evictions_total %d\n", dst.GCEvictions)
 	fmt.Fprintf(w, "canaryd_disk_bytes %d\n", dst.Bytes)
 	fmt.Fprintf(w, "canaryd_disk_entries %d\n", dst.Entries)
+	// The fleet tier: batch traffic, in-process single-flight dedup, the
+	// peer cache client (this node asking shard owners) and server side
+	// (shard owners asking this node). All zero outside a fleet, so
+	// scrapers can rely on the series existing either way.
+	fmt.Fprintf(w, "canaryd_batch_requests_total %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "canaryd_batch_items_total %d\n", m.batchItems.Load())
+	fmt.Fprintf(w, "canaryd_inflight_coalesced_total %d\n", m.coalesced.Load())
+	var pst fleet.PeerStats
+	if s.peers != nil {
+		pst = s.peers.Stats()
+	}
+	fmt.Fprintf(w, "canaryd_peer_fetches_total %d\n", pst.Fetches)
+	fmt.Fprintf(w, "canaryd_peer_hits_total %d\n", pst.Hits)
+	fmt.Fprintf(w, "canaryd_peer_misses_total %d\n", pst.Misses)
+	fmt.Fprintf(w, "canaryd_peer_errors_total %d\n", pst.Errors)
+	fmt.Fprintf(w, "canaryd_peer_coalesced_total %d\n", pst.Coalesced)
+	fmt.Fprintf(w, "canaryd_peer_jobs_served_total %d\n", m.peerHits.Load())
+	fmt.Fprintf(w, "canaryd_peer_cache_get_hits_total %d\n", m.peerServed.Load())
+	fmt.Fprintf(w, "canaryd_peer_cache_get_misses_total %d\n", m.peerMissServed.Load())
 
 	for _, st := range pipeline.Stages() {
 		m.stage[st.MetricsLabel()].writeTo(w, "canaryd_stage_latency_seconds", st.MetricsLabel())

@@ -126,7 +126,7 @@ func TestSyncAnalyzeMatchesLibraryAndCache(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("cold status = %d (%+v)", status, cold)
 	}
-	if cold.Status != JobDone || cold.Cached {
+	if cold.Status != string(JobDone) || cold.Cached {
 		t.Fatalf("cold = %+v", cold)
 	}
 
@@ -146,7 +146,7 @@ func TestSyncAnalyzeMatchesLibraryAndCache(t *testing.T) {
 
 	hits0, _, _ := s.CacheStats()
 	status, warm := postAnalyze(t, ts.URL, AnalyzeRequest{Source: buggySrc})
-	if status != http.StatusOK || warm.Status != JobDone {
+	if status != http.StatusOK || warm.Status != string(JobDone) {
 		t.Fatalf("warm = %d %+v", status, warm)
 	}
 	if !warm.Cached {
@@ -202,7 +202,7 @@ func TestAsyncJobLifecycle(t *testing.T) {
 		if err := json.Unmarshal(body, &jr); err != nil {
 			t.Fatal(err)
 		}
-		if jr.Status == JobDone || jr.Status == JobFailed {
+		if jr.Status == string(JobDone) || jr.Status == string(JobFailed) {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -210,7 +210,7 @@ func TestAsyncJobLifecycle(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if jr.Status != JobDone {
+	if jr.Status != string(JobDone) {
 		t.Fatalf("job failed: %s", jr.Error)
 	}
 	var res struct {
@@ -282,7 +282,7 @@ func TestJobDeadline(t *testing.T) {
 	if status != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d (%+v), want 504", status, jr)
 	}
-	if jr.Status != JobFailed || !strings.Contains(jr.Error, "analysis canceled") {
+	if jr.Status != string(JobFailed) || !strings.Contains(jr.Error, "analysis canceled") {
 		t.Fatalf("job = %+v", jr)
 	}
 }
@@ -403,7 +403,7 @@ func TestBadRequests(t *testing.T) {
 
 	// A program that does not parse fails the job, not the HTTP exchange.
 	status, jr := postAnalyze(t, ts.URL, AnalyzeRequest{Source: "func {"})
-	if status != http.StatusUnprocessableEntity || jr.Status != JobFailed {
+	if status != http.StatusUnprocessableEntity || jr.Status != string(JobFailed) {
 		t.Errorf("parse failure = %d %+v", status, jr)
 	}
 

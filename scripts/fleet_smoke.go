@@ -1,0 +1,431 @@
+//go:build ignore
+
+// fleet_smoke.go is the `make fleet-smoke` gate: a real canary-router in
+// front of two real canaryd workers, over real HTTP. It batch-submits a
+// small corpus through the router, asserts every item's findings are
+// byte-identical to a direct in-process library run, replays the batch to
+// prove owner-local caching, then SIGKILLs one worker and submits again —
+// including a fresh item whose shard owner is the dead worker — asserting
+// the router fails over, nothing is lost, and the findings stay
+// byte-identical. The router must end the run reporting the victim down
+// and at least one failover, and must still drain cleanly on SIGTERM.
+//
+// Run from the repository root: go run scripts/fleet_smoke.go
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"canary"
+	"canary/internal/api"
+	"canary/internal/fleet"
+)
+
+const smokeItems = 6
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fleet-smoke: ok")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "canary-fleet-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	daemonBin := filepath.Join(tmp, "canaryd")
+	routerBin := filepath.Join(tmp, "canary-router")
+	for bin, pkg := range map[string]string{daemonBin: "./cmd/canaryd", routerBin: "./cmd/canary-router"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			return fmt.Errorf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Two workers on random ports.
+	var workers []*proc
+	defer func() {
+		for _, p := range workers {
+			p.kill()
+		}
+	}()
+	var urls []string
+	for i := 0; i < 2; i++ {
+		p, err := startProc(exec.Command(daemonBin, "-addr", "127.0.0.1:0"), "canaryd listening on ")
+		if err != nil {
+			return err
+		}
+		workers = append(workers, p)
+		urls = append(urls, "http://"+p.addr)
+	}
+
+	// The router in front of them, with a short failover backoff so the
+	// post-kill batch settles quickly.
+	router, err := startProc(exec.Command(routerBin,
+		"-addr", "127.0.0.1:0",
+		"-workers", strings.Join(urls, ","),
+		"-retry-backoff", "10ms",
+		"-health-interval", "250ms"), "canary-router listening on ")
+	if err != nil {
+		return err
+	}
+	defer router.kill()
+	base := "http://" + router.addr
+	fmt.Println("fleet-smoke: router at", base, "workers at", strings.Join(urls, ", "))
+
+	if err := waitWorkersUp(base, 2); err != nil {
+		return err
+	}
+
+	// The corpus: the service example plus distinct padding per item, so
+	// every item has its own content address and shard owner.
+	example, err := os.ReadFile("examples/service/program.cn")
+	if err != nil {
+		return err
+	}
+	corpus := make([]api.AnalyzeItem, smokeItems)
+	for i := range corpus {
+		corpus[i] = api.AnalyzeItem{Source: padSource(string(example), i)}
+	}
+
+	// Direct baseline: the library, in this process. The determinism
+	// contract makes these findings the only acceptable output no matter
+	// which worker computes an item.
+	direct := make([]string, smokeItems)
+	for i, it := range corpus {
+		if direct[i], err = directFindings(it.Source); err != nil {
+			return fmt.Errorf("direct baseline item %d: %w", i, err)
+		}
+	}
+
+	// Cold batch through the router: all items done, findings identical.
+	cold, err := postBatch(base, corpus)
+	if err != nil {
+		return err
+	}
+	if cold.Failed != 0 || cold.Completed != smokeItems {
+		return fmt.Errorf("cold batch: %d completed, %d failed", cold.Completed, cold.Failed)
+	}
+	if err := compareFindings(cold.Items, direct); err != nil {
+		return fmt.Errorf("cold batch: %w", err)
+	}
+	fmt.Println("fleet-smoke: cold batch identical to direct run")
+
+	// Warm replay: every item served from its shard owner's cache.
+	warm, err := postBatch(base, corpus)
+	if err != nil {
+		return err
+	}
+	cached := 0
+	for _, it := range warm.Items {
+		if it.Cached {
+			cached++
+		}
+	}
+	if cached != smokeItems {
+		return fmt.Errorf("warm batch: %d/%d items cache-served", cached, smokeItems)
+	}
+	if err := compareFindings(warm.Items, direct); err != nil {
+		return fmt.Errorf("warm batch: %w", err)
+	}
+	fmt.Println("fleet-smoke: warm batch fully cache-served")
+
+	// Kill the worker that owns item 0, then resubmit the corpus plus a
+	// fresh item the victim also owns: the cached items owned by the
+	// victim and the fresh item must all fail over to the survivor and
+	// come back byte-identical.
+	ring := fleet.NewRing(urls)
+	victimURL := ring.Owner(canary.SubmissionKey(corpus[0].Source, canary.DefaultOptions()))
+	var victim *proc
+	for i, u := range urls {
+		if u == victimURL {
+			victim = workers[i]
+		}
+	}
+	fresh := freshVictimItem(string(example), ring, victimURL)
+	freshDirect, err := directFindings(fresh.Source)
+	if err != nil {
+		return err
+	}
+	victim.cmd.Process.Kill()
+	victim.cmd.Wait()
+	victim.dead = true
+	fmt.Println("fleet-smoke: killed worker", victimURL)
+
+	after, err := postBatch(base, append(append([]api.AnalyzeItem{}, corpus...), fresh))
+	if err != nil {
+		return err
+	}
+	if after.Failed != 0 || after.Completed != smokeItems+1 {
+		return fmt.Errorf("post-kill batch: %d completed, %d failed", after.Completed, after.Failed)
+	}
+	if err := compareFindings(after.Items, append(append([]string{}, direct...), freshDirect)); err != nil {
+		return fmt.Errorf("post-kill batch: %w", err)
+	}
+	fmt.Println("fleet-smoke: post-kill batch identical (failover transparent)")
+
+	// The router must have failed over at least once and, once the prober
+	// catches up, report the victim down.
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var failovers uint64
+	fmt.Sscanf(lineWith(metrics, "router_failovers_total "), "router_failovers_total %d", &failovers)
+	if failovers == 0 {
+		return fmt.Errorf("router_failovers_total is 0 after killing a worker:\n%s", metrics)
+	}
+	if err := waitWorkerState(base, victimURL, "down"); err != nil {
+		return err
+	}
+	fmt.Printf("fleet-smoke: %d failover(s), victim reported down\n", failovers)
+
+	// Clean shutdown: SIGTERM must drain and exit 0.
+	if err := router.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- router.cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		router.dead = true
+		if err != nil {
+			return fmt.Errorf("router exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("router did not exit within 30s of SIGTERM")
+	}
+	fmt.Println("fleet-smoke: clean router shutdown")
+	return nil
+}
+
+// proc is one spawned child with the address scraped from its first
+// stdout line.
+type proc struct {
+	addr string
+	cmd  *exec.Cmd
+	dead bool
+}
+
+func (p *proc) kill() {
+	if p == nil || p.dead {
+		return
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.dead = true
+}
+
+// startProc starts cmd, scrapes "<prefix><addr>" from its first stdout
+// line, and keeps the pipe drained.
+func startProc(cmd *exec.Cmd, prefix string) (*proc, error) {
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &proc{cmd: cmd}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		p.kill()
+		return nil, fmt.Errorf("%s exited before announcing its address", cmd.Path)
+	}
+	p.addr = strings.TrimPrefix(sc.Text(), prefix)
+	if p.addr == sc.Text() {
+		p.kill()
+		return nil, fmt.Errorf("unexpected first stdout line %q", sc.Text())
+	}
+	go io.Copy(io.Discard, stdout)
+	return p, nil
+}
+
+// padSource gives the shared example a distinct content address per item.
+// The padding shape matches the fleet bench corpus.
+func padSource(base string, i int) string {
+	return fmt.Sprintf("%s\nfunc fleetsmokepad%d() { p%d = malloc(); }", base, i, i)
+}
+
+// freshVictimItem searches pad variants until one's shard owner is the
+// victim, so the post-kill batch provably contains work the dead worker
+// owned.
+func freshVictimItem(base string, ring *fleet.Ring, victimURL string) api.AnalyzeItem {
+	for i := 0; ; i++ {
+		src := fmt.Sprintf("%s\nfunc fleetsmokefresh%d() { q%d = malloc(); }", base, i, i)
+		if ring.Owner(canary.SubmissionKey(src, canary.DefaultOptions())) == victimURL {
+			return api.AnalyzeItem{Source: src}
+		}
+	}
+}
+
+// directFindings runs the library in-process and returns the compacted
+// findings bytes.
+func directFindings(src string) (string, error) {
+	r, err := canary.Analyze(src, canary.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return "", err
+	}
+	return findingsOf(raw)
+}
+
+// findingsOf extracts the compacted Reports array from a serialized
+// result (timings vary run to run; the findings bytes may not).
+func findingsOf(result json.RawMessage) (string, error) {
+	var m struct {
+		Reports json.RawMessage `json:"Reports"`
+	}
+	if err := json.Unmarshal(result, &m); err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, m.Reports); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// compareFindings checks every batch item's findings against the direct
+// baseline, byte for byte.
+func compareFindings(items []api.JobResponse, want []string) error {
+	if len(items) != len(want) {
+		return fmt.Errorf("%d items in response, want %d", len(items), len(want))
+	}
+	for i, it := range items {
+		if it.Status != "done" {
+			return fmt.Errorf("item %d status %q (error %q)", i, it.Status, it.Error)
+		}
+		got, err := findingsOf(it.Result)
+		if err != nil {
+			return fmt.Errorf("item %d: %w", i, err)
+		}
+		if got != want[i] {
+			return fmt.Errorf("item %d findings differ from the direct run:\nrouted: %s\ndirect: %s", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+// postBatch submits items as one batch request.
+func postBatch(base string, items []api.AnalyzeItem) (*api.BatchResponse, error) {
+	body, err := json.Marshal(api.AnalyzeRequest{Items: items})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("batch POST /v1/analyze: %s: %s", resp.Status, buf)
+	}
+	var br api.BatchResponse
+	return &br, json.Unmarshal(buf, &br)
+}
+
+// routerHealth is the router's /healthz?format=json body.
+type routerHealth struct {
+	Status  string `json:"status"`
+	Workers []struct {
+		URL   string `json:"url"`
+		State string `json:"state"`
+	} `json:"workers"`
+}
+
+func getHealth(base string) (routerHealth, error) {
+	var h routerHealth
+	resp, err := http.Get(base + "/healthz?format=json")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+// waitWorkersUp polls the router until want workers report "up".
+func waitWorkersUp(base string, want int) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		h, err := getHealth(base)
+		if err == nil {
+			up := 0
+			for _, w := range h.Workers {
+				if w.State == "up" {
+					up++
+				}
+			}
+			if up >= want {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("router never reported %d workers up", want)
+}
+
+// waitWorkerState polls the router until worker url reports state.
+func waitWorkerState(base, url, state string) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		h, err := getHealth(base)
+		if err == nil {
+			for _, w := range h.Workers {
+				if w.URL == url && w.State == state {
+					return nil
+				}
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("router never reported %s %s", url, state)
+}
+
+func lineWith(text, prefix string) string {
+	for _, ln := range strings.Split(text, "\n") {
+		if strings.HasPrefix(ln, prefix) {
+			return ln
+		}
+	}
+	return ""
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}
