@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke bench-persist-smoke serve-smoke fleet-smoke fuzz-smoke fuzz
+.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke bench-persist-smoke serve-smoke fleet-smoke chaos-smoke fuzz-smoke fuzz
 
 ## check: the full CI gate — lint (gofmt drift + vet), build, race-enabled
 ## tests (includes the corpus-wide determinism tests, the fresh-process
 ## warm-restart tests, and the 16-goroutine fault/budget hammer), short
 ## fuzzer smokes (including the disk- and peer-facing wire decoders), the
-## end-to-end daemon and fleet smoke tests, and one-iteration smokes of
-## the incremental and persist benchmarks.
+## end-to-end daemon, fleet, and chaos smoke tests, and one-iteration
+## smokes of the incremental and persist benchmarks.
 check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
@@ -17,9 +17,11 @@ check: lint
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSummary -fuzztime=5s ./internal/pta
 	$(GO) test -run=NONE -fuzz=FuzzDecodeVerdict -fuzztime=5s ./internal/smt
 	$(GO) test -run=NONE -fuzz=FuzzParseAnalyzeRequest -fuzztime=5s ./internal/api
+	$(GO) test -run=NONE -fuzz=FuzzParseGossip -fuzztime=5s ./internal/api
 	$(GO) test -run=NONE -fuzz=FuzzDecodePeerEntry -fuzztime=5s ./internal/fleet
 	$(GO) run scripts/serve_smoke.go
 	$(GO) run scripts/fleet_smoke.go
+	$(GO) run scripts/chaos_smoke.go
 	$(GO) run ./cmd/canary-bench -experiment incremental -incr-iters 1 -incr-lines 600 -json > /dev/null
 	$(MAKE) bench-hotpath-smoke
 	$(MAKE) bench-persist-smoke
@@ -53,6 +55,7 @@ bench-json:
 	$(GO) run ./cmd/canary-bench -experiment hotpath -json > BENCH_hotpath.json
 	$(GO) run ./cmd/canary-bench -experiment persist -json > BENCH_persist.json
 	$(GO) run ./cmd/canary-bench -experiment fleet -json > BENCH_fleet.json
+	$(GO) run ./cmd/canary-bench -experiment chaos -json > BENCH_chaos.json
 
 ## bench-hotpath-smoke: tiny-corpus run of the hotpath experiment with an
 ## allocation regression gate — guard construction above 40 allocs/op (the
@@ -81,12 +84,21 @@ serve-smoke:
 fleet-smoke:
 	$(GO) run scripts/fleet_smoke.go
 
+## chaos-smoke: end-to-end self-healing exercise — a gossip-joined fleet
+## (router + three canaryd workers, no static worker list) driven through
+## SIGKILL, dead-node rejoin, SIGSTOP/SIGCONT suspect, and a failpoint
+## storm, with every round asserted byte-identical to a direct library run
+## and membership convergence bounded in heartbeats.
+chaos-smoke:
+	$(GO) run scripts/chaos_smoke.go
+
 ## fuzz-smoke: the short fuzzer passes run by check, including the two
 ## fleet wire decoders (batch request envelope, peer cache entry).
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/lang
 	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=5s .
 	$(GO) test -run=NONE -fuzz=FuzzParseAnalyzeRequest -fuzztime=5s ./internal/api
+	$(GO) test -run=NONE -fuzz=FuzzParseGossip -fuzztime=5s ./internal/api
 	$(GO) test -run=NONE -fuzz=FuzzDecodePeerEntry -fuzztime=5s ./internal/fleet
 
 ## fuzz: longer exploratory fuzzing of the parser and the full pipeline.

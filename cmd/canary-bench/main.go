@@ -12,6 +12,7 @@
 //	canary-bench -experiment hotpath  # allocs/op, B/op, ns/op of the hot-path representations vs the recorded pre-overhaul baseline
 //	canary-bench -experiment persist  # warm restarts: fresh-process cold vs disk-warm latency, hit rates, store size
 //	canary-bench -experiment fleet    # horizontal scale: N daemon processes behind the router, throughput, peer cache tier, dedup, routing invariance
+//	canary-bench -experiment chaos    # self-healing: gossip-joined fleet under SIGKILL/restart/SIGSTOP/failpoint rounds, byte-identity and convergence gates
 //	canary-bench -experiment all
 //
 // -json replaces the text tables with one JSON object holding the raw
@@ -63,11 +64,18 @@ func main() {
 		flLines    = flag.Int("fleet-lines", 1600, "subject size for the fleet experiment")
 		flItems    = flag.Int("fleet-items", 12, "corpus items in the fleet experiment")
 		flNodes    = flag.String("fleet-nodes", "1,2,4", "comma-separated fleet sizes to sweep")
-		flChild    = flag.Bool("fleet-child", false, "internal: run one canaryd worker process (used by -experiment fleet)")
+		flChild    = flag.Bool("fleet-child", false, "internal: run one canaryd worker process (used by -experiment fleet and chaos)")
 		flAddr     = flag.String("fleet-addr", "", "internal: listen address of a -fleet-child run")
 		flPeers    = flag.String("fleet-peers", "", "internal: peer URL list of a -fleet-child run")
 		flSelf     = flag.String("fleet-self", "", "internal: own URL of a -fleet-child run")
+		flJoin     = flag.String("fleet-join", "", "internal: membership seed URL list of a -fleet-child run (dynamic fleet)")
+		flGossip   = flag.Duration("fleet-gossip", 500*time.Millisecond, "internal: gossip interval of a -fleet-child run")
+		flDir      = flag.String("fleet-dir", "", "internal: persistent cache dir of a -fleet-child run")
 		flConc     = flag.Int("fleet-conc", 1, "internal: worker concurrency of a -fleet-child run")
+		chLines    = flag.Int("chaos-lines", 300, "subject size for the chaos experiment")
+		chItems    = flag.Int("chaos-items", 10, "corpus items streamed per chaos round")
+		chWorkers  = flag.Int("chaos-workers", 3, "worker processes in the chaos fleet")
+		chGossip   = flag.Duration("chaos-gossip", 150*time.Millisecond, "membership heartbeat of the chaos fleet")
 		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
@@ -77,7 +85,7 @@ func main() {
 		os.Exit(bench.RunPersistChild(*childDir, *childSrc))
 	}
 	if *flChild {
-		os.Exit(bench.RunFleetChild(*flAddr, *flPeers, *flSelf, *flConc))
+		os.Exit(bench.RunFleetChild(*flAddr, *flPeers, *flSelf, *flJoin, *flGossip, *flDir, *flConc))
 	}
 
 	e := &bench.Experiments{Timeout: *timeout}
@@ -93,7 +101,7 @@ func main() {
 		}
 		return *experiment == "all"
 	}
-	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath", "persist", "fleet")
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath", "persist", "fleet", "chaos")
 	if !known {
 		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -110,6 +118,7 @@ func main() {
 		Hotpath     *bench.HotpathResult     `json:"hotpath,omitempty"`
 		Persist     *bench.PersistResult     `json:"persist,omitempty"`
 		Fleet       *bench.FleetResult       `json:"fleet,omitempty"`
+		Chaos       *bench.ChaosResult       `json:"chaos,omitempty"`
 	}{}
 
 	if want("fig7a", "fig7b", "table1") {
@@ -224,6 +233,38 @@ func main() {
 		}
 	}
 
+	if want("chaos") {
+		exe, err := os.Executable()
+		if err != nil {
+			fail(err)
+		}
+		spec := workload.SizeSweep(1, *chLines, *chLines)[0]
+		res, err := e.RunChaos(spec, *chItems, *chWorkers, *chGossip, exe)
+		if err != nil {
+			fail(err)
+		}
+		out.Chaos = &res
+		// The chaos gates are hard: findings must stay byte-identical
+		// under every failure, nothing may be silently lost, and the
+		// membership protocol must converge within the heartbeat bound.
+		if !res.AllIdentical {
+			fmt.Fprintln(os.Stderr, "canary-bench: chaos findings diverged from the direct run")
+			os.Exit(1)
+		}
+		if !res.NoneLost {
+			fmt.Fprintln(os.Stderr, "canary-bench: chaos rounds lost requests")
+			os.Exit(1)
+		}
+		if !res.Converged {
+			fmt.Fprintln(os.Stderr, "canary-bench: membership did not converge within the heartbeat bound")
+			os.Exit(1)
+		}
+		if !res.SuspectObserved {
+			fmt.Fprintln(os.Stderr, "canary-bench: paused worker was never observed suspect")
+			os.Exit(1)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -285,6 +326,10 @@ func main() {
 	if out.Fleet != nil {
 		sep()
 		bench.PrintFleet(os.Stdout, *out.Fleet)
+	}
+	if out.Chaos != nil {
+		sep()
+		bench.PrintChaos(os.Stdout, *out.Chaos)
 	}
 }
 

@@ -13,6 +13,7 @@
 //
 //	POST /v1/analyze   {"source": "...", "options": {...}, "async": false, "timeout_ms": 0}
 //	GET  /v1/jobs/{id} status and result of an async job
+//	POST /v1/gossip    membership exchange (with -join; GET returns the table)
 //	GET  /healthz      200 "ok", or 503 "draining" during shutdown
 //	GET  /metrics      plain-text counters and per-stage latency histograms
 //	                   (one canaryd_stage_latency_seconds series per pipeline
@@ -66,6 +67,9 @@ func run() int {
 		peers      = flag.String("peers", "", "comma-separated fleet member base URLs (enables the peer cache tier; must include -peer-self)")
 		peerSelf   = flag.String("peer-self", "", "this node's own base URL within -peers")
 		peerWait   = flag.Duration("peer-timeout", 2*time.Second, "bound on one peer cache fetch")
+		join       = flag.String("join", "", "comma-separated membership seed URLs: gossip with them, learn the fleet, rebuild the peer ring on every change (replaces -peers/-peer-self)")
+		advertise  = flag.String("advertise", "", "this node's base URL as other members reach it (default http://<bound addr>; needs -join)")
+		gossipWait = flag.Duration("gossip-interval", 500*time.Millisecond, "membership heartbeat period (suspect after 5x, dead after 10x)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -105,6 +109,22 @@ func run() int {
 			return 2
 		}
 	}
+	var joinList []string
+	adv := *advertise
+	if *join != "" {
+		if *peers != "" {
+			fmt.Fprintln(os.Stderr, "canaryd: -join and -peers are mutually exclusive")
+			return 2
+		}
+		for _, j := range strings.Split(*join, ",") {
+			if j = strings.TrimSpace(j); j != "" {
+				joinList = append(joinList, j)
+			}
+		}
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+	}
 
 	srv, err := server.New(server.Config{
 		MaxConcurrent:   *maxConc,
@@ -120,6 +140,9 @@ func run() int {
 		Peers:           peerList,
 		PeerSelf:        *peerSelf,
 		PeerTimeout:     *peerWait,
+		Join:            joinList,
+		Advertise:       adv,
+		GossipInterval:  *gossipWait,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "canaryd:", err)

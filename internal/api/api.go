@@ -151,6 +151,9 @@ type Health struct {
 	// for memory-only nodes).
 	CacheDir   string `json:"cache_dir,omitempty"`
 	CacheDirOK bool   `json:"cache_dir_ok"`
+	// MembersAlive counts the non-dead fleet members this node knows of
+	// (itself included); 0 means dynamic membership is not enabled.
+	MembersAlive int `json:"members_alive,omitempty"`
 }
 
 // Saturated reports whether the node is alive but has no admission

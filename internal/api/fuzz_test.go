@@ -31,34 +31,98 @@ func FuzzParseAnalyzeRequest(f *testing.F) {
 			}
 			return
 		}
-		if len(req.Items) == 0 {
-			if req.Source == "" {
-				t.Fatalf("accepted single-form request with empty source")
+		checkAnalyzeInvariants(t, req)
+	})
+}
+
+func checkAnalyzeInvariants(t *testing.T, req *AnalyzeRequest) {
+	t.Helper()
+	if len(req.Items) == 0 {
+		if req.Source == "" {
+			t.Fatalf("accepted single-form request with empty source")
+		}
+		return
+	}
+	if req.Source != "" {
+		t.Fatalf("accepted request mixing single and batch forms")
+	}
+	if req.Async {
+		t.Fatalf("accepted async batch request")
+	}
+	if len(req.Items) > MaxBatchItems {
+		t.Fatalf("accepted batch of %d items past the %d bound", len(req.Items), MaxBatchItems)
+	}
+	for i, it := range req.Items {
+		if it.Source == "" {
+			t.Fatalf("accepted item %d with empty source", i)
+		}
+	}
+	// The accepted envelope must survive a wire round-trip: what a
+	// router re-encodes to forward must decode to the same request.
+	enc, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("accepted request does not re-encode: %v", err)
+	}
+	if _, err := ParseAnalyzeRequest(enc); err != nil {
+		t.Fatalf("re-encoded request rejected: %v", err)
+	}
+}
+
+// FuzzParseGossip hammers the membership wire decoder the same way: a
+// hostile gossip body must never panic, and any accepted table must
+// satisfy the invariants the membership agent relies on (bounded member
+// count, non-empty bounded IDs, known states and roles) — a violation
+// would let one malicious or corrupt peer poison every node's membership
+// state, and with it the rendezvous ring that decides routing.
+func FuzzParseGossip(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"from":"http://a:1"}`))
+	f.Add([]byte(`{"from":"http://a:1","members":[]}`))
+	f.Add([]byte(`{"from":"http://a:1","members":[{"id":"http://a:1","role":"worker","state":"alive","incarnation":3}]}`))
+	f.Add([]byte(`{"from":"http://r:1","members":[{"id":"http://b:2","role":"router","state":"suspect","incarnation":0},{"id":"http://c:3","state":"dead","incarnation":18446744073709551615}]}`))
+	f.Add([]byte(`{"from":"http://a:1","members":[{"id":"","state":"alive"}]}`))
+	f.Add([]byte(`{"from":"http://a:1","members":[{"id":"x","state":"zombie"}]}`))
+	f.Add([]byte(`{"from":"http://a:1","members":[{"id":"x","role":"admin","state":"alive"}]}`))
+	f.Add([]byte(`{"members":[{"id":"x","state":"alive"}]}`))
+	f.Add([]byte(`{"from":7}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := ParseGossipRequest(b)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("rejected gossip returned a non-nil envelope")
 			}
 			return
 		}
-		if req.Source != "" {
-			t.Fatalf("accepted request mixing single and batch forms")
+		if req.From == "" || len(req.From) > MaxGossipIDBytes {
+			t.Fatalf("accepted gossip with invalid from %q", req.From)
 		}
-		if req.Async {
-			t.Fatalf("accepted async batch request")
+		if len(req.Members) > MaxGossipMembers {
+			t.Fatalf("accepted table of %d members past the %d bound", len(req.Members), MaxGossipMembers)
 		}
-		if len(req.Items) > MaxBatchItems {
-			t.Fatalf("accepted batch of %d items past the %d bound", len(req.Items), MaxBatchItems)
-		}
-		for i, it := range req.Items {
-			if it.Source == "" {
-				t.Fatalf("accepted item %d with empty source", i)
+		for i, m := range req.Members {
+			if m.ID == "" || len(m.ID) > MaxGossipIDBytes {
+				t.Fatalf("accepted member %d with invalid id %q", i, m.ID)
+			}
+			switch m.State {
+			case GossipAlive, GossipSuspect, GossipDead:
+			default:
+				t.Fatalf("accepted member %d with unknown state %q", i, m.State)
+			}
+			switch m.Role {
+			case "", RoleWorker, RoleRouter:
+			default:
+				t.Fatalf("accepted member %d with unknown role %q", i, m.Role)
 			}
 		}
-		// The accepted envelope must survive a wire round-trip: what a
-		// router re-encodes to forward must decode to the same request.
+		// The accepted table must survive a wire round-trip: what an agent
+		// re-advertises must decode to the same table on every peer.
 		enc, err := json.Marshal(req)
 		if err != nil {
-			t.Fatalf("accepted request does not re-encode: %v", err)
+			t.Fatalf("accepted gossip does not re-encode: %v", err)
 		}
-		if _, err := ParseAnalyzeRequest(enc); err != nil {
-			t.Fatalf("re-encoded request rejected: %v", err)
+		if _, err := ParseGossipRequest(enc); err != nil {
+			t.Fatalf("re-encoded gossip rejected: %v", err)
 		}
 	})
 }

@@ -1,0 +1,446 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"canary"
+	"canary/internal/api"
+	"canary/internal/fleet"
+	"canary/internal/membership"
+	"canary/internal/workload"
+)
+
+// ChaosRound is one scripted failure scenario: the corpus streamed
+// through the router while the fleet is being hurt, with the client
+// allowed at most one retry per item.
+type ChaosRound struct {
+	Name  string `json:"name"`
+	Items int    `json:"items"`
+	// Succeeded items answered with findings byte-identical to the
+	// direct run; Divergent items answered but with different bytes;
+	// Lost items failed even after the retry budget.
+	Succeeded int `json:"succeeded"`
+	Divergent int `json:"divergent"`
+	Lost      int `json:"lost"`
+	// Retries counts retryable errors the client absorbed (each item
+	// gets at most one).
+	Retries int `json:"retries"`
+	// Identical: every answered item matched the direct findings.
+	Identical bool `json:"identical"`
+	// ConvergeHeartbeats is how many gossip intervals the round's
+	// membership event took to reach the router's ring (0 when the
+	// round has no membership event).
+	ConvergeHeartbeats float64       `json:"converge_heartbeats"`
+	Wall               time.Duration `json:"wall_ns"`
+}
+
+// ChaosResult is the chaos experiment: a dynamic-membership fleet
+// under scripted SIGKILL / restart / SIGSTOP / failpoint-storm rounds,
+// proving findings stay byte-identical and no request is silently
+// lost. On a single-CPU host the signal is convergence and identity,
+// never throughput.
+type ChaosResult struct {
+	Lines          int           `json:"lines"`
+	Items          int           `json:"items"`
+	Workers        int           `json:"workers"`
+	GossipInterval time.Duration `json:"gossip_interval_ns"`
+	Rounds         []ChaosRound  `json:"rounds"`
+	// The hard gates.
+	AllIdentical bool `json:"all_identical"`
+	NoneLost     bool `json:"none_lost"`
+	// Converged: every membership event reached the router's ring
+	// within the heartbeat bound.
+	Converged         bool              `json:"converged"`
+	HeartbeatBound    float64           `json:"heartbeat_bound"`
+	SuspectObserved   bool              `json:"suspect_observed"`
+	RouterStats       fleet.RouterStats `json:"router"`
+	BreakerOpensTotal uint64            `json:"breaker_opens_total"`
+}
+
+// chaosHeartbeatBound is how many gossip intervals a membership event
+// may take to reach the router's ring before the experiment fails.
+// Death detection alone costs DeadAfter = 10 intervals; the bound
+// leaves slack for scheduling noise on a loaded single-CPU host, while
+// still catching a protocol that converges by accident of timeouts.
+const chaosHeartbeatBound = 120
+
+// chaosWorker is one spawned fleet-child plus what is needed to kill
+// and resurrect it.
+type chaosWorker struct {
+	url  string
+	addr string
+	dir  string
+	cmd  *exec.Cmd
+}
+
+// spawnChaosWorker starts one -fleet-child in dynamic-membership mode
+// and waits for its listening line. extraEnv entries (e.g. a
+// CANARY_FAILPOINTS arming) are appended to the inherited environment.
+func spawnChaosWorker(exe, addr string, seeds []string, gossip time.Duration, dir string, extraEnv []string) (*chaosWorker, error) {
+	cmd := exec.Command(exe, "-fleet-child",
+		"-fleet-addr", addr,
+		"-fleet-self", "http://"+addr,
+		"-fleet-join", strings.Join(seeds, ","),
+		"-fleet-gossip", gossip.String(),
+		"-fleet-dir", dir,
+		"-fleet-conc", "1")
+	cmd.Stderr = os.Stderr
+	if len(extraEnv) > 0 {
+		cmd.Env = append(os.Environ(), extraEnv...)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 256)
+	n, err := stdout.Read(buf)
+	if err != nil || !strings.Contains(string(buf[:n]), "listening on") {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("chaos worker %s did not come up: %q (%v)", addr, buf[:n], err)
+	}
+	go io.Copy(io.Discard, stdout)
+	return &chaosWorker{url: "http://" + addr, addr: addr, dir: dir, cmd: cmd}, nil
+}
+
+func (w *chaosWorker) sigkill() {
+	w.cmd.Process.Kill()
+	w.cmd.Wait()
+}
+
+// streamOne submits one single-item request through the router with a
+// budget of exactly one retry: a retryable answer (transport error,
+// 502, 503, 504) is retried once after honoring Retry-After; a second
+// failure is a lost item. Returns the findings, how many retries were
+// spent, and whether the item was lost.
+func streamOne(hc *http.Client, routerURL, src string) (findings string, retries int, lost bool) {
+	body, _ := json.Marshal(api.AnalyzeRequest{Source: src})
+	for attempt := 0; attempt < 2; attempt++ {
+		resp, err := hc.Post(routerURL+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			if attempt == 0 {
+				retries++
+				time.Sleep(250 * time.Millisecond)
+				continue
+			}
+			return "", retries, true
+		}
+		respBody, readErr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		retryable := readErr != nil ||
+			resp.StatusCode == http.StatusBadGateway ||
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout
+		if retryable {
+			if attempt == 0 {
+				retries++
+				wait := 250 * time.Millisecond
+				if ra := resp.Header.Get("Retry-After"); ra != "" {
+					if d, err := time.ParseDuration(ra + "s"); err == nil && d > 0 && d < 5*time.Second {
+						wait = d
+					}
+				}
+				time.Sleep(wait)
+				continue
+			}
+			return "", retries, true
+		}
+		if resp.StatusCode != http.StatusOK {
+			// A non-retryable refusal (4xx) of a valid source is a lost
+			// item: the harness only submits well-formed programs.
+			return "", retries, true
+		}
+		var jr api.JobResponse
+		if err := json.Unmarshal(respBody, &jr); err != nil || jr.Status != "done" {
+			return "", retries, true
+		}
+		f, err := findingsOf(jr.Result)
+		if err != nil {
+			return "", retries, true
+		}
+		return f, retries, false
+	}
+	return "", retries, true
+}
+
+// streamCorpus runs the whole corpus through the router, comparing
+// every answer against the direct baseline.
+func streamCorpus(hc *http.Client, routerURL string, corpus []api.AnalyzeItem, direct []string) ChaosRound {
+	r := ChaosRound{Items: len(corpus), Identical: true}
+	t0 := time.Now()
+	for i, it := range corpus {
+		f, retries, lost := streamOne(hc, routerURL, it.Source)
+		r.Retries += retries
+		switch {
+		case lost:
+			r.Lost++
+		case f != direct[i]:
+			r.Divergent++
+			r.Identical = false
+		default:
+			r.Succeeded++
+		}
+	}
+	r.Wall = time.Since(t0)
+	if r.Divergent > 0 {
+		r.Identical = false
+	}
+	return r
+}
+
+// waitRingLen polls the router's ring until it holds want members,
+// returning the wait in gossip heartbeats (-1 on timeout).
+func waitRingLen(rt *fleet.Router, want int, gossip, timeout time.Duration) float64 {
+	t0 := time.Now()
+	deadline := t0.Add(timeout)
+	for time.Now().Before(deadline) {
+		if rt.Ring().Len() == want {
+			return float64(time.Since(t0)) / float64(gossip)
+		}
+		time.Sleep(gossip / 4)
+	}
+	return -1
+}
+
+// memberState reads the router's view of one member.
+func memberState(rt *fleet.Router, id string) (membership.State, bool) {
+	for _, m := range rt.Members() {
+		if m.ID == id {
+			return m.State, true
+		}
+	}
+	return 0, false
+}
+
+// RunChaos runs the chaos experiment: workers spawned as real
+// processes joined by gossip, an in-process router that learns the
+// fleet the same way, and scripted rounds — baseline, SIGKILL,
+// restart-rejoin, SIGSTOP/SIGCONT, and a failpoint storm — each
+// streaming the corpus and asserting byte-identity against a direct
+// library run.
+func (e *Experiments) RunChaos(spec workload.Spec, items, workers int, gossip time.Duration, exe string) (ChaosResult, error) {
+	if items <= 0 {
+		items = 10
+	}
+	if workers < 3 {
+		workers = 3
+	}
+	if gossip <= 0 {
+		gossip = 150 * time.Millisecond
+	}
+	res := ChaosResult{
+		Lines: spec.Lines, Items: items, Workers: workers,
+		GossipInterval: gossip, HeartbeatBound: chaosHeartbeatBound,
+		AllIdentical: true, NoneLost: true, Converged: true,
+	}
+
+	// Corpus and direct baseline, as in the fleet experiment.
+	base := workload.Generate(spec)
+	corpus := make([]api.AnalyzeItem, items)
+	direct := make([]string, items)
+	for i := range corpus {
+		corpus[i] = api.AnalyzeItem{
+			Source: fmt.Sprintf("%s\nfunc chaospad%d() { p%d = malloc(); }", base, i, i),
+		}
+		r, err := canary.Analyze(corpus[i].Source, fleetOptions())
+		if err != nil {
+			return res, fmt.Errorf("direct baseline item %d: %w", i, err)
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return res, err
+		}
+		if direct[i], err = findingsOf(raw); err != nil {
+			return res, err
+		}
+	}
+
+	// Pre-allocate worker addresses and persistent cache dirs: a
+	// restarted worker reuses both, which is what makes rejoin-warm real.
+	tmp, err := os.MkdirTemp("", "canary-chaos-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(tmp)
+	addrs := make([]string, workers)
+	seeds := make([]string, workers)
+	dirs := make([]string, workers)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+		seeds[i] = "http://" + addrs[i]
+		dirs[i] = fmt.Sprintf("%s/w%d", tmp, i)
+	}
+
+	procs := make([]*chaosWorker, workers)
+	defer func() {
+		for _, p := range procs {
+			if p != nil {
+				p.sigkill()
+			}
+		}
+	}()
+	for i := range procs {
+		w, err := spawnChaosWorker(exe, addrs[i], seeds, gossip, dirs[i], nil)
+		if err != nil {
+			return res, err
+		}
+		procs[i] = w
+	}
+
+	// The router: listener first so its advertised identity is real,
+	// then a dynamic-membership router joined to the same seeds.
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Join:           seeds,
+		Self:           "http://" + rln.Addr().String(),
+		GossipInterval: gossip,
+		RetryBackoff:   25 * time.Millisecond,
+		Timeout:        8 * time.Second,
+		HealthInterval: 500 * time.Millisecond,
+		HedgeQuantile:  0.9,
+		HedgeMinDelay:  100 * time.Millisecond,
+	})
+	if err != nil {
+		rln.Close()
+		return res, err
+	}
+	defer rt.Close()
+	hs := &http.Server{Handler: rt.Handler()}
+	go hs.Serve(rln)
+	defer hs.Close()
+	routerURL := "http://" + rln.Addr().String()
+	hc := &http.Client{Timeout: 2 * time.Minute}
+
+	record := func(name string, r ChaosRound, hb float64) {
+		r.Name = name
+		r.ConvergeHeartbeats = hb
+		res.Rounds = append(res.Rounds, r)
+		if !r.Identical {
+			res.AllIdentical = false
+		}
+		if r.Lost > 0 {
+			res.NoneLost = false
+		}
+		if hb < 0 || hb > chaosHeartbeatBound {
+			res.Converged = false
+		}
+		e.logf("  chaos %-10s %d/%d ok, %d retries, %d lost, identical=%v, converge=%.1f heartbeats, %v\n",
+			name, r.Succeeded, r.Items, r.Retries, r.Lost, r.Identical, hb, r.Wall.Round(time.Millisecond))
+	}
+
+	// Round 0 — baseline: the router must first learn all workers from
+	// gossip alone, then the corpus streams clean.
+	hb := waitRingLen(rt, workers, gossip, 30*time.Second)
+	if hb < 0 {
+		return res, fmt.Errorf("router never learned the %d-worker fleet", workers)
+	}
+	record("baseline", streamCorpus(hc, routerURL, corpus, direct), hb)
+
+	// Round 1 — SIGKILL: a worker dies mid-corpus with no goodbye. The
+	// stream must survive on failover; the ring must then shrink.
+	victim := procs[1]
+	victim.sigkill()
+	procs[1] = nil
+	round := streamCorpus(hc, routerURL, corpus, direct)
+	hb = waitRingLen(rt, workers-1, gossip, 60*time.Second)
+	record("sigkill", round, hb)
+
+	// Round 2 — rejoin: the same identity restarts (incarnation 0, warm
+	// disk store) and must refute its own death and retake its shard.
+	w, err := spawnChaosWorker(exe, addrs[1], seeds, gossip, dirs[1], nil)
+	if err != nil {
+		return res, fmt.Errorf("rejoin respawn: %w", err)
+	}
+	procs[1] = w
+	hb = waitRingLen(rt, workers, gossip, 60*time.Second)
+	record("rejoin", streamCorpus(hc, routerURL, corpus, direct), hb)
+
+	// Round 3 — pause: SIGSTOP exercises the suspect state (silent but
+	// not dead: stays in the ring, requests hedge or fail over). After
+	// SIGCONT direct contact must resurrect it without a restart.
+	paused := procs[2]
+	syscall.Kill(paused.cmd.Process.Pid, syscall.SIGSTOP)
+	suspectDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, ok := memberState(rt, paused.url); ok && st == membership.Suspect {
+			res.SuspectObserved = true
+			break
+		}
+		if time.Now().After(suspectDeadline) {
+			break
+		}
+		time.Sleep(gossip / 2)
+	}
+	round = streamCorpus(hc, routerURL, corpus, direct)
+	syscall.Kill(paused.cmd.Process.Pid, syscall.SIGCONT)
+	aliveDeadline := time.Now().Add(60 * time.Second)
+	t0 := time.Now()
+	hb = -1
+	for time.Now().Before(aliveDeadline) {
+		if st, ok := memberState(rt, paused.url); ok && st == membership.Alive {
+			hb = float64(time.Since(t0)) / float64(gossip)
+			break
+		}
+		time.Sleep(gossip / 2)
+	}
+	record("pause", round, hb)
+
+	// Round 4 — failpoint storm: a worker restarts with its peer-cache
+	// and disk-store sites injecting intermittent faults. Degradation
+	// paths (peer miss → local compute, disk miss → recompute) must
+	// keep the findings byte-identical.
+	procs[0].sigkill()
+	procs[0] = nil
+	storm := "CANARY_FAILPOINTS=peer-fetch=error@2;disk-read=error@2;disk-write=error@3;cache-read=error@5"
+	w, err = spawnChaosWorker(exe, addrs[0], seeds, gossip, dirs[0], []string{storm})
+	if err != nil {
+		return res, fmt.Errorf("storm respawn: %w", err)
+	}
+	procs[0] = w
+	hb = waitRingLen(rt, workers, gossip, 60*time.Second)
+	record("storm", streamCorpus(hc, routerURL, corpus, direct), hb)
+
+	res.RouterStats = rt.Stats()
+	res.BreakerOpensTotal = rt.Stats().BreakerOpens
+	return res, nil
+}
+
+// PrintChaos renders the chaos experiment as a text table.
+func PrintChaos(w io.Writer, res ChaosResult) {
+	fmt.Fprintf(w, "Chaos (%d workers, %d items of ~%d lines, gossip %v)\n",
+		res.Workers, res.Items, res.Lines, res.GossipInterval)
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %10s %12s %10s\n",
+		"round", "ok", "retries", "lost", "identical", "converge(hb)", "wall")
+	for _, r := range res.Rounds {
+		fmt.Fprintf(w, "%-10s %5d/%-2d %8d %8d %10v %12.1f %10v\n",
+			r.Name, r.Succeeded, r.Items, r.Retries, r.Lost, r.Identical,
+			r.ConvergeHeartbeats, r.Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "suspect state observed under pause: %v\n", res.SuspectObserved)
+	fmt.Fprintf(w, "hedges=%d wins=%d failovers=%d breaker-opens=%d\n",
+		res.RouterStats.Hedges, res.RouterStats.HedgeWins,
+		res.RouterStats.Failovers, res.BreakerOpensTotal)
+	fmt.Fprintf(w, "gates: identical=%v none-lost=%v converged=%v (bound %.0f heartbeats)\n",
+		res.AllIdentical, res.NoneLost, res.Converged, res.HeartbeatBound)
+}

@@ -78,25 +78,38 @@ func fleetOptions() canary.Options {
 }
 
 // RunFleetChild is the body of a -fleet-child process: one canaryd
-// worker on addr, peer-aware when peers is non-empty. The first stdout
-// line is "fleet-child listening on <addr>"; the process serves until
-// killed. Binding retries briefly: the parent pre-allocates ports by
-// listen-and-close, and this child may race the close.
-func RunFleetChild(addr, peers, self string, conc int) int {
-	var peerList []string
-	for _, p := range strings.Split(peers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			peerList = append(peerList, p)
+// worker on addr — peer-aware when peers is non-empty (static fleet),
+// or gossiping when join is non-empty (dynamic fleet, the chaos
+// harness's mode). A non-empty dir gives the worker a persistent disk
+// store, so a killed-and-restarted worker comes back warm. The first
+// stdout line is "fleet-child listening on <addr>"; the process serves
+// until killed. Binding retries briefly: the parent pre-allocates
+// ports by listen-and-close, and this child may race the close.
+func RunFleetChild(addr, peers, self, join string, gossip time.Duration, dir string, conc int) int {
+	splitURLs := func(s string) (out []string) {
+		for _, p := range strings.Split(s, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, p)
+			}
 		}
+		return out
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		MaxConcurrent: conc,
 		QueueDepth:    api.MaxBatchItems,
 		Options:       fleetOptions(),
 		NodeID:        addr,
-		Peers:         peerList,
-		PeerSelf:      self,
-	})
+		CacheDir:      dir,
+	}
+	if join != "" {
+		cfg.Join = splitURLs(join)
+		cfg.Advertise = self
+		cfg.GossipInterval = gossip
+	} else {
+		cfg.Peers = splitURLs(peers)
+		cfg.PeerSelf = self
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleet-child:", err)
 		return 2

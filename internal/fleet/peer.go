@@ -55,7 +55,7 @@ type PeerStats struct {
 // caller computes locally — so a broken peer can cost latency, never
 // correctness.
 type PeerClient struct {
-	ring *Ring
+	ring atomic.Pointer[Ring]
 	self string
 	hc   *http.Client
 
@@ -80,21 +80,29 @@ func NewPeerClient(peers []string, self string, timeout time.Duration) *PeerClie
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	return &PeerClient{
-		ring: NewRing(peers),
+	p := &PeerClient{
 		self: self,
 		hc:   &http.Client{Timeout: timeout},
 	}
+	p.ring.Store(NewRing(peers))
+	return p
 }
 
 // Self returns this node's own member URL.
 func (p *PeerClient) Self() string { return p.self }
 
-// Ring returns the client's membership view.
-func (p *PeerClient) Ring() *Ring { return p.ring }
+// Ring returns the client's current membership view.
+func (p *PeerClient) Ring() *Ring { return p.ring.Load() }
+
+// SetPeers atomically replaces the member set — the dynamic-membership
+// path: a gossip event rebuilds the ring and every in-flight Fetch
+// keeps the ring it started with. Shard ownership moves minimally
+// (rendezvous hashing), and a briefly stale ring only costs a miss or a
+// fetch from a node that recomputes — never wrong bytes.
+func (p *PeerClient) SetPeers(peers []string) { p.ring.Store(NewRing(peers)) }
 
 // Owner returns the shard owner of key under the fleet's ring.
-func (p *PeerClient) Owner(key cache.Key) string { return p.ring.Owner(key) }
+func (p *PeerClient) Owner(key cache.Key) string { return p.Ring().Owner(key) }
 
 // Fetch asks key's shard owner for the entry under ns. It returns a miss
 // without touching the network when this node is the owner (there is no
@@ -102,7 +110,7 @@ func (p *PeerClient) Owner(key cache.Key) string { return p.ring.Owner(key) }
 // every transport or framing failure. Identical concurrent fetches
 // coalesce into one network call.
 func (p *PeerClient) Fetch(ns string, key cache.Key) ([]byte, bool) {
-	owner := p.ring.Owner(key)
+	owner := p.Owner(key)
 	if owner == "" || owner == p.self {
 		return nil, false
 	}

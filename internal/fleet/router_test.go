@@ -492,3 +492,334 @@ func TestRouterRejectsAsync(t *testing.T) {
 		t.Fatal("async request reached a worker")
 	}
 }
+
+// postResp is post with header access, for tests that assert on
+// Retry-After and friends.
+func postResp(t *testing.T, url string, v interface{}) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// srcOwnedBy pads buggySrc until the ring places it on owner.
+func srcOwnedBy(t *testing.T, rt *fleet.Router, owner string) string {
+	t.Helper()
+	src := buggySrc
+	for i := 0; ; i++ {
+		key := canary.SubmissionKey(src, canary.DefaultOptions())
+		if rt.Ring().Owner(key) == owner {
+			return src
+		}
+		if i > 256 {
+			t.Fatal("no padded source lands on the wanted owner")
+		}
+		src = fmt.Sprintf("%s\nfunc pad%d() { p = malloc(); }", buggySrc, i)
+	}
+}
+
+// TestRouterBreakerOpensAndRecovers walks one worker's breaker through
+// the full cycle: consecutive hard failures open it, an open breaker
+// demotes the worker to last-resort (unused while a healthy replica
+// answers), the cooldown admits a half-open probe, and a probe success
+// closes it again.
+func TestRouterBreakerOpensAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	flaky := &fakeWorker{respond: func(n int, w http.ResponseWriter) {
+		if failing.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		okJob(w, "flaky")
+	}}
+	good := &fakeWorker{respond: func(n int, w http.ResponseWriter) { okJob(w, "good") }}
+	tsFlaky := httptest.NewServer(flaky.handler())
+	defer tsFlaky.Close()
+	tsGood := httptest.NewServer(good.handler())
+	defer tsGood.Close()
+
+	rt, ts := newRouter(t, fleet.RouterConfig{
+		Workers:          []string{tsFlaky.URL, tsGood.URL},
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  150 * time.Millisecond,
+	})
+	// Distinct sources, every one owned by the flaky worker, so each
+	// walk tries it first (padding changes the key, so ownership must be
+	// re-derived per source, not assumed from a shared prefix).
+	srcs := make([]string, 3)
+	for i, pad := 0, 0; i < len(srcs); pad++ {
+		src := fmt.Sprintf("%s\nfunc dist%d() { p = malloc(); }", buggySrc, pad)
+		key := canary.SubmissionKey(src, canary.DefaultOptions())
+		if rt.Ring().Owner(key) == tsFlaky.URL {
+			srcs[i] = src
+			i++
+		}
+		if pad > 1024 {
+			t.Fatal("no padded sources land on the flaky worker")
+		}
+	}
+	src := srcs[0]
+
+	// Two failing walks: each tries the owner (hard failure), fails over
+	// to the healthy worker. The second failure trips the breaker.
+	for i := 0; i < 2; i++ {
+		code, body := post(t, ts.URL, api.AnalyzeRequest{Source: srcs[i+1]})
+		if code != http.StatusOK {
+			t.Fatalf("walk %d = %d: %s", i, code, body)
+		}
+	}
+	if st := rt.BreakerStates()[tsFlaky.URL]; st != fleet.BreakerOpen {
+		t.Fatalf("breaker after %d hard failures = %v, want open", 2, st)
+	}
+	if got := rt.Stats().BreakerOpens; got != 1 {
+		t.Fatalf("breaker opens counted = %d, want 1", got)
+	}
+
+	// While open, the flaky worker is skipped entirely: the next
+	// submission goes straight to the healthy one, no failover burned.
+	before := flaky.count()
+	code, body := post(t, ts.URL, api.AnalyzeRequest{Source: src})
+	if code != http.StatusOK {
+		t.Fatalf("submission with open breaker = %d: %s", code, body)
+	}
+	if flaky.count() != before {
+		t.Fatal("open breaker did not keep traffic off the failing worker")
+	}
+
+	// After the cooldown the worker has healed; the half-open probe
+	// succeeds and the breaker closes.
+	failing.Store(false)
+	time.Sleep(200 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.BreakerStates()[tsFlaky.URL] != fleet.BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after recovery: %v", rt.BreakerStates())
+		}
+		post(t, ts.URL, api.AnalyzeRequest{Source: src})
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterHedgedRequest pins the hedging path: once a latency
+// baseline exists, a forward stuck past the hedge delay fires a second
+// attempt at the next ring candidate and the first answer wins — the
+// client sees the fast worker's response while the owner is still
+// stalled.
+func TestRouterHedgedRequest(t *testing.T) {
+	release := make(chan struct{})
+	fast := &fakeWorker{respond: func(n int, w http.ResponseWriter) { okJob(w, "fast") }}
+	slow := &fakeWorker{respond: func(n int, w http.ResponseWriter) {
+		<-release
+		okJob(w, "slow")
+	}}
+	tsFast := httptest.NewServer(fast.handler())
+	tsSlow := httptest.NewServer(slow.handler())
+	defer func() {
+		close(release)
+		tsFast.Close()
+		tsSlow.Close()
+	}()
+
+	rt, ts := newRouter(t, fleet.RouterConfig{
+		Workers:       []string{tsFast.URL, tsSlow.URL},
+		HedgeQuantile: 0.5,
+		HedgeMinDelay: 5 * time.Millisecond,
+		Timeout:       10 * time.Second,
+	})
+
+	// Warm the latency sampler with eight fast-owned submissions; below
+	// eight samples hedging stays off by design (no baseline, no hedge).
+	warm := 0
+	for i := 0; warm < 8; i++ {
+		src := fmt.Sprintf("%s\nfunc warm%d() { p = malloc(); }", buggySrc, i)
+		key := canary.SubmissionKey(src, canary.DefaultOptions())
+		if rt.Ring().Owner(key) != tsFast.URL {
+			continue
+		}
+		if code, body := post(t, ts.URL, api.AnalyzeRequest{Source: src}); code != http.StatusOK {
+			t.Fatalf("warmup %d = %d: %s", i, code, body)
+		}
+		warm++
+	}
+	if got := rt.Stats().Hedges; got != 0 {
+		t.Fatalf("hedges during warmup = %d, want 0", got)
+	}
+
+	// Now a submission owned by the stalled worker: the hedge must fire
+	// and the fast replica's answer must win.
+	src := srcOwnedBy(t, rt, tsSlow.URL)
+	code, body := post(t, ts.URL, api.AnalyzeRequest{Source: src})
+	if code != http.StatusOK {
+		t.Fatalf("hedged submission = %d: %s", code, body)
+	}
+	var jr api.JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil || jr.JobID != "fast" {
+		t.Fatalf("hedged response = %s, want the fast worker's answer", body)
+	}
+	st := rt.Stats()
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("hedge not counted: hedges=%d wins=%d", st.Hedges, st.HedgeWins)
+	}
+}
+
+// TestRouterAllWorkersDownFailsFast: with every worker unreachable the
+// router answers quickly with a typed JSON 502 plus a Retry-After hint
+// instead of hanging, and resumes routing the moment a membership (or
+// operator) update brings a live worker back — no restart needed.
+func TestRouterAllWorkersDownFailsFast(t *testing.T) {
+	corpse := httptest.NewServer(http.NotFoundHandler())
+	corpseURL := corpse.URL
+	corpse.Close() // connection refused from here on
+
+	rt, ts := newRouter(t, fleet.RouterConfig{
+		Workers:      []string{corpseURL},
+		RetryBackoff: time.Millisecond,
+		Timeout:      2 * time.Second,
+	})
+
+	start := time.Now()
+	resp := postResp(t, ts.URL, api.AnalyzeRequest{Source: buggySrc})
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all-down submission = %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("all-down walk took %v, want fail-fast", elapsed)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &apiErr); err != nil || apiErr.Error == "" {
+		t.Fatalf("error body is not typed JSON: %s", buf.Bytes())
+	}
+	if got := rt.Stats().Exhausted; got != 1 {
+		t.Fatalf("exhausted = %d, want 1", got)
+	}
+
+	// An empty member set (dynamic ring with nothing known) refuses with
+	// 503 + Retry-After rather than attempting anything.
+	rt.SetWorkers(nil)
+	resp2 := postResp(t, ts.URL, api.AnalyzeRequest{Source: buggySrc})
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable || resp2.Header.Get("Retry-After") != "1" {
+		t.Fatalf("empty-ring submission = %d, Retry-After %q", resp2.StatusCode, resp2.Header.Get("Retry-After"))
+	}
+
+	// Recovery: a live worker appears (as a membership change would
+	// deliver it) and the very next submission routes without a restart.
+	good := &fakeWorker{respond: func(n int, w http.ResponseWriter) { okJob(w, "revived") }}
+	tsGood := httptest.NewServer(good.handler())
+	defer tsGood.Close()
+	rt.SetWorkers([]string{tsGood.URL})
+	code, body := post(t, ts.URL, api.AnalyzeRequest{Source: buggySrc})
+	var jr api.JobResponse
+	if code != http.StatusOK || json.Unmarshal(body, &jr) != nil || jr.JobID != "revived" {
+		t.Fatalf("post-recovery submission = %d: %s", code, body)
+	}
+}
+
+// newJoinWorker starts a real canaryd with dynamic membership. The
+// listener exists before the server so the advertise URL is its own
+// real address; the returned kill() makes the whole endpoint vanish
+// like SIGKILL (everything 503s, gossip included).
+func newJoinWorker(t *testing.T, seeds []string, interval time.Duration) (url string, kill func()) {
+	t.Helper()
+	var h atomic.Pointer[http.Handler]
+	dispatch := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hp := h.Load(); hp != nil {
+			(*hp).ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(dispatch)
+	t.Cleanup(ts.Close)
+	if len(seeds) == 0 {
+		// A first node seeds with itself: the agent skips self in the
+		// seed list, but membership (and the gossip endpoint) is on.
+		seeds = []string{ts.URL}
+	}
+	s, err := server.New(server.Config{
+		Join:           append([]string(nil), seeds...),
+		Advertise:      ts.URL,
+		GossipInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := s.Handler()
+	h.Store(&handler)
+	killed := false
+	kill = func() {
+		if killed {
+			return
+		}
+		killed = true
+		h.Store(nil)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}
+	t.Cleanup(kill)
+	return ts.URL, kill
+}
+
+// TestRouterJoinLearnsWorkers boots two real workers gossiping among
+// themselves and a router configured with nothing but join seeds: the
+// router must learn the worker set through membership, build its ring,
+// route a real submission — and drop a worker from the ring when it
+// dies, all without being restarted.
+func TestRouterJoinLearnsWorkers(t *testing.T) {
+	const interval = 20 * time.Millisecond
+	w1, _ := newJoinWorker(t, nil, interval)
+	w2, killW2 := newJoinWorker(t, []string{w1}, interval)
+
+	rt, ts := newRouter(t, fleet.RouterConfig{
+		Join:           []string{w1},
+		Self:           "http://router.invalid",
+		GossipInterval: interval,
+		RetryBackoff:   time.Millisecond,
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Ring().Len() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never learned both workers: ring len %d", rt.Ring().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	code, body := post(t, ts.URL, api.AnalyzeRequest{Source: buggySrc})
+	var jr api.JobResponse
+	if code != http.StatusOK || json.Unmarshal(body, &jr) != nil || jr.Status != "done" {
+		t.Fatalf("routed submission over learned ring = %d: %s", code, body)
+	}
+
+	// Kill worker 2; the router must shrink the ring to the survivor on
+	// its own (suspect → dead on the gossip clocks, then an OnChange).
+	killW2()
+	_ = w2
+	deadline = time.Now().Add(20 * time.Second)
+	for rt.Ring().Len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("router never dropped the dead worker: ring len %d", rt.Ring().Len())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rt.Ring().Owner(canary.SubmissionKey(buggySrc, canary.DefaultOptions())) != w1 {
+		t.Fatal("survivor is not the remaining ring member")
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -380,5 +382,116 @@ func TestInFlightCoalescing(t *testing.T) {
 	}
 	if _, cached, _ := j3.Result(); !cached {
 		t.Fatal("post-completion repeat should be cache-served")
+	}
+}
+
+// newJoinServer starts a server with dynamic membership over a real
+// listener; the listener exists first so the advertised URL is real.
+// kill() makes the endpoint vanish like SIGKILL (everything 503s).
+func newJoinServer(t *testing.T, seeds []string, interval time.Duration) (*Server, string, func()) {
+	t.Helper()
+	var h atomic.Pointer[http.Handler]
+	dispatch := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hp := h.Load(); hp != nil {
+			(*hp).ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(dispatch)
+	t.Cleanup(ts.Close)
+	if len(seeds) == 0 {
+		seeds = []string{ts.URL} // self-seed: skipped in the table, membership on
+	}
+	s, err := New(Config{
+		Join:           append([]string(nil), seeds...),
+		Advertise:      ts.URL,
+		GossipInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := s.Handler()
+	h.Store(&handler)
+	killed := false
+	kill := func() {
+		if killed {
+			return
+		}
+		killed = true
+		h.Store(nil)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}
+	t.Cleanup(kill)
+	return s, ts.URL, kill
+}
+
+// TestMembershipPeerTier is the dynamic twin of TestPeerCacheTier: two
+// workers discover each other purely through gossip (no -peers list),
+// the peer cache ring follows, a result computed on one is served to
+// the other as a peer hit byte-identically — and when the origin dies,
+// the survivor's ring heals to itself and it keeps computing.
+func TestMembershipPeerTier(t *testing.T) {
+	const interval = 20 * time.Millisecond
+	sA, urlA, killA := newJoinServer(t, nil, interval)
+	sB, urlB, _ := newJoinServer(t, []string{urlA}, interval)
+
+	waitRing := func(s *Server, want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for s.peers.Ring().Len() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: peer ring stuck at %d, want %d", what, s.peers.Ring().Len(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitRing(sA, 2, "A converging")
+	waitRing(sB, 2, "B converging")
+
+	// A source whose shard owner is A in the learned two-node ring.
+	src := buggySrc
+	for i := 0; ; i++ {
+		key := canary.SubmissionKey(src, canary.DefaultOptions())
+		if fleet.NewRing([]string{urlA, urlB}).Owner(key) == urlA {
+			break
+		}
+		if i > 256 {
+			t.Fatal("no padded source lands on A")
+		}
+		src = fmt.Sprintf("%s\nfunc pad%d() { p = malloc(); }", buggySrc, i)
+	}
+
+	status, cold := postAnalyze(t, urlA, AnalyzeRequest{Source: src})
+	if status != http.StatusOK || cold.Status != string(JobDone) {
+		t.Fatalf("seed on A = %d %+v", status, cold)
+	}
+	status, warm := postAnalyze(t, urlB, AnalyzeRequest{Source: src})
+	if status != http.StatusOK || warm.Status != string(JobDone) {
+		t.Fatalf("warm on B = %d %+v", status, warm)
+	}
+	if !warm.Cached {
+		t.Fatalf("B should have peer-served the gossip-learned owner's copy: %+v", warm)
+	}
+	if compactJSON(t, warm.Result) != compactJSON(t, cold.Result) {
+		t.Fatal("peer-served result differs from the origin bytes")
+	}
+	if got := sB.peers.Stats().Hits; got != 1 {
+		t.Fatalf("peer hits on B = %d, want 1", got)
+	}
+
+	// Kill A. B's ring must heal to itself alone, and B must keep
+	// answering fresh submissions (local compute, no peer in sight).
+	killA()
+	waitRing(sB, 1, "B healing after A's death")
+	fresh := src + "\nfunc afterDeath() { q = malloc(); }"
+	status, jr := postAnalyze(t, urlB, AnalyzeRequest{Source: fresh})
+	if status != http.StatusOK || jr.Status != string(JobDone) {
+		t.Fatalf("post-death submission on B = %d %+v", status, jr)
+	}
+	if jr.Cached {
+		t.Fatal("fresh source cannot be cache-served")
 	}
 }

@@ -73,6 +73,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cache/{ns}/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.membership != nil {
+		mux.HandleFunc("/v1/gossip", s.membership.ServeGossip)
+	}
 	return mux
 }
 
@@ -290,6 +293,9 @@ func (s *Server) Health() api.Health {
 		if _, err := os.Stat(s.cfg.CacheDir); err != nil {
 			h.CacheDirOK = false
 		}
+	}
+	if s.membership != nil {
+		h.MembersAlive = len(s.membership.Alive(""))
 	}
 	return h
 }

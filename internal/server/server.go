@@ -28,10 +28,12 @@ import (
 	"time"
 
 	"canary"
+	"canary/internal/api"
 	"canary/internal/cache"
 	"canary/internal/diskstore"
 	"canary/internal/failpoint"
 	"canary/internal/fleet"
+	"canary/internal/membership"
 	"canary/internal/pipeline"
 	"canary/internal/smt"
 )
@@ -97,6 +99,21 @@ type Config struct {
 	// PeerTimeout bounds each peer cache fetch; <= 0 selects the fleet
 	// package's fail-fast default.
 	PeerTimeout time.Duration
+	// Join, when non-empty, replaces the static Peers list with dynamic
+	// membership: the daemon gossips with these seed URLs, learns the
+	// worker set from the protocol, and rebuilds its peer cache ring on
+	// every membership change — no restart when the fleet scales or
+	// heals. Requires Advertise; mutually exclusive with Peers.
+	Join []string
+	// Advertise is this node's base URL as other members reach it — its
+	// identity in the gossip protocol and the peer ring. Required with
+	// Join; canaryd defaults it to the bound listen address.
+	Advertise string
+	// GossipInterval, SuspectAfter, DeadAfter tune the membership agent
+	// (zero values use the membership defaults).
+	GossipInterval time.Duration
+	SuspectAfter   time.Duration
+	DeadAfter      time.Duration
 	// Options is the base analysis configuration; per-request options
 	// patch it.
 	Options canary.Options
@@ -144,10 +161,13 @@ type Server struct {
 	// program) still reuses everything its unchanged functions and
 	// source–sink pairs established on earlier jobs.
 	session *canary.Session
-	// peers is the fleet peer cache tier (nil without Config.Peers): the
-	// shard owner of a missed key is asked for its bytes before this node
-	// computes them.
+	// peers is the fleet peer cache tier (nil without Config.Peers or
+	// Config.Join): the shard owner of a missed key is asked for its
+	// bytes before this node computes them.
 	peers *fleet.PeerClient
+	// membership is the dynamic-membership agent (nil without
+	// Config.Join). Its change events rebuild the peer ring above.
+	membership *membership.Agent
 
 	mu       sync.Mutex
 	draining bool
@@ -183,6 +203,33 @@ func New(cfg Config) (*Server, error) {
 	}
 	if len(cfg.Peers) > 0 && cfg.PeerSelf != "" {
 		s.peers = fleet.NewPeerClient(cfg.Peers, cfg.PeerSelf, cfg.PeerTimeout)
+	}
+	if len(cfg.Join) > 0 {
+		if cfg.Advertise == "" {
+			return nil, errors.New("server: Join requires Advertise")
+		}
+		if s.peers != nil {
+			return nil, errors.New("server: Join and Peers are mutually exclusive")
+		}
+		// The peer ring starts with just this node (every fetch a local
+		// no-op) and grows as gossip discovers workers.
+		s.peers = fleet.NewPeerClient([]string{cfg.Advertise}, cfg.Advertise, cfg.PeerTimeout)
+		agent, err := membership.New(membership.Config{
+			Self:         cfg.Advertise,
+			Role:         api.RoleWorker,
+			Seeds:        cfg.Join,
+			Interval:     cfg.GossipInterval,
+			SuspectAfter: cfg.SuspectAfter,
+			DeadAfter:    cfg.DeadAfter,
+			OnChange: func(ms []membership.Member) {
+				s.peers.SetPeers(membership.AliveIDs(ms, api.RoleWorker))
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.membership = agent
+		agent.Start()
 	}
 	if cfg.CacheDir != "" {
 		ds, err := diskstore.Open(cfg.CacheDir, cfg.CacheMaxBytes)
@@ -394,6 +441,11 @@ func (s *Server) BeginDrain() {
 // to keep waiting).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
+	if s.membership != nil {
+		// Stop advertising; the gossip endpoint keeps answering while the
+		// HTTP server lives, so peers still merge our final state.
+		s.membership.Close()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -593,6 +645,21 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "canaryd_peer_jobs_served_total %d\n", m.peerHits.Load())
 	fmt.Fprintf(w, "canaryd_peer_cache_get_hits_total %d\n", m.peerServed.Load())
 	fmt.Fprintf(w, "canaryd_peer_cache_get_misses_total %d\n", m.peerMissServed.Load())
+	// Dynamic membership (all zero without -join, so the series exist
+	// either way).
+	var mst membership.Stats
+	if s.membership != nil {
+		mst = s.membership.Stats()
+	}
+	fmt.Fprintf(w, "canaryd_gossip_rounds_total %d\n", mst.Rounds)
+	fmt.Fprintf(w, "canaryd_gossip_exchanges_total %d\n", mst.Sends)
+	fmt.Fprintf(w, "canaryd_gossip_send_errors_total %d\n", mst.SendErrors)
+	fmt.Fprintf(w, "canaryd_gossip_received_total %d\n", mst.Received)
+	fmt.Fprintf(w, "canaryd_gossip_refutations_total %d\n", mst.Refutations)
+	fmt.Fprintf(w, "canaryd_membership_changes_total %d\n", mst.Changes)
+	fmt.Fprintf(w, "canaryd_members_alive %d\n", mst.Alive)
+	fmt.Fprintf(w, "canaryd_members_suspect %d\n", mst.Suspect)
+	fmt.Fprintf(w, "canaryd_members_dead %d\n", mst.Dead)
 
 	for _, st := range pipeline.Stages() {
 		m.stage[st.MetricsLabel()].writeTo(w, "canaryd_stage_latency_seconds", st.MetricsLabel())
