@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke bench-persist-smoke serve-smoke fleet-smoke chaos-smoke fuzz-smoke fuzz
+.PHONY: check lint build test race vet bench bench-json bench-hotpath-smoke bench-persist-smoke bench-sessions-smoke serve-smoke sessions-smoke fleet-smoke chaos-smoke fuzz-smoke fuzz
 
 ## check: the full CI gate — lint (gofmt drift + vet), build, race-enabled
 ## tests (includes the corpus-wide determinism tests, the fresh-process
@@ -18,13 +18,16 @@ check: lint
 	$(GO) test -run=NONE -fuzz=FuzzDecodeVerdict -fuzztime=5s ./internal/smt
 	$(GO) test -run=NONE -fuzz=FuzzParseAnalyzeRequest -fuzztime=5s ./internal/api
 	$(GO) test -run=NONE -fuzz=FuzzParseGossip -fuzztime=5s ./internal/api
+	$(GO) test -run=NONE -fuzz=FuzzParseEditRequest -fuzztime=5s ./internal/api
 	$(GO) test -run=NONE -fuzz=FuzzDecodePeerEntry -fuzztime=5s ./internal/fleet
 	$(GO) run scripts/serve_smoke.go
+	$(GO) run scripts/sessions_smoke.go
 	$(GO) run scripts/fleet_smoke.go
 	$(GO) run scripts/chaos_smoke.go
 	$(GO) run ./cmd/canary-bench -experiment incremental -incr-iters 1 -incr-lines 600 -json > /dev/null
 	$(MAKE) bench-hotpath-smoke
 	$(MAKE) bench-persist-smoke
+	$(MAKE) bench-sessions-smoke
 
 ## lint: formatting drift fails the build (gofmt prints the offending
 ## files), then static vetting.
@@ -56,6 +59,7 @@ bench-json:
 	$(GO) run ./cmd/canary-bench -experiment persist -json > BENCH_persist.json
 	$(GO) run ./cmd/canary-bench -experiment fleet -json > BENCH_fleet.json
 	$(GO) run ./cmd/canary-bench -experiment chaos -json > BENCH_chaos.json
+	$(GO) run ./cmd/canary-bench -experiment sessions -json > BENCH_sessions.json
 
 ## bench-hotpath-smoke: tiny-corpus run of the hotpath experiment with an
 ## allocation regression gate — guard construction above 40 allocs/op (the
@@ -72,11 +76,26 @@ bench-persist-smoke:
 	$(GO) run ./cmd/canary-bench -experiment persist \
 		-persist-lines 400 -persist-iters 1 -persist-min-disk-hits 1 -json > /dev/null
 
+## bench-sessions-smoke: small-subject run of the sessions experiment —
+## the per-edit delta path must stay strictly below the full warm re-run
+## it replaces, and the folded deltas byte-identical to a cold analysis
+## (the experiment exits 1 on either failure).
+bench-sessions-smoke:
+	$(GO) run ./cmd/canary-bench -experiment sessions \
+		-sessions-lines 600 -sessions-edits 6 -json > /dev/null
+
 ## serve-smoke: end-to-end canaryd exercise — random port, example
 ## submission vs CLI, cache replay, /healthz, /metrics, 413, queue-full
 ## backpressure with Retry-After, SIGTERM drain.
 serve-smoke:
 	$(GO) run scripts/serve_smoke.go
+
+## sessions-smoke: end-to-end live-session exercise — real canaryd with a
+## short idle TTL, session opened, three edits streamed with client-side
+## delta folds checked byte-identical to GET findings, duplicate-open and
+## rejected-edit paths, TTL eviction, SIGTERM drain.
+sessions-smoke:
+	$(GO) run scripts/sessions_smoke.go
 
 ## fleet-smoke: end-to-end fleet exercise — canary-router in front of two
 ## canaryd workers, batch submit vs direct library run, warm replay, one
@@ -99,6 +118,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzAnalyze -fuzztime=5s .
 	$(GO) test -run=NONE -fuzz=FuzzParseAnalyzeRequest -fuzztime=5s ./internal/api
 	$(GO) test -run=NONE -fuzz=FuzzParseGossip -fuzztime=5s ./internal/api
+	$(GO) test -run=NONE -fuzz=FuzzParseEditRequest -fuzztime=5s ./internal/api
 	$(GO) test -run=NONE -fuzz=FuzzDecodePeerEntry -fuzztime=5s ./internal/fleet
 
 ## fuzz: longer exploratory fuzzing of the parser and the full pipeline.

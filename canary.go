@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"canary/internal/bitset"
+	"canary/internal/cache"
 	"canary/internal/core"
 	"canary/internal/digest"
 	"canary/internal/guard"
@@ -477,6 +478,10 @@ type Analysis struct {
 	// rounds run through it too, and Result.Trace is read off it. An
 	// Analysis (like its runner) is not safe for concurrent Check calls.
 	run *pipeline.Runner
+	// keys holds the per-function summary digests the build computed (or
+	// was handed), so a live session can seed its invalidation baseline
+	// without re-digesting the revision it just analyzed.
+	keys map[string]cache.Key
 }
 
 // NewAnalysis parses and lowers src and builds the interference-aware VFG
@@ -576,11 +581,8 @@ func Analyze(src string, opt Options) (*Result, error) {
 // searches) poll ctx, so a canceled or deadline-bounded analysis returns
 // promptly with an error wrapping ErrCanceled.
 func AnalyzeContext(ctx context.Context, src string, opt Options) (*Result, error) {
-	a, err := NewAnalysisContext(ctx, src, opt)
-	if err != nil {
-		return nil, err
-	}
-	return a.CheckContext(ctx)
+	var s *Session
+	return s.AnalyzeContext(ctx, src, opt)
 }
 
 func (a *Analysis) result(reports []core.Report, stats core.CheckStats) *Result {

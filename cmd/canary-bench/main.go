@@ -13,6 +13,7 @@
 //	canary-bench -experiment persist  # warm restarts: fresh-process cold vs disk-warm latency, hit rates, store size
 //	canary-bench -experiment fleet    # horizontal scale: N daemon processes behind the router, throughput, peer cache tier, dedup, routing invariance
 //	canary-bench -experiment chaos    # self-healing: gossip-joined fleet under SIGKILL/restart/SIGSTOP/failpoint rounds, byte-identity and convergence gates
+//	canary-bench -experiment sessions # edit-native protocol: per-edit session delta vs full warm re-run, fold-identity and median-latency gates
 //	canary-bench -experiment all
 //
 // -json replaces the text tables with one JSON object holding the raw
@@ -76,6 +77,8 @@ func main() {
 		chItems    = flag.Int("chaos-items", 10, "corpus items streamed per chaos round")
 		chWorkers  = flag.Int("chaos-workers", 3, "worker processes in the chaos fleet")
 		chGossip   = flag.Duration("chaos-gossip", 150*time.Millisecond, "membership heartbeat of the chaos fleet")
+		seLines    = flag.Int("sessions-lines", 2600, "subject size for the sessions experiment")
+		seEdits    = flag.Int("sessions-edits", 9, "edit rounds in the sessions experiment (2:1 representation-only:semantic save mix)")
 		jsonOut    = flag.Bool("json", false, "emit the raw measurements as JSON instead of text tables")
 		verbose    = flag.Bool("v", false, "progress output")
 	)
@@ -101,7 +104,7 @@ func main() {
 		}
 		return *experiment == "all"
 	}
-	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath", "persist", "fleet", "chaos")
+	known := want("fig7a", "fig7b", "fig8", "table1", "parallel", "serve", "incremental", "trace", "hotpath", "persist", "fleet", "chaos", "sessions")
 	if !known {
 		fmt.Fprintf(os.Stderr, "canary-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -119,6 +122,7 @@ func main() {
 		Persist     *bench.PersistResult     `json:"persist,omitempty"`
 		Fleet       *bench.FleetResult       `json:"fleet,omitempty"`
 		Chaos       *bench.ChaosResult       `json:"chaos,omitempty"`
+		Sessions    *bench.SessionsResult    `json:"sessions,omitempty"`
 	}{}
 
 	if want("fig7a", "fig7b", "table1") {
@@ -265,6 +269,27 @@ func main() {
 		}
 	}
 
+	if want("sessions") {
+		spec := workload.SizeSweep(1, *seLines, *seLines)[0]
+		res, err := e.RunSessions(spec, *seEdits)
+		if err != nil {
+			fail(err)
+		}
+		out.Sessions = &res
+		// The edit-native gates are hard: a session whose folded deltas
+		// drift from a cold analysis is wrong, and one whose per-edit
+		// median is no better than a full warm re-run is pointless.
+		if !res.FoldIdentical {
+			fmt.Fprintln(os.Stderr, "canary-bench: folded session deltas differ from the cold analysis of the final source")
+			os.Exit(1)
+		}
+		if res.SessionMedian >= res.RerunMedian {
+			fmt.Fprintf(os.Stderr, "canary-bench: per-edit session median %v not below full warm re-run median %v\n",
+				res.SessionMedian, res.RerunMedian)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -330,6 +355,10 @@ func main() {
 	if out.Chaos != nil {
 		sep()
 		bench.PrintChaos(os.Stdout, *out.Chaos)
+	}
+	if out.Sessions != nil {
+		sep()
+		bench.PrintSessions(os.Stdout, *out.Sessions)
 	}
 }
 

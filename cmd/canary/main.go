@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"canary"
 )
@@ -64,6 +65,8 @@ func run() int {
 		warmMax   = flag.Int64("warm-max-bytes", 0, "size cap of the -warm-dir store in bytes; least-recently-accessed entries are evicted past it (0 = 1 GiB)")
 		warmImp   = flag.String("warm-import", "", "before analyzing, merge this snapshot archive into the -warm-dir store (usable without an input file)")
 		warmExp   = flag.String("warm-export", "", "after analyzing, export the -warm-dir store as a single-file snapshot archive for shipping to another machine (usable without an input file)")
+		watch     = flag.Bool("watch", false, "stay running: poll the input file for saves, feed each one to a live edit session as a line diff, and print findings deltas instead of full re-listings (text output only; exit 0 on ctrl-c)")
+		watchPoll = flag.Duration("watch-poll", 250*time.Millisecond, "poll interval for -watch")
 	)
 	flag.Parse()
 	// Snapshot shipping works standalone: with -warm-dir and an
@@ -163,6 +166,10 @@ func run() int {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
+	}
+
+	if *watch {
+		return runWatch(flag.Arg(0), sess, opt, *watchPoll)
 	}
 
 	data, err := os.ReadFile(flag.Arg(0))

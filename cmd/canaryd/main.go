@@ -13,6 +13,11 @@
 //
 //	POST /v1/analyze   {"source": "...", "options": {...}, "async": false, "timeout_ms": 0}
 //	GET  /v1/jobs/{id} status and result of an async job
+//	POST /v1/sessions  open a long-lived edit session: {"source": "...",
+//	                   "options": {...}, "session_id": "...", "ttl_seconds": 0}
+//	POST /v1/sessions/{id}/edits   apply line-span edits, get the findings delta
+//	GET  /v1/sessions/{id}/findings  current findings snapshot
+//	DELETE /v1/sessions/{id}       close the session
 //	POST /v1/gossip    membership exchange (with -join; GET returns the table)
 //	GET  /healthz      200 "ok", or 503 "draining" during shutdown
 //	GET  /metrics      plain-text counters and per-stage latency histograms
@@ -70,6 +75,8 @@ func run() int {
 		join       = flag.String("join", "", "comma-separated membership seed URLs: gossip with them, learn the fleet, rebuild the peer ring on every change (replaces -peers/-peer-self)")
 		advertise  = flag.String("advertise", "", "this node's base URL as other members reach it (default http://<bound addr>; needs -join)")
 		gossipWait = flag.Duration("gossip-interval", 500*time.Millisecond, "membership heartbeat period (suspect after 5x, dead after 10x)")
+		maxSess    = flag.Int("max-sessions", 0, "live edit sessions held at once (0 = 256); at the cap the oldest idle session is evicted, or the open gets 503")
+		sessTTL    = flag.Duration("session-idle-ttl", 0, "idle time after which a live session is evicted (0 = 10m)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -143,6 +150,8 @@ func run() int {
 		Join:            joinList,
 		Advertise:       adv,
 		GossipInterval:  *gossipWait,
+		MaxSessions:     *maxSess,
+		SessionIdleTTL:  *sessTTL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "canaryd:", err)

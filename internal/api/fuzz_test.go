@@ -86,6 +86,8 @@ func FuzzParseGossip(f *testing.F) {
 	f.Add([]byte(`{"from":"http://a:1","members":[{"id":"x","role":"admin","state":"alive"}]}`))
 	f.Add([]byte(`{"members":[{"id":"x","state":"alive"}]}`))
 	f.Add([]byte(`{"from":7}`))
+	f.Add([]byte(`{"from":"http://a:1","ping_target":"http://b:2"}`))
+	f.Add([]byte(`{"from":"http://a:1","ping_target":7}`))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		req, err := ParseGossipRequest(b)
 		if err != nil {
@@ -96,6 +98,9 @@ func FuzzParseGossip(f *testing.F) {
 		}
 		if req.From == "" || len(req.From) > MaxGossipIDBytes {
 			t.Fatalf("accepted gossip with invalid from %q", req.From)
+		}
+		if len(req.PingTarget) > MaxGossipIDBytes {
+			t.Fatalf("accepted ping_target of %d bytes past the %d bound", len(req.PingTarget), MaxGossipIDBytes)
 		}
 		if len(req.Members) > MaxGossipMembers {
 			t.Fatalf("accepted table of %d members past the %d bound", len(req.Members), MaxGossipMembers)
@@ -123,6 +128,62 @@ func FuzzParseGossip(f *testing.F) {
 		}
 		if _, err := ParseGossipRequest(enc); err != nil {
 			t.Fatalf("re-encoded gossip rejected: %v", err)
+		}
+	})
+}
+
+// FuzzParseEditRequest hammers the session edit decoder: hostile input
+// must never panic, and any accepted batch must satisfy the bounds the
+// session handlers rely on (non-empty bounded batch, sane spans, capped
+// text bytes) — a violation would let a small body smuggle unbounded
+// patching work past the per-session budget machinery.
+func FuzzParseEditRequest(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"edits":[]}`))
+	f.Add([]byte(`{"edits":[{"start":1,"end":2,"text":"x = 1;\n"}]}`))
+	f.Add([]byte(`{"seq":3,"edits":[{"start":4,"end":4,"text":""}]}`))
+	f.Add([]byte(`{"seq":-1,"edits":[{"start":1,"end":1,"text":"a"}]}`))
+	f.Add([]byte(`{"edits":[{"start":0,"end":1,"text":"a"}]}`))
+	f.Add([]byte(`{"edits":[{"start":5,"end":2,"text":"a"}]}`))
+	f.Add([]byte(`{"edits":[{"start":1,"end":2},{"start":2,"end":2,"text":"b\n"}]}`))
+	f.Add([]byte(`{"edits":7}`))
+	f.Add([]byte(`{"edits":[{"start":"1","end":2,"text":"a"}]}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := ParseEditRequest(b)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("rejected edit request returned a non-nil envelope")
+			}
+			return
+		}
+		if req.Seq < 0 {
+			t.Fatalf("accepted negative seq %d", req.Seq)
+		}
+		if len(req.Edits) == 0 || len(req.Edits) > MaxEditsPerRequest {
+			t.Fatalf("accepted batch of %d edits outside (0, %d]", len(req.Edits), MaxEditsPerRequest)
+		}
+		total := 0
+		for i, e := range req.Edits {
+			if e.Start < 1 || e.End < e.Start {
+				t.Fatalf("accepted edit %d with invalid span [%d, %d)", i, e.Start, e.End)
+			}
+			if len(e.Text) > MaxEditTextBytes {
+				t.Fatalf("accepted edit %d with %d text bytes past the %d bound", i, len(e.Text), MaxEditTextBytes)
+			}
+			total += len(e.Text)
+		}
+		if total > MaxEditTotalBytes {
+			t.Fatalf("accepted batch with %d total text bytes past the %d bound", total, MaxEditTotalBytes)
+		}
+		// The accepted batch must survive a wire round-trip: what a
+		// forwarding tier re-encodes must decode to the same batch.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted edit request does not re-encode: %v", err)
+		}
+		if _, err := ParseEditRequest(enc); err != nil {
+			t.Fatalf("re-encoded edit request rejected: %v", err)
 		}
 	})
 }

@@ -47,6 +47,11 @@ type GossipMember struct {
 type GossipRequest struct {
 	From    string         `json:"from"`
 	Members []GossipMember `json:"members"`
+	// PingTarget, when set, makes this exchange a SWIM-style ping-req:
+	// the sender cannot reach PingTarget directly and asks the receiver
+	// to probe it before the sender marks it suspect. The receiver
+	// answers with PingOK on the response.
+	PingTarget string `json:"ping_target,omitempty"`
 }
 
 // GossipResponse answers a gossip exchange with the receiver's (merged)
@@ -54,6 +59,9 @@ type GossipRequest struct {
 type GossipResponse struct {
 	From    string         `json:"from"`
 	Members []GossipMember `json:"members"`
+	// PingOK reports the result of a ping-req: true when the receiver
+	// reached PingTarget directly during this exchange.
+	PingOK bool `json:"ping_ok,omitempty"`
 }
 
 // ParseGossipRequest decodes and validates a /v1/gossip body. Like
@@ -71,6 +79,9 @@ func ParseGossipRequest(data []byte) (*GossipRequest, error) {
 	}
 	if len(req.From) > MaxGossipIDBytes {
 		return nil, fmt.Errorf("from exceeds the %d-byte bound", MaxGossipIDBytes)
+	}
+	if len(req.PingTarget) > MaxGossipIDBytes {
+		return nil, fmt.Errorf("ping_target exceeds the %d-byte bound", MaxGossipIDBytes)
 	}
 	if err := ValidateGossipMembers(req.Members); err != nil {
 		return nil, err

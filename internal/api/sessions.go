@@ -1,0 +1,185 @@
+package api
+
+// Session wire types: the /v1/sessions surface through which clients
+// open a long-lived analysis session, stream line-span edits, and
+// receive findings deltas. ParseOpenSessionRequest and ParseEditRequest
+// are the governance points of the surface — they bound ID shape, edit
+// count, and patch bytes before any session state is touched, on both
+// the daemon and any tier that forwards session traffic.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"canary"
+)
+
+// Bounds of the session surface. One edit request carries at most
+// MaxEditsPerRequest spans and MaxEditTotalBytes of replacement text;
+// a single span's text is capped at MaxEditTextBytes. Client-chosen
+// session IDs are short path-safe tokens.
+const (
+	MaxSessionIDBytes    = 64
+	MaxEditsPerRequest   = 256
+	MaxEditTextBytes     = 1 << 20
+	MaxEditTotalBytes    = 4 << 20
+	MaxSessionTTLSeconds = 24 * 60 * 60
+)
+
+// OpenSessionRequest is the POST /v1/sessions body.
+type OpenSessionRequest struct {
+	// SessionID optionally names the session (path-safe, at most
+	// MaxSessionIDBytes of [A-Za-z0-9._-]). Opening an ID that already
+	// exists is a 409; empty lets the server mint a collision-free ID.
+	SessionID string `json:"session_id,omitempty"`
+	// Source is the initial program text. Required.
+	Source string `json:"source"`
+	// Options patches the server's base analysis options for every run
+	// of this session, including the step-counted stage budgets.
+	Options *OptionsPatch `json:"options,omitempty"`
+	// TTLSeconds optionally shortens the server's idle TTL for this
+	// session; 0 keeps the server default, values above the server's
+	// policy are clamped to it.
+	TTLSeconds int `json:"ttl_seconds,omitempty"`
+}
+
+// validSessionID reports whether id is a well-formed client-chosen
+// session ID.
+func validSessionID(id string) bool {
+	if id == "" || len(id) > MaxSessionIDBytes {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseOpenSessionRequest decodes and validates a POST /v1/sessions
+// body (already read under the transport's byte cap).
+func ParseOpenSessionRequest(data []byte) (*OpenSessionRequest, error) {
+	var req OpenSessionRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("invalid JSON: %v", err)
+	}
+	if req.Source == "" {
+		return nil, fmt.Errorf("missing source")
+	}
+	if req.SessionID != "" && !validSessionID(req.SessionID) {
+		return nil, fmt.Errorf("invalid session_id: at most %d bytes of [A-Za-z0-9._-]", MaxSessionIDBytes)
+	}
+	if req.TTLSeconds < 0 {
+		return nil, fmt.Errorf("negative ttl_seconds")
+	}
+	if req.TTLSeconds > MaxSessionTTLSeconds {
+		return nil, fmt.Errorf("ttl_seconds %d exceeds the maximum %d", req.TTLSeconds, MaxSessionTTLSeconds)
+	}
+	return &req, nil
+}
+
+// WireEdit is one line-span patch of an edit request, mirroring
+// canary.Edit: replace the half-open 1-based line range [start, end) of
+// the session's current revision with text.
+type WireEdit struct {
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Text  string `json:"text"`
+}
+
+// EditRequest is the POST /v1/sessions/{id}/edits body: one atomic
+// batch of non-overlapping spans against the same revision.
+type EditRequest struct {
+	// Seq optionally asserts the revision the edits were computed
+	// against; a non-zero mismatch with the session's current revision
+	// is refused with 409 so a client cannot silently patch a revision
+	// it has not seen. 0 skips the check (and matches revision 0, the
+	// open state, trivially).
+	Seq int `json:"seq,omitempty"`
+	// Edits is the span batch. Required, bounded, validated as a whole —
+	// a rejected batch changes nothing.
+	Edits []WireEdit `json:"edits"`
+}
+
+// ParseEditRequest decodes and validates a POST /v1/sessions/{id}/edits
+// body. It is the governance point of the edit path: span count, text
+// bytes, and basic span shape are bounded here, before the session lock
+// is taken or any patching happens. Span bounds against the actual
+// source (end beyond EOF, overlaps) are the session engine's job — they
+// depend on the revision, which the decoder cannot see.
+func ParseEditRequest(data []byte) (*EditRequest, error) {
+	var req EditRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("invalid JSON: %v", err)
+	}
+	if req.Seq < 0 {
+		return nil, fmt.Errorf("negative seq")
+	}
+	if len(req.Edits) == 0 {
+		return nil, fmt.Errorf("missing edits")
+	}
+	if len(req.Edits) > MaxEditsPerRequest {
+		return nil, fmt.Errorf("%d edits exceeds the per-request maximum %d", len(req.Edits), MaxEditsPerRequest)
+	}
+	total := 0
+	for i, e := range req.Edits {
+		if e.Start < 1 {
+			return nil, fmt.Errorf("edit %d: start line %d is below 1", i, e.Start)
+		}
+		if e.End < e.Start {
+			return nil, fmt.Errorf("edit %d: end line %d precedes start line %d", i, e.End, e.Start)
+		}
+		if len(e.Text) > MaxEditTextBytes {
+			return nil, fmt.Errorf("edit %d: %d text bytes exceeds the per-edit maximum %d", i, len(e.Text), MaxEditTextBytes)
+		}
+		total += len(e.Text)
+		if total > MaxEditTotalBytes {
+			return nil, fmt.Errorf("edit text totals more than the per-request maximum %d bytes", MaxEditTotalBytes)
+		}
+	}
+	return &req, nil
+}
+
+// DeltaResponse is the body of a successful open (201) or edit (200):
+// the findings delta plus enough run stats to see the incremental win.
+type DeltaResponse struct {
+	SessionID string `json:"session_id"`
+	canary.FindingsDelta
+	// SummaryHits and FuncsReanalyzed describe the re-run that produced
+	// this delta (both zero when reanalyzed is false — no run happened).
+	SummaryHits     int `json:"summary_hits,omitempty"`
+	FuncsReanalyzed int `json:"funcs_reanalyzed,omitempty"`
+	// ElapsedMS is the server-side wall clock of applying the batch.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// FindingsResponse is the GET /v1/sessions/{id}/findings body: the full
+// current findings, for clients that lost a delta or just joined.
+type FindingsResponse struct {
+	SessionID string          `json:"session_id"`
+	Seq       int             `json:"seq"`
+	Reports   []canary.Report `json:"reports"`
+}
+
+// Error codes of the session surface, carried in the "code" field of
+// error bodies so clients can dispatch without parsing prose.
+const (
+	CodeDuplicateSession = "duplicate-session"
+	CodeUnknownSession   = "unknown-session"
+	CodeSessionOpening   = "session-opening"
+	CodeSeqConflict      = "seq-conflict"
+	CodeEditRejected     = "edit-rejected"
+	CodeSessionCap       = "session-cap"
+)
+
+// ErrorResponse is the typed JSON error body: human prose in error,
+// a stable machine code in code (empty on surfaces predating codes).
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}

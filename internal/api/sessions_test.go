@@ -1,0 +1,73 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOpenSessionRequest(t *testing.T) {
+	ok := []string{
+		`{"source":"func main() {}"}`,
+		`{"source":"s","session_id":"ide-1.window_2"}`,
+		`{"source":"s","ttl_seconds":30}`,
+		`{"source":"s","options":{"workers":2,"max_dfs_steps":100}}`,
+	}
+	for _, body := range ok {
+		if _, err := ParseOpenSessionRequest([]byte(body)); err != nil {
+			t.Errorf("rejected valid open %s: %v", body, err)
+		}
+	}
+	bad := []string{
+		``,
+		`{}`,
+		`{"source":""}`,
+		`{"source":"s","session_id":"has space"}`,
+		`{"source":"s","session_id":"slash/y"}`,
+		`{"source":"s","session_id":"` + strings.Repeat("a", MaxSessionIDBytes+1) + `"}`,
+		`{"source":"s","ttl_seconds":-1}`,
+		`{"source":"s","ttl_seconds":999999999}`,
+		`{"source":7}`,
+	}
+	for _, body := range bad {
+		if req, err := ParseOpenSessionRequest([]byte(body)); err == nil {
+			t.Errorf("accepted invalid open %s", body)
+		} else if req != nil {
+			t.Errorf("rejected open returned non-nil envelope for %s", body)
+		}
+	}
+}
+
+func TestParseEditRequestBounds(t *testing.T) {
+	if _, err := ParseEditRequest([]byte(`{"edits":[{"start":1,"end":1,"text":"x = 1;\n"}]}`)); err != nil {
+		t.Fatalf("rejected minimal valid edit: %v", err)
+	}
+	var many strings.Builder
+	many.WriteString(`{"edits":[`)
+	for i := 0; i <= MaxEditsPerRequest; i++ {
+		if i > 0 {
+			many.WriteString(",")
+		}
+		many.WriteString(`{"start":1,"end":1,"text":""}`)
+	}
+	many.WriteString(`]}`)
+	if _, err := ParseEditRequest([]byte(many.String())); err == nil {
+		t.Errorf("accepted batch past MaxEditsPerRequest")
+	}
+	big := `{"edits":[{"start":1,"end":1,"text":"` + strings.Repeat("a", MaxEditTextBytes+1) + `"}]}`
+	if _, err := ParseEditRequest([]byte(big)); err == nil {
+		t.Errorf("accepted edit past MaxEditTextBytes")
+	}
+}
+
+func TestValidSessionID(t *testing.T) {
+	for _, id := range []string{"a", "A-1", "x.y_z", strings.Repeat("k", MaxSessionIDBytes)} {
+		if !validSessionID(id) {
+			t.Errorf("rejected valid id %q", id)
+		}
+	}
+	for _, id := range []string{"", "a b", "a/b", "a\nb", "ü", strings.Repeat("k", MaxSessionIDBytes+1)} {
+		if validSessionID(id) {
+			t.Errorf("accepted invalid id %q", id)
+		}
+	}
+}

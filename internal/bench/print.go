@@ -245,3 +245,31 @@ func PrintPersist(w io.Writer, res PersistResult) {
 	fmt.Fprintf(w, "warm byte-identical to cold: %v; edited pair identical: %v; summary reuse after edit+restart: %.2f\n",
 		res.Identical, res.EditedIdentical, res.SummaryReuse)
 }
+
+// PrintSessions renders the edit-native session experiment: per-edit
+// session-vs-rerun latency, the representation-only fast path, and the
+// two hard gates (fold identity, median advantage).
+func PrintSessions(w io.Writer, res SessionsResult) {
+	fmt.Fprintf(w, "Live sessions — per-edit delta vs full warm re-run (%d-line subject, %d edits)\n",
+		res.Lines, res.Edits)
+	fmt.Fprintf(w, "open (full analysis): %v\n", res.OpenTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-5s %-8s %12s %12s %12s %7s %9s %10s\n",
+		"seq", "kind", "session", "rerun", "invalidated", "added", "resolved", "unchanged")
+	for _, s := range res.Samples {
+		kind := "real"
+		if s.Trivial {
+			kind = "trivial"
+		}
+		fmt.Fprintf(w, "%-5d %-8s %12s %12s %12d %7d %9d %10d\n",
+			s.Seq, kind,
+			s.SessionTime.Round(time.Microsecond).String(),
+			s.RerunTime.Round(time.Microsecond).String(),
+			s.Invalidated, s.Added, s.Resolved, s.Unchanged)
+	}
+	fmt.Fprintf(w, "stream medians: session=%v rerun=%v (%.2fx per-edit advantage)\n",
+		res.SessionMedian.Round(time.Microsecond), res.RerunMedian.Round(time.Microsecond), res.Speedup)
+	fmt.Fprintf(w, "re-analyzing rounds only: session=%v rerun=%v; representation-only rounds: %v\n",
+		res.RealMedian.Round(time.Microsecond), res.RealRerunMedian.Round(time.Microsecond),
+		res.TrivialMedian.Round(time.Microsecond))
+	fmt.Fprintf(w, "folded deltas byte-identical to cold analysis of final source: %v\n", res.FoldIdentical)
+}

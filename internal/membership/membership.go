@@ -132,8 +132,21 @@ type Config struct {
 	DeadAfter    time.Duration
 	// Fanout is how many peers each round gossips with. Default 2.
 	Fanout int
+	// PingReqFanout is how many alive helpers an indirect probe
+	// (SWIM's ping-req) asks before suspecting a silent member: when a
+	// member goes quiet past SuspectAfter, the agent first asks up to
+	// this many other members to probe it on our behalf, and only
+	// suspects it if none can reach it either. This keeps a node alive
+	// through an asymmetric partition (we can't reach it, others can).
+	// Default 2; negative disables indirect probing entirely.
+	PingReqFanout int
 	// Timeout bounds one gossip HTTP exchange. Default Interval (min 1s).
+	// An outgoing ping-req exchange gets 2×Timeout, since the helper
+	// nests a direct probe of its own inside serving it.
 	Timeout time.Duration
+	// Transport, if set, replaces the HTTP transport for all outgoing
+	// exchanges. Tests use it to simulate asymmetric partitions.
+	Transport http.RoundTripper
 	// OnChange, if set, fires from the agent's goroutine whenever the
 	// non-dead member set (IDs or their roles) changes — including after
 	// the first round. Snapshot is the full table; use AliveIDs to
@@ -146,6 +159,13 @@ type Config struct {
 type entry struct {
 	Member
 	lastHeard time.Time
+	// probing is set while an async indirect probe (ping-req) for this
+	// member is in flight: tick holds the alive→suspect transition until
+	// the probe settles. probeFailed records that a completed probe got
+	// no ack, which lets the next tick suspect immediately. Both clear
+	// whenever fresh liveness evidence refreshes lastHeard.
+	probing     bool
+	probeFailed bool
 }
 
 // Stats is a point-in-time counter snapshot for /metrics.
@@ -156,6 +176,8 @@ type Stats struct {
 	Received    uint64 // incoming exchanges served
 	Refutations uint64 // times this node refuted its own suspicion/death
 	Changes     uint64 // OnChange firings
+	PingReqs    uint64 // indirect probes (ping-req) initiated
+	PingReqAcks uint64 // indirect probes acked by a helper
 	Alive       int    // current table tally (suspect counts as not-dead
 	Suspect     int    // but is reported separately)
 	Dead        int
@@ -167,6 +189,10 @@ type Stats struct {
 type Agent struct {
 	cfg Config
 	hc  *http.Client
+	// phc serves outgoing ping-req exchanges: double the ordinary
+	// timeout, because the helper runs a nested direct probe before
+	// answering.
+	phc *http.Client
 
 	mu          sync.Mutex
 	incarnation uint64
@@ -181,6 +207,7 @@ type Agent struct {
 	running  atomic.Bool
 
 	rounds, sends, sendErrs, recvs, refutes, changes atomic.Uint64
+	pingReqs, pingReqAcks                            atomic.Uint64
 }
 
 // New validates the config, fills defaults, and seeds the table. Call
@@ -208,6 +235,9 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = 2
 	}
+	if cfg.PingReqFanout == 0 {
+		cfg.PingReqFanout = 2
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = cfg.Interval
 		if cfg.Timeout < time.Second {
@@ -216,7 +246,8 @@ func New(cfg Config) (*Agent, error) {
 	}
 	a := &Agent{
 		cfg:     cfg,
-		hc:      &http.Client{Timeout: cfg.Timeout},
+		hc:      &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
+		phc:     &http.Client{Timeout: 2 * cfg.Timeout, Transport: cfg.Transport},
 		table:   make(map[string]*entry),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -309,6 +340,8 @@ func (a *Agent) Stats() Stats {
 		Received:    a.recvs.Load(),
 		Refutations: a.refutes.Load(),
 		Changes:     a.changes.Load(),
+		PingReqs:    a.pingReqs.Load(),
+		PingReqAcks: a.pingReqAcks.Load(),
 		Alive:       alive,
 		Suspect:     suspect,
 		Dead:        dead,
@@ -371,43 +404,103 @@ func (a *Agent) pickTargets() []string {
 }
 
 // gossipWith runs one outgoing exchange: POST our table, merge theirs.
-func (a *Agent) gossipWith(id string) {
+// It reports whether the exchange completed, which doubles as direct
+// liveness evidence when serving a helper-side ping-req.
+func (a *Agent) gossipWith(id string) bool {
+	return a.exchange(id, "", a.hc) != nil
+}
+
+// exchange performs one gossip POST to id, optionally carrying a
+// ping-req target, and folds the reply into the table. It returns the
+// parsed response, or nil on any failure.
+func (a *Agent) exchange(id, pingTarget string, hc *http.Client) *api.GossipResponse {
 	a.sends.Add(1)
-	req := api.GossipRequest{From: a.cfg.Self, Members: a.wireTable()}
+	req := api.GossipRequest{From: a.cfg.Self, Members: a.wireTable(), PingTarget: pingTarget}
 	body, err := json.Marshal(req)
 	if err != nil {
 		a.sendErrs.Add(1)
-		return
+		return nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), hc.Timeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, id+"/v1/gossip", bytes.NewReader(body))
 	if err != nil {
 		a.sendErrs.Add(1)
-		return
+		return nil
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := a.hc.Do(hreq)
+	resp, err := hc.Do(hreq)
 	if err != nil {
 		a.sendErrs.Add(1)
-		return
+		return nil
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil || resp.StatusCode != http.StatusOK {
 		a.sendErrs.Add(1)
-		return
+		return nil
 	}
 	gr, err := api.ParseGossipResponse(data)
 	if err != nil {
 		a.sendErrs.Add(1)
-		return
+		return nil
 	}
 	now := time.Now()
 	a.mu.Lock()
 	a.mergeLocked(gr.Members, now)
 	a.markContactLocked(id, now)
 	a.mu.Unlock()
+	return gr
+}
+
+// pingReq runs one indirect probe of target: ask up to PingReqFanout
+// alive helpers (via a gossip exchange carrying PingTarget) to probe it
+// for us. Any helper ack is liveness evidence as good as our own
+// contact; no acks means nobody we trust can reach it either, and the
+// next tick may suspect it. Runs on its own goroutine — tick holds the
+// suspect transition while the entry's probing flag is up.
+func (a *Agent) pingReq(target string) {
+	a.pingReqs.Add(1)
+	helpers := a.pickHelpers(target)
+	acked := false
+	for _, h := range helpers {
+		gr := a.exchange(h, target, a.phc)
+		if gr != nil && gr.PingOK {
+			a.pingReqAcks.Add(1)
+			acked = true
+			break
+		}
+	}
+	now := time.Now()
+	a.mu.Lock()
+	if e, ok := a.table[target]; ok {
+		if acked {
+			a.logf("membership: %s reachable via helper (ping-req ack)", target)
+			a.markContactLocked(target, now)
+		} else {
+			e.probeFailed = true
+		}
+		e.probing = false
+	}
+	a.mu.Unlock()
+}
+
+// pickHelpers returns up to PingReqFanout alive members other than the
+// target, sorted for determinism.
+func (a *Agent) pickHelpers(target string) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ids := make([]string, 0, len(a.table))
+	for id, e := range a.table {
+		if id != target && e.State == Alive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	if n := a.cfg.PingReqFanout; n > 0 && len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
 }
 
 // wireTable renders the full table (self first) for the wire.
@@ -446,6 +539,7 @@ func (a *Agent) markContactLocked(id string, now time.Time) {
 	}
 	e.State = Alive
 	e.lastHeard = now
+	e.probeFailed = false
 }
 
 // mergeLocked folds a remote table into ours under SWIM precedence.
@@ -487,6 +581,7 @@ func (a *Agent) mergeLocked(members []api.GossipMember, now time.Time) {
 			// member itself — restart its silence clock.
 			if st == Alive {
 				e.lastHeard = now
+				e.probeFailed = false
 			}
 		case m.Incarnation == e.Incarnation && worse(st, e.State):
 			a.logf("membership: %s %s -> %s (gossip)", m.ID, e.State, st)
@@ -496,7 +591,10 @@ func (a *Agent) mergeLocked(members []api.GossipMember, now time.Time) {
 }
 
 // tick ages silent members: alive → suspect after SuspectAfter,
-// suspect → dead after DeadAfter.
+// suspect → dead after DeadAfter. Before suspecting an alive member,
+// the agent tries an indirect probe (SWIM's ping-req): the transition
+// is held while the probe is in flight, taken only once a completed
+// probe got no helper ack.
 func (a *Agent) tick(now time.Time) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -505,7 +603,16 @@ func (a *Agent) tick(now time.Time) {
 		switch e.State {
 		case Alive:
 			if silent > a.cfg.SuspectAfter {
+				if a.cfg.PingReqFanout > 0 && !e.probing && !e.probeFailed {
+					e.probing = true
+					go a.pingReq(e.ID)
+					continue
+				}
+				if e.probing {
+					continue
+				}
 				e.State = Suspect
+				e.probeFailed = false
 				a.logf("membership: %s alive -> suspect (silent %v)", e.ID, silent.Round(time.Millisecond))
 			}
 		case Suspect:
@@ -569,7 +676,25 @@ func (a *Agent) HandleGossip(req *api.GossipRequest) api.GossipResponse {
 		a.markContactLocked(req.From, now)
 	}
 	resp := api.GossipResponse{From: a.cfg.Self, Members: replyTable}
+	pingTarget := ""
+	if req.PingTarget != "" && req.PingTarget != req.From {
+		if req.PingTarget == a.cfg.Self {
+			// Being asked about ourselves is trivially an ack.
+			resp.PingOK = true
+		} else if _, known := a.table[req.PingTarget]; known {
+			// Probe outside the lock, below. Only members already in our
+			// table are probed: gossip never turns this node into an
+			// open proxy for arbitrary URLs.
+			pingTarget = req.PingTarget
+		}
+	}
 	a.mu.Unlock()
+	if pingTarget != "" {
+		// Helper side of ping-req: direct-probe the target on the
+		// sender's behalf. A completed exchange both acks the probe and
+		// refreshes our own liveness evidence for the target.
+		resp.PingOK = a.gossipWith(pingTarget)
+	}
 	a.notifyIfChanged()
 	return resp
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -96,6 +97,9 @@ func TestSuspectDeadTimeouts(t *testing.T) {
 		Interval:     10 * time.Millisecond,
 		SuspectAfter: 50 * time.Millisecond,
 		DeadAfter:    100 * time.Millisecond,
+		// Pure timeout aging under test: no indirect probe holding the
+		// alive→suspect transition (that path has its own test below).
+		PingReqFanout: -1,
 	})
 	base := time.Now()
 	a.tick(base.Add(60 * time.Millisecond))
@@ -269,5 +273,90 @@ func TestWireTableBounded(t *testing.T) {
 	a.mu.Unlock()
 	if got := len(a.wireTable()); got > api.MaxGossipMembers {
 		t.Fatalf("wire table %d members exceeds bound %d", got, api.MaxGossipMembers)
+	}
+}
+
+// partitionTransport simulates an asymmetric network partition: any
+// request whose URL starts with the blocked prefix errors as if the
+// link were cut, everything else rides the real transport.
+type partitionTransport struct {
+	base    http.RoundTripper
+	blocked string
+}
+
+func (p *partitionTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if strings.HasPrefix(r.URL.String(), p.blocked) {
+		return nil, fmt.Errorf("partitioned: %s unreachable", p.blocked)
+	}
+	return p.base.RoundTrip(r)
+}
+
+// TestPingReqKeepsPartitionedNodeAlive is the indirect-probe contract:
+// when A cannot reach B but helper C can, A must not suspect B — the
+// ping-req through C is liveness evidence as good as direct contact.
+// With indirect probing disabled, the same silence suspects B.
+func TestPingReqKeepsPartitionedNodeAlive(t *testing.T) {
+	// B and C answer gossip over real listeners; A exists only as a
+	// client whose transport drops the A→B link.
+	mkServer := func() (*httptest.Server, func(*Agent)) {
+		var cur atomic.Pointer[Agent]
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/gossip", func(w http.ResponseWriter, r *http.Request) {
+			cur.Load().ServeGossip(w, r)
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv, func(a *Agent) { cur.Store(a) }
+	}
+	srvB, setB := mkServer()
+	srvC, setC := mkServer()
+
+	setB(newAgent(t, Config{Self: srvB.URL, Role: api.RoleWorker}))
+	// C must already know B: a helper only probes members of its own
+	// table, never arbitrary URLs from the wire.
+	setC(newAgent(t, Config{Self: srvC.URL, Role: api.RoleWorker, Seeds: []string{srvB.URL}}))
+
+	cut := &partitionTransport{base: http.DefaultTransport, blocked: srvB.URL}
+	cfg := Config{
+		Self: "http://a", Role: api.RoleWorker,
+		Seeds:        []string{srvB.URL, srvC.URL},
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 40 * time.Millisecond,
+		DeadAfter:    400 * time.Millisecond,
+		Transport:    cut,
+	}
+	a := newAgent(t, cfg)
+
+	// Let B fall silent past SuspectAfter at A, keeping C fresh via
+	// direct contact, then tick: the alive→suspect transition must be
+	// held while the indirect probe through C runs, and the ack must
+	// land as contact evidence.
+	time.Sleep(60 * time.Millisecond)
+	waitFor(t, 10*time.Second, "ping-req ack through helper", func() bool {
+		a.gossipWith(srvC.URL)
+		a.tick(time.Now())
+		m := stateOf(t, a.Members(), srvB.URL)
+		st := a.Stats()
+		return m.State == Alive && st.PingReqAcks > 0
+	})
+	if st := a.Stats(); st.PingReqs == 0 {
+		t.Fatalf("no indirect probe was initiated: %+v", st)
+	}
+	if m := stateOf(t, a.Members(), srvB.URL); m.State != Alive {
+		t.Fatalf("partitioned-but-alive member suspected despite helper ack: %v", m.State)
+	}
+
+	// Same silence with indirect probing disabled: B goes suspect.
+	cfg.Self = "http://a2"
+	cfg.PingReqFanout = -1
+	a2 := newAgent(t, cfg)
+	time.Sleep(60 * time.Millisecond)
+	a2.gossipWith(srvC.URL)
+	a2.tick(time.Now())
+	if m := stateOf(t, a2.Members(), srvB.URL); m.State != Suspect {
+		t.Fatalf("with ping-req disabled: state %v, want Suspect", m.State)
+	}
+	if st := a2.Stats(); st.PingReqs != 0 {
+		t.Fatalf("disabled agent still probed: %+v", st)
 	}
 }

@@ -66,9 +66,20 @@ func responseOf(v jobView) JobResponse {
 //	GET  /healthz             liveness — plain text for humans, readiness
 //	                          detail with ?format=json (or Accept: json)
 //	GET  /metrics             plain-text counters and histograms
+//
+// plus the live-session surface (sessions.go):
+//
+//	POST   /v1/sessions               open a long-lived edit session
+//	POST   /v1/sessions/{id}/edits    apply an edit batch, get the delta
+//	GET    /v1/sessions/{id}/findings current findings snapshot
+//	DELETE /v1/sessions/{id}          close the session
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.handleSessionEdits)
+	mux.HandleFunc("GET /v1/sessions/{id}/findings", s.handleSessionFindings)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/cache/{ns}/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

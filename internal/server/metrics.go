@@ -94,6 +94,19 @@ type metrics struct {
 	budget          map[string]*atomic.Uint64
 	panicsRecovered atomic.Uint64
 
+	// The live-session counters: opens, explicit closes, TTL and LRU
+	// evictions, edit batches (accepted / refused / representation-only
+	// fast path). The open-session gauge is read from the registry at
+	// scrape time; per-edit latency lands in editLatency.
+	sessionsOpened     atomic.Uint64
+	sessionsClosed     atomic.Uint64
+	sessionsEvictedTTL atomic.Uint64
+	sessionsEvictedLRU atomic.Uint64
+	sessionEdits       atomic.Uint64
+	sessionEditsRej    atomic.Uint64
+	sessionTrivial     atomic.Uint64
+	editLatency        *histogram
+
 	// Per-stage latency histograms, one per pipeline registry stage
 	// (parse/lower/pta/datadep/interference/mhp/vfg/check), fed from each
 	// completed job's Result.Trace spans; "total" is the job's wall time
@@ -104,9 +117,10 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	m := &metrics{
-		budget: make(map[string]*atomic.Uint64),
-		stage:  make(map[string]*histogram),
-		total:  newHistogram(stageBuckets()),
+		budget:      make(map[string]*atomic.Uint64),
+		stage:       make(map[string]*histogram),
+		total:       newHistogram(stageBuckets()),
+		editLatency: newHistogram(stageBuckets()),
 	}
 	for _, dim := range pipeline.BudgetDimensions() {
 		m.budget[dim] = new(atomic.Uint64)

@@ -85,6 +85,17 @@ type Config struct {
 	// MaxJobRecords bounds the finished-job history kept for GET
 	// /v1/jobs/{id}; the oldest finished records are pruned first.
 	MaxJobRecords int
+	// MaxSessions is the hard cap on concurrently open live sessions.
+	// At the cap, opening a new session first tries to evict the least
+	// recently used idle session; if every session is busy the open is
+	// refused with 503. <= 0 selects 256.
+	MaxSessions int
+	// SessionIdleTTL evicts a live session that has seen no open, edit,
+	// or findings request for this long. <= 0 selects 10 minutes.
+	SessionIdleTTL time.Duration
+	// SessionSweep is the janitor's scan interval; <= 0 selects a
+	// quarter of SessionIdleTTL clamped to [100ms, 30s].
+	SessionSweep time.Duration
 	// NodeID identifies this daemon in /healthz readiness reports; canaryd
 	// defaults it to the listen address.
 	NodeID string
@@ -135,6 +146,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobRecords <= 0 {
 		c.MaxJobRecords = 4096
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionIdleTTL <= 0 {
+		c.SessionIdleTTL = 10 * time.Minute
+	}
+	if c.SessionSweep <= 0 {
+		c.SessionSweep = c.SessionIdleTTL / 4
+		if c.SessionSweep < 100*time.Millisecond {
+			c.SessionSweep = 100 * time.Millisecond
+		}
+		if c.SessionSweep > 30*time.Second {
+			c.SessionSweep = 30 * time.Second
+		}
+	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = defaultMaxRequestBytes
 	}
@@ -180,6 +206,13 @@ type Server struct {
 	// fleet's cross-node dedup).
 	inflight map[cache.Key]*Job
 
+	// The live-session registry (sessions.go): open edit-accepting
+	// engines keyed by session ID, guarded by their own lock so slow
+	// analyses never contend with job admission.
+	sessMu   sync.Mutex
+	sessions map[string]*liveSession
+	sessStop chan struct{}
+
 	queue chan *Job
 	wg    sync.WaitGroup
 
@@ -199,6 +232,8 @@ func New(cfg Config) (*Server, error) {
 		metrics:  newMetrics(),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[cache.Key]*Job),
+		sessions: make(map[string]*liveSession),
+		sessStop: make(chan struct{}),
 		queue:    make(chan *Job, cfg.QueueDepth),
 	}
 	if len(cfg.Peers) > 0 && cfg.PeerSelf != "" {
@@ -252,6 +287,7 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		go s.worker()
 	}
+	go s.sessionJanitor()
 	return s, nil
 }
 
@@ -376,9 +412,18 @@ func (s *Server) clearInflight(job *Job) {
 }
 
 // admitLocked assigns the job its ID and records it, pruning the oldest
-// finished records beyond the history bound. Caller holds s.mu.
+// finished records beyond the history bound. Caller holds s.mu. The
+// counter alone makes IDs unique, but the collision check keeps that
+// true even if the counter is ever reset or the map is repopulated
+// (e.g. restored history): an existing record is never replaced.
 func (s *Server) admitLocked(job *Job) {
 	s.nextID++
+	for {
+		if _, taken := s.jobs[fmt.Sprintf("job-%d", s.nextID)]; !taken {
+			break
+		}
+		s.nextID++
+	}
 	job.id = fmt.Sprintf("job-%d", s.nextID)
 	s.jobs[job.id] = job
 	s.jobOrder = append(s.jobOrder, job.id)
@@ -432,6 +477,7 @@ func (s *Server) BeginDrain() {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		close(s.sessStop)
 	}
 }
 
@@ -449,8 +495,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
-		// With every worker stopped, drain the write-behind tiers so the
-		// warm state of the final jobs survives the restart.
+		// Workers stopped and the janitor told to quit: close every live
+		// session, then drain the write-behind tiers so the warm state of
+		// the final jobs survives the restart.
+		s.closeAllSessions()
 		for _, t := range s.tiers {
 			t.Close()
 		}
@@ -537,21 +585,17 @@ func (s *Server) runJob(job *Job) {
 	job.complete(buf, false)
 }
 
-// analyze runs the pipeline for one job, optionally splitting the overall
-// deadline into per-stage wall budgets (Config.StageTimeout).
+// analyze runs the pipeline for one job as a live session opened and
+// discarded in one request — the same spine the /v1/sessions endpoints
+// drive, including the per-stage wall split (Config.StageTimeout).
 func (s *Server) analyze(ctx context.Context, job *Job) (*canary.Result, error) {
-	if s.cfg.StageTimeout <= 0 {
-		return s.session.AnalyzeContext(ctx, job.src, job.opt)
-	}
-	buildCtx, cancelBuild := context.WithTimeout(ctx, s.cfg.StageTimeout)
-	a, err := s.session.NewAnalysisContext(buildCtx, job.src, job.opt)
-	cancelBuild()
+	live, _, err := s.session.OpenLive(ctx, job.src, job.opt, canary.LiveConfig{StageTimeout: s.cfg.StageTimeout})
 	if err != nil {
 		return nil, err
 	}
-	checkCtx, cancelCheck := context.WithTimeout(ctx, s.cfg.StageTimeout)
-	defer cancelCheck()
-	return a.CheckContext(checkCtx)
+	res := live.Result()
+	live.Close()
+	return res, nil
 }
 
 // observeGovernance folds one completed job's degradation stats into the
@@ -656,10 +700,26 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "canaryd_gossip_send_errors_total %d\n", mst.SendErrors)
 	fmt.Fprintf(w, "canaryd_gossip_received_total %d\n", mst.Received)
 	fmt.Fprintf(w, "canaryd_gossip_refutations_total %d\n", mst.Refutations)
+	fmt.Fprintf(w, "canaryd_gossip_pingreq_total %d\n", mst.PingReqs)
+	fmt.Fprintf(w, "canaryd_gossip_pingreq_acks_total %d\n", mst.PingReqAcks)
 	fmt.Fprintf(w, "canaryd_membership_changes_total %d\n", mst.Changes)
 	fmt.Fprintf(w, "canaryd_members_alive %d\n", mst.Alive)
 	fmt.Fprintf(w, "canaryd_members_suspect %d\n", mst.Suspect)
 	fmt.Fprintf(w, "canaryd_members_dead %d\n", mst.Dead)
+	// The live-session tier (all zero until a client opens one, so the
+	// series exist either way).
+	s.sessMu.Lock()
+	open := len(s.sessions)
+	s.sessMu.Unlock()
+	fmt.Fprintf(w, "canaryd_sessions_open %d\n", open)
+	fmt.Fprintf(w, "canaryd_sessions_opened_total %d\n", m.sessionsOpened.Load())
+	fmt.Fprintf(w, "canaryd_sessions_closed_total %d\n", m.sessionsClosed.Load())
+	fmt.Fprintf(w, "canaryd_sessions_evicted_ttl_total %d\n", m.sessionsEvictedTTL.Load())
+	fmt.Fprintf(w, "canaryd_sessions_evicted_lru_total %d\n", m.sessionsEvictedLRU.Load())
+	fmt.Fprintf(w, "canaryd_session_edits_total %d\n", m.sessionEdits.Load())
+	fmt.Fprintf(w, "canaryd_session_edits_rejected_total %d\n", m.sessionEditsRej.Load())
+	fmt.Fprintf(w, "canaryd_session_trivial_edits_total %d\n", m.sessionTrivial.Load())
+	m.editLatency.writeTo(w, "canaryd_session_edit_latency_seconds", "edit")
 
 	for _, st := range pipeline.Stages() {
 		m.stage[st.MetricsLabel()].writeTo(w, "canaryd_stage_latency_seconds", st.MetricsLabel())

@@ -1,0 +1,337 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"canary/internal/api"
+)
+
+func doJSON(t *testing.T, method, url string, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func openSession(t *testing.T, url, body string) (int, api.DeltaResponse, []byte) {
+	t.Helper()
+	status, raw := doJSON(t, http.MethodPost, url+"/v1/sessions", body)
+	var dr api.DeltaResponse
+	if status == http.StatusCreated {
+		if err := json.Unmarshal(raw, &dr); err != nil {
+			t.Fatalf("decoding open response: %v\n%s", err, raw)
+		}
+	}
+	return status, dr, raw
+}
+
+func errCode(t *testing.T, raw []byte) string {
+	t.Helper()
+	var er api.ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("decoding error response: %v\n%s", err, raw)
+	}
+	return er.Code
+}
+
+// TestSessionLifecycle is the whole edit-native loop over HTTP: open
+// analyzes the initial source and answers every finding as Added; a
+// comment-only edit is served without re-analysis; a bug-removing edit
+// answers with the finding Resolved; the findings snapshot tracks the
+// folded state; delete closes for real.
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, dr, raw := openSession(t, ts.URL,
+		fmt.Sprintf(`{"source":%q}`, buggySrc))
+	if status != http.StatusCreated {
+		t.Fatalf("open: status %d, body %s", status, raw)
+	}
+	if dr.SessionID == "" || dr.Seq != 0 || !dr.Reanalyzed {
+		t.Fatalf("open delta malformed: %+v", dr)
+	}
+	if len(dr.Added) == 0 {
+		t.Fatalf("open of a buggy program added no findings: %+v", dr)
+	}
+	base := ts.URL + "/v1/sessions/" + dr.SessionID
+
+	// Comment-only edit: canonical source unchanged, so no analysis runs.
+	status, raw = doJSON(t, http.MethodPost, base+"/edits",
+		`{"edits":[{"start":13,"end":13,"text":"// reviewed\n"}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("trivial edit: status %d, body %s", status, raw)
+	}
+	var d1 api.DeltaResponse
+	if err := json.Unmarshal(raw, &d1); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Reanalyzed || d1.Seq != 1 || len(d1.Added) != 0 || len(d1.Resolved) != 0 {
+		t.Fatalf("trivial edit was not served as representation-only: %+v", d1)
+	}
+	if d1.Unchanged != len(dr.Added) {
+		t.Fatalf("trivial edit unchanged=%d, want %d", d1.Unchanged, len(dr.Added))
+	}
+
+	// Delete the free: the use-after-free is gone, so the delta resolves it.
+	status, raw = doJSON(t, http.MethodPost, base+"/edits",
+		`{"seq":1,"edits":[{"start":11,"end":12,"text":""}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("fix edit: status %d, body %s", status, raw)
+	}
+	var d2 api.DeltaResponse
+	if err := json.Unmarshal(raw, &d2); err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Reanalyzed || d2.Seq != 2 {
+		t.Fatalf("fix edit delta malformed: %+v", d2)
+	}
+	if len(d2.Resolved) == 0 {
+		t.Fatalf("removing the free resolved nothing: %+v", d2)
+	}
+	if len(d2.Invalidated) == 0 {
+		t.Fatalf("fix edit invalidated no functions: %+v", d2)
+	}
+
+	// The snapshot reflects the folded state.
+	status, raw = doJSON(t, http.MethodGet, base+"/findings", "")
+	if status != http.StatusOK {
+		t.Fatalf("findings: status %d, body %s", status, raw)
+	}
+	var fr api.FindingsResponse
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Seq != 2 {
+		t.Fatalf("findings seq %d, want 2", fr.Seq)
+	}
+	want := len(dr.Added) - len(d2.Resolved) + len(d2.Added)
+	if len(fr.Reports) != want {
+		t.Fatalf("findings carry %d reports, want %d", len(fr.Reports), want)
+	}
+
+	status, raw = doJSON(t, http.MethodDelete, base, "")
+	if status != http.StatusNoContent {
+		t.Fatalf("delete: status %d, body %s", status, raw)
+	}
+	status, raw = doJSON(t, http.MethodGet, base+"/findings", "")
+	if status != http.StatusNotFound || errCode(t, raw) != api.CodeUnknownSession {
+		t.Fatalf("findings after delete: status %d code %q", status, errCode(t, raw))
+	}
+	status, raw = doJSON(t, http.MethodDelete, base, "")
+	if status != http.StatusNotFound {
+		t.Fatalf("double delete: status %d, body %s", status, raw)
+	}
+}
+
+// TestSessionRejections pins the governance point: envelope abuse is
+// 400 at the parser, a structurally valid but inapplicable edit is 422
+// with a stable code and leaves the session untouched, and a stale seq
+// is a 409 the client can recover from.
+func TestSessionRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, dr, raw := openSession(t, ts.URL, fmt.Sprintf(`{"source":%q}`, buggySrc))
+	if status != http.StatusCreated {
+		t.Fatalf("open: status %d, body %s", status, raw)
+	}
+	base := ts.URL + "/v1/sessions/" + dr.SessionID
+
+	cases := []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"zero start", `{"edits":[{"start":0,"end":1,"text":""}]}`, http.StatusBadRequest, ""},
+		{"no edits", `{"edits":[]}`, http.StatusBadRequest, ""},
+		{"type confusion", `{"edits":7}`, http.StatusBadRequest, ""},
+		{"out of range span", `{"edits":[{"start":900,"end":901,"text":"x = 1;\n"}]}`,
+			http.StatusUnprocessableEntity, api.CodeEditRejected},
+		{"unparsable patch", `{"edits":[{"start":3,"end":4,"text":"func oops(\n"}]}`,
+			http.StatusUnprocessableEntity, api.CodeEditRejected},
+		{"stale seq", `{"seq":7,"edits":[{"start":3,"end":3,"text":"z = 1;\n"}]}`,
+			http.StatusConflict, api.CodeSeqConflict},
+	}
+	for _, c := range cases {
+		status, raw := doJSON(t, http.MethodPost, base+"/edits", c.body)
+		if status != c.status {
+			t.Errorf("%s: status %d, want %d (body %s)", c.name, status, c.status, raw)
+			continue
+		}
+		if c.code != "" && errCode(t, raw) != c.code {
+			t.Errorf("%s: code %q, want %q", c.name, errCode(t, raw), c.code)
+		}
+	}
+
+	// None of the rejections advanced the session.
+	status, raw = doJSON(t, http.MethodGet, base+"/findings", "")
+	var fr api.FindingsResponse
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || fr.Seq != 0 {
+		t.Fatalf("rejections moved the session: status %d seq %d", status, fr.Seq)
+	}
+	if len(fr.Reports) != len(dr.Added) {
+		t.Fatalf("rejections changed findings: %d vs %d", len(fr.Reports), len(dr.Added))
+	}
+}
+
+// TestSessionDuplicateOpenHammer races many opens of the same client-
+// chosen ID: exactly one may win with 201, every loser gets the typed
+// 409, and afterwards exactly one session exists. Server-minted IDs
+// from a parallel burst must all be distinct (the collision check in
+// newSessionIDLocked, exercised for real).
+func TestSessionDuplicateOpenHammer(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"source":%q,"session_id":"ide-tab-1"}`, buggySrc)
+
+	const racers = 8
+	var wg sync.WaitGroup
+	statuses := make([]int, racers)
+	codes := make([]string, racers)
+	for i := 0; i < racers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", body)
+			statuses[i] = status
+			if status == http.StatusConflict {
+				codes[i] = errCode(t, raw)
+			}
+		}()
+	}
+	wg.Wait()
+	won, lost := 0, 0
+	for i, st := range statuses {
+		switch st {
+		case http.StatusCreated:
+			won++
+		case http.StatusConflict:
+			lost++
+			if codes[i] != api.CodeDuplicateSession {
+				t.Errorf("loser %d: code %q, want %q", i, codes[i], api.CodeDuplicateSession)
+			}
+		default:
+			t.Errorf("racer %d: unexpected status %d", i, st)
+		}
+	}
+	if won != 1 || lost != racers-1 {
+		t.Fatalf("duplicate open race: %d winners, %d losers (want 1, %d)", won, lost, racers-1)
+	}
+	if n := s.OpenSessions(); n != 1 {
+		t.Fatalf("registry holds %d sessions after race, want 1", n)
+	}
+
+	// Server-minted IDs: a concurrent burst yields all-distinct IDs.
+	const minted = 16
+	ids := make([]string, minted)
+	var wg2 sync.WaitGroup
+	for i := 0; i < minted; i++ {
+		i := i
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			status, dr, raw := openSession(t, ts.URL, fmt.Sprintf(`{"source":%q}`, buggySrc))
+			if status != http.StatusCreated {
+				t.Errorf("minted open %d: status %d body %s", i, status, raw)
+				return
+			}
+			ids[i] = dr.SessionID
+		}()
+	}
+	wg2.Wait()
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		if seen[id] {
+			t.Fatalf("server minted duplicate session id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSessionEvictionTTLAndLRU drives both eviction paths: at the cap,
+// opening one more session evicts the least recently used idle one; and
+// the janitor reaps sessions idle past their TTL on its own clock.
+func TestSessionEvictionTTLAndLRU(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxSessions:    2,
+		SessionIdleTTL: 300 * time.Millisecond,
+		SessionSweep:   20 * time.Millisecond,
+	})
+	open := func(id string) string {
+		t.Helper()
+		status, dr, raw := openSession(t, ts.URL,
+			fmt.Sprintf(`{"source":%q,"session_id":%q}`, buggySrc, id))
+		if status != http.StatusCreated {
+			t.Fatalf("open %s: status %d body %s", id, status, raw)
+		}
+		return dr.SessionID
+	}
+	a := open("sess-a")
+	time.Sleep(5 * time.Millisecond)
+	b := open("sess-b")
+	// Touch b so a is strictly least recently used.
+	doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+b+"/findings", "")
+
+	c := open("sess-c") // over the cap: a must go
+	if status, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+a+"/findings", ""); status != http.StatusNotFound {
+		t.Fatalf("LRU victim still answers: status %d body %s", status, raw)
+	}
+	for _, id := range []string{b, c} {
+		if status, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+id+"/findings", ""); status != http.StatusOK {
+			t.Fatalf("survivor %s: status %d", id, status)
+		}
+	}
+	if _, raw := doJSON(t, http.MethodGet, ts.URL+"/metrics", ""); !strings.Contains(string(raw), "canaryd_sessions_evicted_lru_total 1") {
+		t.Fatalf("metrics missing LRU eviction:\n%s", raw)
+	}
+
+	// TTL: stop touching them and let the janitor reap both.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.OpenSessions() > 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := s.OpenSessions(); n != 0 {
+		t.Fatalf("janitor left %d sessions past TTL", n)
+	}
+	if _, raw := doJSON(t, http.MethodGet, ts.URL+"/metrics", ""); !strings.Contains(string(raw), "canaryd_sessions_evicted_ttl_total 2") {
+		t.Fatalf("metrics missing TTL evictions:\n%s", raw)
+	}
+}
+
+// TestSessionDrainRefusesOpens: a draining daemon refuses new sessions
+// with 503 (and closes the ones it holds), same contract as /v1/analyze.
+func TestSessionDrainRefusesOpens(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	status, dr, raw := openSession(t, ts.URL, fmt.Sprintf(`{"source":%q}`, buggySrc))
+	if status != http.StatusCreated {
+		t.Fatalf("open: status %d body %s", status, raw)
+	}
+	_ = dr
+	s.BeginDrain()
+	if status, _, _ := openSession(t, ts.URL, fmt.Sprintf(`{"source":%q}`, buggySrc)); status != http.StatusServiceUnavailable {
+		t.Fatalf("open while draining: status %d, want 503", status)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"canary/internal/cache"
 	"canary/internal/core"
@@ -283,13 +285,17 @@ func (s *Session) Analyze(src string, opt Options) (*Result, error) {
 }
 
 // AnalyzeContext is AnalyzeContext running against the session's warm
-// stores.
+// stores. It is implemented as a live session opened and discarded in
+// one call, so the one-shot and edit-streaming entry points share a
+// single analysis spine rather than maintaining two.
 func (s *Session) AnalyzeContext(ctx context.Context, src string, opt Options) (*Result, error) {
-	a, err := s.NewAnalysisContext(ctx, src, opt)
+	live, _, err := s.OpenLive(ctx, src, opt, LiveConfig{})
 	if err != nil {
 		return nil, err
 	}
-	return a.CheckContext(ctx)
+	res := live.Result()
+	live.Close()
+	return res, nil
 }
 
 // NewAnalysis is NewAnalysis running against the session's warm stores.
@@ -324,7 +330,21 @@ func classifyStageErr(s *Session, src string, err error) error {
 // error wrapping ErrInternal, after quarantining src's per-function
 // summaries from the session so one poisoned run cannot corrupt warm
 // state for later jobs.
-func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Options) (a *Analysis, err error) {
+func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Options) (*Analysis, error) {
+	return s.newAnalysisContext(ctx, src, opt, analysisInput{})
+}
+
+// analysisInput carries work a caller already did into the spine. A
+// live session parses the patched source to validate the edit batch and
+// digests it to compute the invalidated cone; handing both over here
+// means the pipeline does not parse or digest the same revision a
+// second time. Zero value = the spine does everything itself.
+type analysisInput struct {
+	ast  *lang.Program
+	keys map[string]cache.Key
+}
+
+func (s *Session) newAnalysisContext(ctx context.Context, src string, opt Options, in analysisInput) (a *Analysis, err error) {
 	defer func() {
 		// Last-resort net for panics outside the runner-wrapped stages.
 		if r := recover(); r != nil {
@@ -337,14 +357,16 @@ func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Option
 	}
 	run := pipeline.NewRunner(failpoint.Inject)
 
-	var ast *lang.Program
+	ast := in.ast
 	if err := run.Run(ctx, pipeline.StageParse, func(sp *pipeline.Span) error {
-		var perr error
-		ast, perr = lang.Parse(src)
-		if ast != nil {
-			sp.Steps = int64(len(ast.Funcs))
+		if ast == nil {
+			var perr error
+			if ast, perr = lang.Parse(src); perr != nil {
+				return perr
+			}
 		}
-		return perr
+		sp.Steps = int64(len(ast.Funcs))
+		return nil
 	}); err != nil {
 		return nil, classifyStageErr(s, src, err)
 	}
@@ -352,11 +374,15 @@ func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Option
 	// Summarize here (rather than inside ir.Lower) so the digest-keyed
 	// store can satisfy unchanged functions. With no session this computes
 	// exactly what Lower would have: all functions count as reanalyzed.
+	keys := in.keys
+	if keys == nil || s == nil {
+		keys = digestKeysFor(s, ast)
+	}
 	var sums map[string]*pta.Summary
 	var hits, reanalyzed int
 	if err := run.Run(ctx, pipeline.StagePTA, func(sp *pipeline.Span) error {
 		var serr error
-		sums, hits, reanalyzed, serr = pta.SummariesKeyedContext(ctx, ast, digestKeysFor(s, ast), s.summaryStore())
+		sums, hits, reanalyzed, serr = pta.SummariesKeyedContext(ctx, ast, keys, s.summaryStore())
 		sp.Steps = int64(reanalyzed)
 		sp.CacheHits = uint64(hits)
 		return serr
@@ -422,7 +448,7 @@ func (s *Session) NewAnalysisContext(ctx context.Context, src string, opt Option
 		Wall:  b.Stats.InterferTime,
 		Steps: int64(b.Stats.InterferenceEdges),
 	})
-	return &Analysis{opt: opt, b: b, session: s, src: src, run: run}, nil
+	return &Analysis{opt: opt, b: b, session: s, src: src, run: run, keys: keys}, nil
 }
 
 // summaryStore returns the summary store, or nil for a nil session.
@@ -440,4 +466,215 @@ func digestKeysFor(s *Session, ast *lang.Program) map[string]cache.Key {
 		return nil
 	}
 	return digest.SummaryKeys(ast)
+}
+
+// ErrSessionClosed is returned by LiveSession methods after Close.
+var ErrSessionClosed = errors.New("canary: live session is closed")
+
+// ErrEditRejected wraps every edit-batch rejection — an out-of-range or
+// overlapping span, or a patch whose result no longer parses. A
+// rejected batch leaves the session's revision and findings untouched,
+// so the client can correct and resubmit against the same Seq.
+var ErrEditRejected = errors.New("canary: edit rejected")
+
+// LiveConfig tunes a live session's analysis runs beyond Options.
+type LiveConfig struct {
+	// StageTimeout, when positive, separately bounds the build and check
+	// halves of every (re-)analysis, mirroring canaryd's -stage-timeout
+	// split of one-shot jobs.
+	StageTimeout time.Duration
+}
+
+// LiveSession is the edit-native analysis engine: it holds the current
+// revision of one program, accepts line-span edit batches against it,
+// re-analyzes through the session's warm stores, and reports each
+// batch's effect as a FindingsDelta. The determinism contract extends
+// the warm-session one: folding the open delta and every edit delta in
+// order reproduces, byte for byte, the findings a cold full analysis of
+// the final revision would emit.
+//
+// Two fast paths make edits cheaper than one-shot re-analysis. First,
+// an edit whose canonical source (comments and whitespace stripped,
+// line structure preserved) is unchanged skips the pipeline entirely —
+// the previous findings are provably still exact. Second, a real edit
+// re-enters the pipeline with the parent Session's digest-keyed summary
+// and verdict stores hot, so only the invalidated reverse-reachable
+// cone is recomputed.
+//
+// A LiveSession is safe for concurrent use; edits serialize against
+// each other and against reads. The parent *Session may be nil (no warm
+// state) — deltas stay exact, only the reuse disappears.
+type LiveSession struct {
+	s   *Session
+	opt Options
+	lc  LiveConfig
+
+	mu      sync.Mutex
+	closed  bool
+	seq     int
+	src     string
+	canon   string
+	keys    map[string]cache.Key // current revision's summary keys, seeded by the open analysis
+	res     *Result
+	reports []Report
+}
+
+// Open runs the initial full analysis of src and returns the live
+// session together with its opening delta (Seq 0, every finding Added —
+// folding it into an empty findings list yields the initial findings).
+func (s *Session) Open(src string, opt Options) (*LiveSession, *FindingsDelta, error) {
+	return s.OpenLive(context.Background(), src, opt, LiveConfig{})
+}
+
+// OpenLive is Open with cooperative cancellation and live-session
+// configuration.
+func (s *Session) OpenLive(ctx context.Context, src string, opt Options, lc LiveConfig) (*LiveSession, *FindingsDelta, error) {
+	l := &LiveSession{s: s, opt: opt, lc: lc}
+	res, keys, err := l.runSpine(ctx, src, analysisInput{})
+	if err != nil {
+		return nil, nil, err
+	}
+	l.src = src
+	l.canon = digest.CanonicalSource(src)
+	l.keys = keys
+	l.res = res
+	l.reports = res.Reports
+	d := DiffReports(nil, res.Reports)
+	d.Seq = 0
+	d.Reanalyzed = true
+	return l, d, nil
+}
+
+// runSpine is the one analysis path every entry point shares: the
+// session-warm build then check, optionally with canaryd's per-stage
+// wall-clock split. It also returns the summary keys the build settled
+// on, so callers can keep an invalidation baseline without re-digesting.
+func (l *LiveSession) runSpine(ctx context.Context, src string, in analysisInput) (*Result, map[string]cache.Key, error) {
+	if l.lc.StageTimeout <= 0 {
+		a, err := l.s.newAnalysisContext(ctx, src, l.opt, in)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := a.CheckContext(ctx)
+		return res, a.keys, err
+	}
+	buildCtx, cancelBuild := context.WithTimeout(ctx, l.lc.StageTimeout)
+	a, err := l.s.newAnalysisContext(buildCtx, src, l.opt, in)
+	cancelBuild()
+	if err != nil {
+		return nil, nil, err
+	}
+	checkCtx, cancelCheck := context.WithTimeout(ctx, l.lc.StageTimeout)
+	defer cancelCheck()
+	res, err := a.CheckContext(checkCtx)
+	return res, a.keys, err
+}
+
+// ApplyEdits applies one batch of line-span edits to the current
+// revision and returns the findings delta it caused. Invalid batches
+// and unparsable patches return an error wrapping ErrEditRejected with
+// the session unchanged; analysis failures (cancellation, injected
+// faults) likewise leave the previous revision and findings in place.
+func (l *LiveSession) ApplyEdits(ctx context.Context, edits []Edit) (*FindingsDelta, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrSessionClosed
+	}
+	dEdits := make([]digest.Edit, len(edits))
+	for i, e := range edits {
+		dEdits[i] = digest.Edit{Start: e.Start, End: e.End, Text: e.Text}
+	}
+	patched, err := digest.ApplyEdits(l.src, dEdits)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEditRejected, err)
+	}
+	canon := digest.CanonicalSource(patched)
+	if canon == l.canon {
+		// Representation-only edit: the canonical source (comments and
+		// trailing whitespace stripped, line structure preserved) is
+		// unchanged, so the token stream — and with it parseability,
+		// every function's digest, and every finding — is provably
+		// identical to the revision already analyzed. No parse needed.
+		l.src = patched
+		l.seq++
+		return &FindingsDelta{Seq: l.seq, Unchanged: len(l.reports)}, nil
+	}
+	ast, perr := lang.Parse(patched)
+	if perr != nil {
+		return nil, fmt.Errorf("%w: patched source: %v", ErrEditRejected, perr)
+	}
+	if l.keys == nil {
+		// Sessionless live session (nil *Session): the spine computed no
+		// keys at open, so key the pre-edit revision here (it parsed when
+		// it was analyzed, so this cannot fail).
+		cur, cerr := lang.Parse(l.src)
+		if cerr != nil {
+			return nil, fmt.Errorf("canary: internal: current revision unparsable: %v", cerr)
+		}
+		l.keys = digest.SummaryKeys(cur)
+	}
+	newKeys := digest.SummaryKeys(ast)
+	invalidated := digest.Invalidated(l.keys, newKeys)
+	res, _, err := l.runSpine(ctx, patched, analysisInput{ast: ast, keys: newKeys})
+	if err != nil {
+		return nil, err
+	}
+	d := DiffReports(l.reports, res.Reports)
+	d.Seq = l.seq + 1
+	d.Reanalyzed = true
+	d.Invalidated = invalidated
+	l.src = patched
+	l.canon = canon
+	l.keys = newKeys
+	l.res = res
+	l.reports = res.Reports
+	l.seq++
+	return d, nil
+}
+
+// Seq returns the current revision number (0 after Open, +1 per
+// accepted edit batch).
+func (l *LiveSession) Seq() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Source returns the current revision's source text ("" after Close).
+func (l *LiveSession) Source() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.src
+}
+
+// Reports returns the current findings. The slice is shared: callers
+// must not mutate it.
+func (l *LiveSession) Reports() []Report {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reports
+}
+
+// Result returns the full result of the most recent analysis run (nil
+// after Close). Representation-only edits do not re-run the pipeline,
+// so after one the stats describe the last real run while the reports
+// remain exact for the current revision.
+func (l *LiveSession) Result() *Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.res
+}
+
+// Close marks the session closed and releases its held revision and
+// findings. Further edits return ErrSessionClosed. The parent Session
+// and its warm stores are unaffected.
+func (l *LiveSession) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.src, l.canon = "", ""
+	l.keys = nil
+	l.res = nil
+	l.reports = nil
 }
